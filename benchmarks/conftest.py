@@ -1,0 +1,54 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper.  The
+rendered tables are written to ``benchmarks/results/`` and echoed to the
+terminal, so a plain ``pytest benchmarks/ --benchmark-only`` run regenerates
+every figure of the evaluation section.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analyzers.registry import default_tools
+from repro.suites.harness import EvaluationHarness
+from repro.suites.juliet import generate_juliet_suite
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def publish(name: str, text: str, capsys) -> None:
+    """Write a rendered table to the results directory and to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def juliet_suite():
+    return generate_juliet_suite()
+
+
+@pytest.fixture(scope="session")
+def undefinedness_suite():
+    return generate_undefinedness_suite()
+
+
+@pytest.fixture(scope="session")
+def tools():
+    return default_tools()
+
+
+@pytest.fixture(scope="session")
+def juliet_comparison(juliet_suite, tools):
+    return EvaluationHarness(tools).run_suite(juliet_suite)
+
+
+@pytest.fixture(scope="session")
+def ubsuite_comparison(undefinedness_suite, tools):
+    return EvaluationHarness(tools).run_suite(undefinedness_suite)

@@ -1,0 +1,67 @@
+"""E3 — the §5.2.1 classification counts and §5.2.2 suite coverage.
+
+The paper reports that the C11 standard lists 221 undefined behaviors, of
+which 92 are statically detectable and 129 only dynamically detectable, and
+that the authors' suite covers 70 behaviors with 178 tests (at least one test
+for each of the 42 non-library, non-implementation-specific dynamic
+behaviors).  This benchmark regenerates the corresponding table for our
+catalog and suite, side by side with the paper's numbers.
+"""
+
+from repro.reporting import render_table
+from repro.suites.ubsuite import BEHAVIOR_TESTS
+from repro.ub.catalog import (
+    PAPER_DYNAMIC_BEHAVIORS,
+    PAPER_STATIC_BEHAVIORS,
+    PAPER_TOTAL_BEHAVIORS,
+    UB_CATALOG,
+    count_covered,
+    count_dynamic,
+    count_static,
+)
+
+from benchmarks.conftest import publish
+
+
+def _suite_counts():
+    behaviors = {entry.behavior: entry for entry in BEHAVIOR_TESTS}
+    static = sum(1 for entry in behaviors.values() if entry.stage == "static")
+    dynamic = sum(1 for entry in behaviors.values() if entry.stage == "dynamic")
+    return len(behaviors), static, dynamic, 2 * len(behaviors)
+
+
+def test_classification_counts(undefinedness_suite, capsys, benchmark):
+    behaviors, static, dynamic, tests = benchmark(_suite_counts)
+    rows = [
+        ["undefined behaviors in the standard", PAPER_TOTAL_BEHAVIORS, len(UB_CATALOG)],
+        ["  statically detectable", PAPER_STATIC_BEHAVIORS, count_static()],
+        ["  dynamically detectable", PAPER_DYNAMIC_BEHAVIORS, count_dynamic()],
+        ["behaviors mapped to checker error kinds", "-", count_covered()],
+        ["behaviors covered by the test suite", 70, behaviors],
+        ["  static behaviors in the suite", "-", static],
+        ["  dynamic behaviors in the suite", "-", dynamic],
+        ["test programs in the suite", 178, tests],
+    ]
+    table = render_table(["quantity", "paper", "this reproduction"], rows,
+                         title="Undefined-behavior classification (Section 5.2)")
+    publish("catalog_counts.txt", table, capsys)
+
+    # Shape checks: the dynamic side is the majority in both the paper's
+    # classification and ours, and the suite leans dynamic like the paper's.
+    assert PAPER_STATIC_BEHAVIORS + PAPER_DYNAMIC_BEHAVIORS == PAPER_TOTAL_BEHAVIORS
+    assert count_static() + count_dynamic() == len(UB_CATALOG)
+    assert count_dynamic() > count_static()
+    assert dynamic > static
+    assert behaviors >= 60
+    assert tests >= 120
+
+
+def test_bench_catalog_queries(benchmark):
+    """pytest-benchmark target: catalog classification queries."""
+
+    def classify():
+        return count_static(), count_dynamic(), count_covered()
+
+    static, dynamic, covered = benchmark(classify)
+    assert static + dynamic == len(UB_CATALOG)
+    assert covered > 0

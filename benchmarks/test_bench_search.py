@@ -1,0 +1,107 @@
+"""E5 — evaluation-order search (paper Sections 2.5.2 and 4.5).
+
+Whether a program is undefined can depend on the (unspecified) evaluation
+order; the paper's ``setDenom`` example is compiled without error by GCC and
+to a division by zero by CompCert, and both are allowed.  A checker therefore
+has to search evaluation orders.  This benchmark measures the cost of that
+search and checks that it finds undefinedness that single-order execution
+misses, without introducing false positives on defined programs.
+"""
+
+from repro import CheckerOptions, OutcomeKind, UBKind, check_program
+from repro.reporting import render_table
+
+from benchmarks.conftest import publish
+
+SET_DENOM = """
+int d = 5;
+int setDenom(int x){ return d = x; }
+int main(void) { return (10/d) + setDenom(0); }
+"""
+
+ORDER_DEPENDENT_CONFLICT = """
+int main(void){ int i = 1; return i + (i = 2); }
+"""
+
+ORDER_INDEPENDENT_UB = """
+int main(void){ int x = 0; return (x = 1) + (x = 2); }
+"""
+
+DEFINED_WITH_MANY_SUBEXPRESSIONS = """
+static int square(int x) { return x * x; }
+int main(void) {
+    int a = 1, b = 2, c = 3, d = 4;
+    return square(a) + square(b) + square(c) + square(d) + (a + b) * (c + d);
+}
+"""
+
+PROGRAMS = [
+    ("setDenom (paper §2.5.2)", SET_DENOM, True),
+    ("i + (i = 2)", ORDER_DEPENDENT_CONFLICT, True),
+    ("(x=1) + (x=2)", ORDER_INDEPENDENT_UB, True),
+    ("defined program", DEFINED_WITH_MANY_SUBEXPRESSIONS, False),
+]
+
+
+def test_search_finds_order_dependent_undefinedness(capsys, benchmark):
+    def survey():
+        collected = []
+        for label, source, expect_undefined in PROGRAMS:
+            single = check_program(source)
+            searched = check_program(source, search_evaluation_order=True)
+            explored = searched.search.explored if searched.search else 1
+            collected.append((label, single, searched, explored, expect_undefined))
+        return collected
+
+    results = benchmark.pedantic(survey, rounds=1, iterations=1)
+    rows = []
+    for label, single, searched, explored, expect_undefined in results:
+        rows.append([label,
+                     "undefined" if single.outcome.flagged else "defined",
+                     "undefined" if searched.outcome.flagged else "defined",
+                     explored])
+        assert searched.outcome.flagged == expect_undefined, label
+    table = render_table(
+        ["program", "single order", "order search", "orders explored"], rows,
+        title="Evaluation-order search (undefinedness reachable on some orders)")
+    publish("evaluation_order_search.txt", table, capsys)
+
+    # Single-order execution misses the order-dependent cases...
+    assert not check_program(SET_DENOM).outcome.flagged
+    assert not check_program(ORDER_DEPENDENT_CONFLICT).outcome.flagged
+    # ...and the search attributes the right kind of undefinedness to each.
+    assert UBKind.DIVISION_BY_ZERO in check_program(
+        SET_DENOM, search_evaluation_order=True).outcome.ub_kinds
+    assert UBKind.UNSEQUENCED_SIDE_EFFECT in check_program(
+        ORDER_DEPENDENT_CONFLICT, search_evaluation_order=True).outcome.ub_kinds
+    # Defined programs stay defined even after exploring every order.
+    assert check_program(DEFINED_WITH_MANY_SUBEXPRESSIONS,
+                         search_evaluation_order=True).outcome.kind is OutcomeKind.DEFINED
+
+
+def test_bench_search_cost(benchmark):
+    """pytest-benchmark target: exhaustive order search on the setDenom example."""
+
+    def search():
+        return check_program(SET_DENOM, search_evaluation_order=True)
+
+    report = benchmark(search)
+    assert report.outcome.flagged
+
+
+def test_bench_single_order_cost(benchmark):
+    """Baseline for the search benchmark: a single left-to-right execution."""
+
+    def run_once():
+        return check_program(SET_DENOM)
+
+    report = benchmark(run_once)
+    assert report.outcome.kind is OutcomeKind.DEFINED
+
+
+def test_search_respects_path_budget():
+    options = CheckerOptions(max_search_paths=3)
+    report = check_program(DEFINED_WITH_MANY_SUBEXPRESSIONS, options,
+                           search_evaluation_order=True)
+    assert report.search is not None
+    assert report.search.explored <= 3

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Implementation-defined undefinedness (paper Section 2.5.1).
+
+Whether a program is undefined can depend on implementation-defined choices
+such as ``sizeof(int)``.  The paper's example allocates four bytes and stores
+an ``int`` into them: fine when ints are 4 bytes, an out-of-bounds write when
+they are 8.  This example checks the same program under three implementation
+profiles.
+
+Run with:  python examples/implementation_profiles.py
+"""
+
+from repro import CheckerOptions, PROFILES, check_program
+
+MALLOC_FOUR = r"""
+#include <stdlib.h>
+
+int main(void){
+    int* p = malloc(4);
+    if (p) { *p = 1000; }
+    free(p);
+    return 0;
+}
+"""
+
+SIZE_REPORT = r"""
+#include <stdio.h>
+
+int main(void){
+    printf("sizeof(int)=%d sizeof(long)=%d sizeof(void*)=%d\n",
+           (int)sizeof(int), (int)sizeof(long), (int)sizeof(void*));
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    for name, profile in sorted(PROFILES.items()):
+        options = CheckerOptions(profile=profile)
+        print("=" * 72)
+        print(f"Implementation profile: {name}")
+        sizes = check_program(SIZE_REPORT, options)
+        print("  " + sizes.outcome.stdout.strip())
+        verdict = check_program(MALLOC_FOUR, options)
+        print(f"  malloc(4); *p = 1000;  ->  {verdict.outcome.describe()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Scan a slice of the Juliet-style benchmark with all four analysis tools.
+
+This is a small-scale version of the paper's Figure 2 experiment (the full
+run lives in ``benchmarks/test_bench_figure2_juliet.py``): for one test of
+each undefined-behavior class it shows which tools flag the bad version and
+confirms nobody flags the good control.
+
+Run with:  python examples/juliet_scan.py
+"""
+
+from repro.analyzers.registry import default_tools
+from repro.suites.juliet import ALL_CLASSES, generate_juliet_suite
+
+
+def main() -> None:
+    suite = generate_juliet_suite()
+    tools = default_tools()
+    print(f"Generated {len(suite)} tests "
+          f"({len(suite.bad_cases())} undefined + {len(suite.good_cases())} control) "
+          f"across {len(ALL_CLASSES)} classes.\n")
+
+    for category in ALL_CLASSES:
+        bad = next(case for case in suite.cases_in(category) if case.is_bad)
+        good = next(case for case in suite.cases_in(category) if not case.is_bad)
+        print("=" * 72)
+        print(f"{category}   [{bad.name}]")
+        for tool in tools:
+            bad_result = tool.analyze(bad.source)
+            good_result = tool.analyze(good.source)
+            verdict = "FLAGGED " if bad_result.flagged else "missed  "
+            control = "clean" if not good_result.flagged else "FALSE POSITIVE"
+            print(f"  {tool.name:<14} bad: {verdict}  control: {control}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

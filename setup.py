@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs (which need bdist_wheel) are unavailable.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a semantics-based undefinedness checker for C.
+
+This package reproduces the system of Ellison & Roșu, *Defining the
+Undefinedness of C*: an executable semantics of a large C subset extended
+with the checks needed to detect undefined behavior at run time, plus the
+test suites and baseline analyzers used in the paper's evaluation.
+
+Quickstart::
+
+    from repro import check_program
+
+    report = check_program('''
+        int main(void) {
+            int x = 0;
+            return (x = 1) + (x = 2);
+        }
+    ''')
+    print(report.render())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+reproduction of the paper's Figure 2 and Figure 3.
+"""
+
+from repro.cfront.ctypes import ILP32, LP64, WIDE_INT, ImplementationProfile, PROFILES
+from repro.core.config import CheckerOptions
+from repro.core.interpreter import ExecutionResult, Interpreter
+from repro.core.kcc import CheckReport, KccTool, check_program, run_program
+from repro.errors import (
+    Outcome,
+    OutcomeKind,
+    StaticViolation,
+    UBKind,
+    UndefinedBehaviorError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckerOptions",
+    "CheckReport",
+    "ExecutionResult",
+    "ILP32",
+    "ImplementationProfile",
+    "Interpreter",
+    "KccTool",
+    "LP64",
+    "Outcome",
+    "OutcomeKind",
+    "PROFILES",
+    "StaticViolation",
+    "UBKind",
+    "UndefinedBehaviorError",
+    "WIDE_INT",
+    "check_program",
+    "run_program",
+    "__version__",
+]

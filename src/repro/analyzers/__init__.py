@@ -1,0 +1,24 @@
+"""Baseline analysis tools the paper compares against.
+
+Each analyzer reimplements the *detection model* of one of the tools used in
+Section 5 of the paper (Valgrind, CheckPointer, Frama-C Value Analysis) on our
+own substrate, so that the Figure 2 / Figure 3 comparisons arise from genuine
+capability differences rather than hard-coded scores.
+"""
+
+from repro.analyzers.base import AnalysisTool, ToolResult
+from repro.analyzers.valgrind_like import ValgrindLikeTool
+from repro.analyzers.checkpointer_like import CheckPointerLikeTool
+from repro.analyzers.value_analysis import ValueAnalysisTool
+from repro.analyzers.registry import all_tools, default_tools, tool_by_name
+
+__all__ = [
+    "AnalysisTool",
+    "ToolResult",
+    "ValgrindLikeTool",
+    "CheckPointerLikeTool",
+    "ValueAnalysisTool",
+    "all_tools",
+    "default_tools",
+    "tool_by_name",
+]

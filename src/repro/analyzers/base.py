@@ -1,0 +1,94 @@
+"""Common interface for all analysis tools compared in the evaluation.
+
+The harness (:mod:`repro.suites.harness`) only needs two things from a tool:
+its name, and whether it flags a given program as containing undefined
+behavior.  Tools also report *what* they found so the per-class tables of
+Figure 2 can be broken down, and how long the analysis took (the paper quotes
+mean per-test runtimes in Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
+from repro.core.kcc import KccTool
+from repro.errors import OutcomeKind, UBKind
+
+
+@dataclass
+class ToolResult:
+    """The verdict of one tool on one program."""
+
+    tool: str
+    flagged: bool
+    kinds: list[UBKind] = field(default_factory=list)
+    detail: str = ""
+    inconclusive: bool = False
+    runtime_seconds: float = 0.0
+
+
+class AnalysisTool:
+    """Base class: an analysis tool that classifies C programs."""
+
+    #: Human-readable tool name used in the reproduced tables.
+    name = "tool"
+    #: Name of the real tool whose detection model this reimplements.
+    models = ""
+
+    def analyze(self, source: str, *, filename: str = "<input>") -> ToolResult:
+        """Analyze ``source``; must be overridden."""
+        raise NotImplementedError
+
+    def timed_analyze(self, source: str, *, filename: str = "<input>") -> ToolResult:
+        start = time.perf_counter()
+        result = self.analyze(source, filename=filename)
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SemanticsBasedTool(AnalysisTool):
+    """An analysis tool built on the dynamic semantics with a given profile.
+
+    This is the shared machinery for kcc itself and for the baseline tools
+    that are modeled as restricted runtime monitors: each tool supplies the
+    :class:`CheckerOptions` describing which classes of undefined behavior its
+    real counterpart can observe, whether it performs translation-time checks,
+    and (optionally) a custom memory model.
+    """
+
+    def __init__(self, options: CheckerOptions, *, run_static_checks: bool,
+                 search_evaluation_order: bool = False) -> None:
+        self.options = options
+        self.run_static_checks = run_static_checks
+        self.search_evaluation_order = search_evaluation_order
+        self._tool = KccTool(options, run_static_checks=run_static_checks,
+                             search_evaluation_order=search_evaluation_order)
+
+    def analyze(self, source: str, *, filename: str = "<input>") -> ToolResult:
+        report = self._tool.check(source, filename=filename)
+        outcome = report.outcome
+        return ToolResult(
+            tool=self.name,
+            flagged=outcome.flagged,
+            kinds=outcome.ub_kinds,
+            detail=outcome.describe(),
+            inconclusive=outcome.kind is OutcomeKind.INCONCLUSIVE,
+        )
+
+
+class KccAnalysisTool(SemanticsBasedTool):
+    """The paper's own tool: the full semantics-based undefinedness checker."""
+
+    name = "kcc"
+    models = "kcc (this paper)"
+
+    def __init__(self, options: Optional[CheckerOptions] = None, *,
+                 search_evaluation_order: bool = False) -> None:
+        super().__init__(options or DEFAULT_OPTIONS, run_static_checks=True,
+                         search_evaluation_order=search_evaluation_order)

@@ -1,0 +1,47 @@
+"""A CheckPointer-style source-level pointer access validator.
+
+CheckPointer (Semantic Designs) instruments the *source* with fat pointers
+carrying bounds and validity metadata, so unlike a binary-level checker it
+catches out-of-bounds accesses to stack and global objects, uses of dangling
+pointers, and frees of invalid pointers.  However it is a pointer-safety
+checker only:
+
+* division by zero, signed overflow and the other arithmetic undefined
+  behaviors are outside its scope;
+* uninitialized *non-pointer* data is not tracked (it catches a dereference
+  of an uninitialized pointer, because the fat pointer has no valid bounds,
+  but not the use of an uninitialized integer) — this is the partial score
+  the paper's Figure 2 shows for the "uninitialized memory" class;
+* sequencing, const-correctness, pointer-provenance comparisons, and
+  strict-aliasing violations are not modeled.
+"""
+
+from __future__ import annotations
+
+from repro.analyzers.base import SemanticsBasedTool
+from repro.core.config import CheckerOptions
+
+#: Detection profile of a fat-pointer bounds checker.
+CHECKPOINTER_OPTIONS = CheckerOptions(
+    check_arithmetic=False,
+    check_memory=True,
+    check_sequencing=False,
+    check_const=False,
+    # Fat pointers carry their provenance, so arithmetic that walks out of an
+    # object is detected, but relational comparison of unrelated pointers is
+    # answered (not reported) by comparing the raw addresses.
+    check_pointer_provenance=False,
+    check_uninitialized=False,
+    check_effective_types=False,
+    check_functions=True,
+)
+
+
+class CheckPointerLikeTool(SemanticsBasedTool):
+    """Source-level pointer-safety checker (models CheckPointer 1.1.5)."""
+
+    name = "CheckPointer"
+    models = "Semantic Designs CheckPointer"
+
+    def __init__(self, options: CheckerOptions = CHECKPOINTER_OPTIONS) -> None:
+        super().__init__(options, run_static_checks=False)

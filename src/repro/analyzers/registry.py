@@ -1,0 +1,32 @@
+"""Registry of the analysis tools used in the paper's evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analyzers.base import AnalysisTool, KccAnalysisTool
+from repro.analyzers.checkpointer_like import CheckPointerLikeTool
+from repro.analyzers.valgrind_like import ValgrindLikeTool
+from repro.analyzers.value_analysis import ValueAnalysisTool
+from repro.core.config import CheckerOptions
+
+
+def default_tools(kcc_options: Optional[CheckerOptions] = None) -> list[AnalysisTool]:
+    """The four tools compared in Figures 2 and 3, in the paper's column order."""
+    return [
+        ValgrindLikeTool(),
+        CheckPointerLikeTool(),
+        ValueAnalysisTool(),
+        KccAnalysisTool(kcc_options),
+    ]
+
+
+def all_tools() -> list[AnalysisTool]:
+    return default_tools()
+
+
+def tool_by_name(name: str) -> AnalysisTool:
+    for tool in default_tools():
+        if tool.name.lower() == name.lower():
+            return tool
+    raise KeyError(f"unknown analysis tool {name!r}")

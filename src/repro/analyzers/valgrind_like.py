@@ -1,0 +1,127 @@
+"""A Valgrind/memcheck-style dynamic memory checker.
+
+Valgrind instruments the *compiled binary*: it sees loads, stores and heap
+calls, and tracks addressability and definedness bits per byte.  That model
+has characteristic strengths and blind spots that show up clearly in the
+paper's Figure 2 and Figure 3:
+
+* heap errors (overflow into redzones, use after free, bad ``free``) are
+  caught reliably;
+* accesses that stay *within the program's own stack frame or globals* are
+  invisible — a stack buffer overflow lands in adjacent, perfectly
+  addressable memory, so many "use of invalid pointer" tests pass unnoticed;
+* purely arithmetic undefinedness (division by zero, signed overflow,
+  shifts) is not memory behavior and is not checked at all;
+* language-level undefinedness (unsequenced side effects, const violations,
+  pointer-provenance comparisons, strict aliasing) has no binary-level
+  signature and is never reported.
+
+We reproduce that model by running the program on the dynamic semantics with
+only the memory and definedness checks enabled, and with a memory model that
+gives automatic/static objects a surrounding "stack slack" region that is
+addressable (so in-frame overflows are not reported) while heap objects keep
+exact redzones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.interpreter import Interpreter
+from repro.core.kcc import KccTool
+from repro.core.memory import Memory, MemoryObject, StorageKind
+from repro.core.values import PointerValue
+from repro.analyzers.base import AnalysisTool, ToolResult
+from repro.errors import OutcomeKind, UBKind, UndefinedBehaviorError
+
+#: Number of bytes beyond an automatic/static object that a binary-level
+#: checker cannot distinguish from the object itself (they are part of the
+#: same stack frame / data segment and therefore addressable).
+STACK_SLACK_BYTES = 64
+
+
+class BinaryLevelMemory(Memory):
+    """Memory model of a binary-instrumentation checker (memcheck)."""
+
+    def check_access(self, pointer: PointerValue, size: int, *, write: bool,
+                     line: Optional[int] = None,
+                     lvalue_type: Optional[ct.CType] = None) -> Optional[MemoryObject]:
+        if pointer.is_null:
+            raise UndefinedBehaviorError(
+                UBKind.NULL_DEREFERENCE, "Invalid read/write at address 0x0.", line=line)
+        obj = self.object_for(pointer.base)
+        if obj is None:
+            raise UndefinedBehaviorError(
+                UBKind.DANGLING_DEREFERENCE, "Invalid read/write of unaddressable memory.",
+                line=line)
+        if obj.kind is StorageKind.HEAP:
+            # Heap blocks are surrounded by redzones: exact checking, and
+            # freed blocks are marked unaddressable.
+            if obj.freed or not obj.alive:
+                raise UndefinedBehaviorError(
+                    UBKind.USE_AFTER_FREE, "Invalid read/write of freed heap memory.", line=line)
+            if pointer.offset < 0 or pointer.offset + size > obj.size:
+                raise UndefinedBehaviorError(
+                    UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS,
+                    f"Invalid {'write' if write else 'read'} of size {size} "
+                    f"just past a heap block of size {obj.size}.", line=line)
+            return obj
+        # Automatic / static / string-literal storage: the surrounding frame
+        # or data segment is addressable, so small overflows and accesses to
+        # out-of-scope (but not yet reused) stack objects are not reported.
+        if pointer.offset < -STACK_SLACK_BYTES or \
+                pointer.offset + size > obj.size + STACK_SLACK_BYTES:
+            raise UndefinedBehaviorError(
+                UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS,
+                "Invalid read/write far outside any object.", line=line)
+        return obj
+
+    def check_effective_type(self, obj, lvalue_type, *, write, offset=0, line=None) -> None:
+        return  # no type information at the binary level
+
+    def check_alignment(self, pointer, ctype, line=None) -> None:
+        return  # alignment faults are architecture-specific; x86 allows them
+
+
+#: The detection profile of a binary-level memory checker: only memory and
+#: definedness tracking; no language-level checks.
+VALGRIND_OPTIONS = CheckerOptions(
+    check_arithmetic=False,
+    check_memory=True,
+    check_sequencing=False,
+    check_const=False,
+    check_pointer_provenance=False,
+    check_uninitialized=True,
+    check_effective_types=False,
+    check_functions=False,
+)
+
+
+class ValgrindLikeTool(AnalysisTool):
+    """Dynamic binary-instrumentation memory checker (models Valgrind memcheck 3.5)."""
+
+    name = "Valgrind"
+    models = "Valgrind memcheck"
+
+    def __init__(self, options: CheckerOptions = VALGRIND_OPTIONS) -> None:
+        self.options = options
+        self._tool = KccTool(options, run_static_checks=False)
+
+    def analyze(self, source: str, *, filename: str = "<input>") -> ToolResult:
+        unit, _violations, parse_error = self._tool.compile(source, filename=filename)
+        if parse_error is not None or unit is None:
+            return ToolResult(tool=self.name, flagged=False, inconclusive=True,
+                              detail=parse_error or "parse error")
+        interpreter = Interpreter(unit, self.options)
+        interpreter.memory = BinaryLevelMemory(self.options)
+        try:
+            interpreter.run()
+        except UndefinedBehaviorError as error:
+            return ToolResult(tool=self.name, flagged=True, kinds=[error.kind],
+                              detail=error.message)
+        except Exception as error:  # resource limits, unsupported constructs
+            return ToolResult(tool=self.name, flagged=False, inconclusive=True,
+                              detail=f"{type(error).__name__}: {error}")
+        return ToolResult(tool=self.name, flagged=False, detail="no errors detected")

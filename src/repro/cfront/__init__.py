@@ -1,0 +1,25 @@
+"""C front end: lexer, preprocessor, type model, abstract syntax, parser.
+
+This package is the "substrate" the paper's semantics sits on: it turns C
+source text into a typed abstract syntax tree that the static checker
+(:mod:`repro.sema`), the dynamic semantics (:mod:`repro.core`) and the
+baseline analyzers (:mod:`repro.analyzers`) all consume.
+"""
+
+from repro.cfront.lexer import Lexer, Token, TokenKind, tokenize
+from repro.cfront.preprocessor import Preprocessor, preprocess
+from repro.cfront.parser import Parser, parse, parse_file
+from repro.cfront.ctypes import ImplementationProfile
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Preprocessor",
+    "preprocess",
+    "Parser",
+    "parse",
+    "parse_file",
+    "ImplementationProfile",
+]

@@ -1,0 +1,180 @@
+"""Builtin standard-library headers.
+
+The reproduction is self-contained: ``#include <...>`` pulls the text below
+rather than reading files from the host system.  The headers declare the
+subset of the C standard library the dynamic semantics implements as builtins
+(:mod:`repro.core.stdlib`), plus the usual macros.
+
+Keeping the headers as plain C text (parsed by our own front end) means the
+type checker sees real prototypes, so "bad function call" undefined behaviors
+involving library functions are checked the same way as user functions.
+"""
+
+from __future__ import annotations
+
+_STDDEF_H = """
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+typedef int wchar_t;
+#define NULL ((void*)0)
+"""
+
+_STDBOOL_H = """
+#define bool _Bool
+#define true 1
+#define false 0
+"""
+
+_LIMITS_H = """
+#define CHAR_BIT 8
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define CHAR_MIN (-128)
+#define CHAR_MAX 127
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-2147483647 - 1)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295u
+#define LONG_MIN (-9223372036854775807L - 1L)
+#define LONG_MAX 9223372036854775807L
+#define ULONG_MAX 18446744073709551615uL
+#define LLONG_MIN (-9223372036854775807LL - 1LL)
+#define LLONG_MAX 9223372036854775807LL
+#define ULLONG_MAX 18446744073709551615uLL
+"""
+
+_STDINT_H = """
+#include <stddef.h>
+typedef signed char int8_t;
+typedef unsigned char uint8_t;
+typedef short int16_t;
+typedef unsigned short uint16_t;
+typedef int int32_t;
+typedef unsigned int uint32_t;
+typedef long long int64_t;
+typedef unsigned long long uint64_t;
+typedef long intptr_t;
+typedef unsigned long uintptr_t;
+#define INT8_MAX 127
+#define INT16_MAX 32767
+#define INT32_MAX 2147483647
+#define INT64_MAX 9223372036854775807LL
+#define UINT8_MAX 255
+#define UINT16_MAX 65535
+#define UINT32_MAX 4294967295u
+#define UINT64_MAX 18446744073709551615uLL
+#define SIZE_MAX 18446744073709551615uL
+"""
+
+_STDLIB_H = """
+#include <stddef.h>
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void exit(int status);
+void abort(void);
+int abs(int j);
+long labs(long j);
+int atoi(const char *nptr);
+long atol(const char *nptr);
+int rand(void);
+void srand(unsigned int seed);
+#define RAND_MAX 2147483647
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+"""
+
+_STDIO_H = """
+#include <stddef.h>
+int printf(const char *format, ...);
+int puts(const char *s);
+int putchar(int c);
+int getchar(void);
+int sprintf(char *str, const char *format, ...);
+int snprintf(char *str, size_t size, const char *format, ...);
+int scanf(const char *format, ...);
+#define EOF (-1)
+"""
+
+_STRING_H = """
+#include <stddef.h>
+void *memcpy(void *dest, const void *src, size_t n);
+void *memmove(void *dest, const void *src, size_t n);
+void *memset(void *s, int c, size_t n);
+int memcmp(const void *s1, const void *s2, size_t n);
+size_t strlen(const char *s);
+char *strcpy(char *dest, const char *src);
+char *strncpy(char *dest, const char *src, size_t n);
+char *strcat(char *dest, const char *src);
+char *strncat(char *dest, const char *src, size_t n);
+int strcmp(const char *s1, const char *s2);
+int strncmp(const char *s1, const char *s2, size_t n);
+char *strchr(const char *s, int c);
+char *strrchr(const char *s, int c);
+char *strstr(const char *haystack, const char *needle);
+"""
+
+_ASSERT_H = """
+void __assert_fail(const char *expr, int line);
+#define assert(expr) ((expr) ? (void)0 : __assert_fail("assertion failed", 0))
+"""
+
+_MATH_H = """
+double fabs(double x);
+double sqrt(double x);
+double pow(double x, double y);
+double floor(double x);
+double ceil(double x);
+double fmod(double x, double y);
+"""
+
+_CTYPE_H = """
+int isdigit(int c);
+int isalpha(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int toupper(int c);
+int tolower(int c);
+"""
+
+_STDARG_H = """
+typedef void *va_list;
+#define va_start(ap, last) ((void)0)
+#define va_end(ap) ((void)0)
+"""
+
+BUILTIN_HEADERS: dict[str, str] = {
+    "stddef.h": _STDDEF_H,
+    "stdbool.h": _STDBOOL_H,
+    "limits.h": _LIMITS_H,
+    "stdint.h": _STDINT_H,
+    "stdlib.h": _STDLIB_H,
+    "stdio.h": _STDIO_H,
+    "string.h": _STRING_H,
+    "assert.h": _ASSERT_H,
+    "math.h": _MATH_H,
+    "ctype.h": _CTYPE_H,
+    "stdarg.h": _STDARG_H,
+}
+
+#: Names of the functions the dynamic semantics implements natively.  The
+#: interpreter dispatches calls to these names to Python implementations in
+#: :mod:`repro.core.stdlib` instead of looking for a C definition.
+BUILTIN_FUNCTIONS = frozenset({
+    "malloc", "calloc", "realloc", "free", "exit", "abort", "abs", "labs",
+    "atoi", "atol", "rand", "srand",
+    "printf", "puts", "putchar", "getchar", "sprintf", "snprintf", "scanf",
+    "memcpy", "memmove", "memset", "memcmp",
+    "strlen", "strcpy", "strncpy", "strcat", "strncat",
+    "strcmp", "strncmp", "strchr", "strrchr", "strstr",
+    "__assert_fail",
+    "fabs", "sqrt", "pow", "floor", "ceil", "fmod",
+    "isdigit", "isalpha", "isalnum", "isspace", "isupper", "islower",
+    "toupper", "tolower",
+})

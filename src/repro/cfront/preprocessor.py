@@ -1,0 +1,511 @@
+"""A small, self-contained C preprocessor.
+
+The preprocessor supports the features our test suites and example programs
+actually use:
+
+* ``#include <header>`` / ``#include "header"`` resolved against the builtin
+  header table (:mod:`repro.cfront.headers`) plus an optional user-provided
+  mapping (so multi-file test programs work without touching the host file
+  system),
+* object-like and function-like ``#define`` / ``#undef`` with recursive
+  expansion protection,
+* conditional compilation: ``#if`` / ``#ifdef`` / ``#ifndef`` / ``#elif`` /
+  ``#else`` / ``#endif`` with an integer constant-expression evaluator
+  (``defined``, ``!``, ``&&``, ``||``, comparisons, arithmetic),
+* ``#error`` (raises), other directives (``#pragma``, ``#line``) are ignored.
+
+The output is plain C text with original line structure preserved as far as
+possible so that token line numbers still make sense for error reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfront.headers import BUILTIN_HEADERS
+from repro.errors import CParseError
+
+
+@dataclass
+class MacroDefinition:
+    name: str
+    body: str
+    parameters: Optional[list[str]] = None  # None == object-like
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.parameters is not None
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_DEFINE_RE = re.compile(
+    r"^\s*#\s*define\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?P<params>\([^)]*\))?(?P<body>.*)$")
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+[<"](?P<name>[^>"]+)[>"]\s*$')
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(?P<directive>[a-z_]+)\b(?P<rest>.*)$")
+
+
+class Preprocessor:
+    """Expand directives and macros in C source text."""
+
+    def __init__(self, extra_headers: Optional[dict[str, str]] = None,
+                 predefined: Optional[dict[str, str]] = None) -> None:
+        self.headers = dict(BUILTIN_HEADERS)
+        if extra_headers:
+            self.headers.update(extra_headers)
+        self.macros: dict[str, MacroDefinition] = {}
+        for name, body in (predefined or {}).items():
+            self.macros[name] = MacroDefinition(name, body)
+        self._included: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def preprocess(self, source: str, filename: str = "<input>") -> str:
+        lines = self._join_continuations(source).split("\n")
+        out = self._process_lines(lines, filename)
+        return "\n".join(out)
+
+    @staticmethod
+    def _join_continuations(source: str) -> str:
+        return source.replace("\\\n", " ")
+
+    def _process_lines(self, lines: list[str], filename: str) -> list[str]:
+        output: list[str] = []
+        # Conditional stack: each entry is (taking, taken_any, seen_else)
+        cond_stack: list[list[bool]] = []
+
+        def active() -> bool:
+            return all(frame[0] for frame in cond_stack)
+
+        for lineno, line in enumerate(lines, start=1):
+            directive = self._match_directive(line)
+            if directive is None:
+                if active():
+                    output.append(self._expand_line(line, lineno, filename))
+                else:
+                    output.append("")
+                continue
+            name, rest = directive
+            if name in ("ifdef", "ifndef", "if"):
+                if not active():
+                    cond_stack.append([False, True, False])
+                    output.append("")
+                    continue
+                taking = self._evaluate_condition(name, rest, lineno)
+                cond_stack.append([taking, taking, False])
+            elif name == "elif":
+                if not cond_stack:
+                    raise CParseError("#elif without #if", lineno)
+                frame = cond_stack[-1]
+                if frame[2]:
+                    raise CParseError("#elif after #else", lineno)
+                if frame[1]:
+                    frame[0] = False
+                else:
+                    cond_stack.pop()
+                    if active():
+                        taking = self._evaluate_condition("if", rest, lineno)
+                    else:
+                        taking = False
+                    cond_stack.append([taking, taking or frame[1], False])
+            elif name == "else":
+                if not cond_stack:
+                    raise CParseError("#else without #if", lineno)
+                frame = cond_stack[-1]
+                if frame[2]:
+                    raise CParseError("duplicate #else", lineno)
+                frame[2] = True
+                frame[0] = (not frame[1]) and all(f[0] for f in cond_stack[:-1])
+                frame[1] = True
+            elif name == "endif":
+                if not cond_stack:
+                    raise CParseError("#endif without #if", lineno)
+                cond_stack.pop()
+            elif not active():
+                pass  # ignore all other directives inside a false branch
+            elif name == "include":
+                output.extend(self._handle_include(line, lineno, filename))
+                continue
+            elif name == "define":
+                self._handle_define(line, lineno)
+            elif name == "undef":
+                macro_name = rest.strip()
+                self.macros.pop(macro_name, None)
+            elif name == "error":
+                raise CParseError(f"#error{rest}", lineno)
+            elif name in ("pragma", "line", "warning"):
+                pass
+            else:
+                raise CParseError(f"unsupported preprocessor directive #{name}", lineno)
+            output.append("")
+        if cond_stack:
+            raise CParseError("unterminated #if block")
+        return output
+
+    @staticmethod
+    def _match_directive(line: str) -> Optional[tuple[str, str]]:
+        stripped = line.lstrip()
+        if not stripped.startswith("#"):
+            return None
+        match = _DIRECTIVE_RE.match(line)
+        if not match:
+            return ("pragma", "")  # bare '#' line: ignore
+        return match.group("directive"), match.group("rest")
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+    def _handle_include(self, line: str, lineno: int, filename: str) -> list[str]:
+        match = _INCLUDE_RE.match(line)
+        if not match:
+            raise CParseError(f"malformed #include: {line.strip()!r}", lineno)
+        name = match.group("name")
+        if name in self._included:
+            return [""]
+        if name not in self.headers:
+            raise CParseError(f"unknown header {name!r} (no host includes available)", lineno)
+        self._included.add(name)
+        header_lines = self._join_continuations(self.headers[name]).split("\n")
+        return self._process_lines(header_lines, name)
+
+    def _handle_define(self, line: str, lineno: int) -> None:
+        match = _DEFINE_RE.match(line)
+        if not match:
+            raise CParseError(f"malformed #define: {line.strip()!r}", lineno)
+        name = match.group("name")
+        params_text = match.group("params")
+        body = match.group("body").strip()
+        if params_text is None:
+            self.macros[name] = MacroDefinition(name, body)
+            return
+        params_inner = params_text[1:-1].strip()
+        if params_inner:
+            params = [p.strip() for p in params_inner.split(",")]
+        else:
+            params = []
+        self.macros[name] = MacroDefinition(name, body, params)
+
+    # ------------------------------------------------------------------
+    # Macro expansion
+    # ------------------------------------------------------------------
+    def _expand_line(self, line: str, lineno: int, filename: str) -> str:
+        return self._expand_text(line, lineno, frozenset())
+
+    def _expand_text(self, text: str, lineno: int, active: frozenset[str]) -> str:
+        result: list[str] = []
+        index = 0
+        length = len(text)
+        while index < length:
+            ch = text[index]
+            if ch == '"' or ch == "'":
+                end = self._skip_literal(text, index)
+                result.append(text[index:end])
+                index = end
+                continue
+            if ch == "/" and index + 1 < length and text[index + 1] in "/*":
+                result.append(text[index:])
+                break
+            match = _IDENTIFIER_RE.match(text, index)
+            if not match:
+                result.append(ch)
+                index += 1
+                continue
+            name = match.group(0)
+            index = match.end()
+            macro = self.macros.get(name)
+            if macro is None or name in active:
+                result.append(name)
+                continue
+            if macro.is_function_like:
+                call_end, args = self._parse_macro_args(text, index)
+                if args is None:
+                    result.append(name)
+                    continue
+                index = call_end
+                expansion = self._substitute(macro, args, lineno, active)
+            else:
+                expansion = self._expand_text(macro.body, lineno, active | {name})
+            result.append(expansion)
+        return "".join(result)
+
+    @staticmethod
+    def _skip_literal(text: str, start: int) -> int:
+        quote = text[start]
+        index = start + 1
+        while index < len(text):
+            if text[index] == "\\":
+                index += 2
+                continue
+            if text[index] == quote:
+                return index + 1
+            index += 1
+        return len(text)
+
+    @staticmethod
+    def _parse_macro_args(text: str, index: int) -> tuple[int, Optional[list[str]]]:
+        """Parse ``(arg, arg, ...)`` starting at ``index`` (skipping spaces)."""
+        pos = index
+        while pos < len(text) and text[pos] in " \t":
+            pos += 1
+        if pos >= len(text) or text[pos] != "(":
+            return index, None
+        depth = 0
+        args: list[str] = []
+        current: list[str] = []
+        while pos < len(text):
+            ch = text[pos]
+            if ch in "\"'":
+                end = Preprocessor._skip_literal(text, pos)
+                current.append(text[pos:end])
+                pos = end
+                continue
+            if ch == "(":
+                depth += 1
+                if depth > 1:
+                    current.append(ch)
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current).strip())
+                    return pos + 1, args
+                current.append(ch)
+            elif ch == "," and depth == 1:
+                args.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+            pos += 1
+        return index, None
+
+    def _substitute(self, macro: MacroDefinition, args: list[str], lineno: int,
+                    active: frozenset[str]) -> str:
+        params = macro.parameters or []
+        if len(params) != len(args):
+            if not (len(params) == 0 and args == [""]):
+                raise CParseError(
+                    f"macro {macro.name!r} expects {len(params)} arguments, got {len(args)}",
+                    lineno)
+            args = []
+        expanded_args = [self._expand_text(a, lineno, active) for a in args]
+        mapping = dict(zip(params, expanded_args))
+        body = macro.body
+        out: list[str] = []
+        index = 0
+        while index < len(body):
+            ch = body[index]
+            if ch in "\"'":
+                end = self._skip_literal(body, index)
+                out.append(body[index:end])
+                index = end
+                continue
+            match = _IDENTIFIER_RE.match(body, index)
+            if match:
+                name = match.group(0)
+                out.append(mapping.get(name, name))
+                index = match.end()
+            else:
+                out.append(ch)
+                index += 1
+        return self._expand_text("".join(out), lineno, active | {macro.name})
+
+    # ------------------------------------------------------------------
+    # #if expression evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_condition(self, directive: str, rest: str, lineno: int) -> bool:
+        rest = rest.strip()
+        if directive == "ifdef":
+            return rest in self.macros
+        if directive == "ifndef":
+            return rest not in self.macros
+        return self._evaluate_if_expression(rest, lineno) != 0
+
+    def _evaluate_if_expression(self, text: str, lineno: int) -> int:
+        # Replace defined(NAME) / defined NAME before macro expansion.
+        def replace_defined(match: re.Match[str]) -> str:
+            name = match.group("name") or match.group("bare")
+            return "1" if name in self.macros else "0"
+
+        text = re.sub(
+            r"defined\s*(?:\(\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\)|(?P<bare>[A-Za-z_][A-Za-z0-9_]*))",
+            replace_defined, text)
+        text = self._expand_text(text, lineno, frozenset())
+        # Remaining identifiers evaluate to 0 per the standard.
+        text = _IDENTIFIER_RE.sub("0", text)
+        # Strip integer suffixes.
+        text = re.sub(r"(\d)[uUlL]+", r"\1", text)
+        return _ConstExprParser(text, lineno).parse()
+
+
+class _ConstExprParser:
+    """Tiny recursive-descent evaluator for #if constant expressions."""
+
+    _TOKEN_RE = re.compile(
+        r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|\d+)|(?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%()<>!~&|^?:]))")
+
+    def __init__(self, text: str, lineno: int) -> None:
+        self.tokens: list[str] = []
+        self.lineno = lineno
+        pos = 0
+        while pos < len(text):
+            match = self._TOKEN_RE.match(text, pos)
+            if not match:
+                if text[pos:].strip() == "":
+                    break
+                raise CParseError(f"bad #if expression near {text[pos:]!r}", lineno)
+            self.tokens.append(match.group("num") or match.group("op"))
+            pos = match.end()
+        self.index = 0
+
+    def parse(self) -> int:
+        if not self.tokens:
+            raise CParseError("empty #if expression", self.lineno)
+        value = self._ternary()
+        return value
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _accept(self, token: str) -> bool:
+        if self._peek() == token:
+            self.index += 1
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._accept(token):
+            raise CParseError(f"expected {token!r} in #if expression", self.lineno)
+
+    def _ternary(self) -> int:
+        cond = self._logical_or()
+        if self._accept("?"):
+            then = self._ternary()
+            self._expect(":")
+            other = self._ternary()
+            return then if cond else other
+        return cond
+
+    def _logical_or(self) -> int:
+        value = self._logical_and()
+        while self._accept("||"):
+            rhs = self._logical_and()
+            value = 1 if (value or rhs) else 0
+        return value
+
+    def _logical_and(self) -> int:
+        value = self._bitwise()
+        while self._accept("&&"):
+            rhs = self._bitwise()
+            value = 1 if (value and rhs) else 0
+        return value
+
+    def _bitwise(self) -> int:
+        value = self._equality()
+        while True:
+            if self._accept("&"):
+                value &= self._equality()
+            elif self._accept("|"):
+                value |= self._equality()
+            elif self._accept("^"):
+                value ^= self._equality()
+            else:
+                return value
+
+    def _equality(self) -> int:
+        value = self._relational()
+        while True:
+            if self._accept("=="):
+                value = 1 if value == self._relational() else 0
+            elif self._accept("!="):
+                value = 1 if value != self._relational() else 0
+            else:
+                return value
+
+    def _relational(self) -> int:
+        value = self._shift()
+        while True:
+            if self._accept("<="):
+                value = 1 if value <= self._shift() else 0
+            elif self._accept(">="):
+                value = 1 if value >= self._shift() else 0
+            elif self._accept("<"):
+                value = 1 if value < self._shift() else 0
+            elif self._accept(">"):
+                value = 1 if value > self._shift() else 0
+            else:
+                return value
+
+    def _shift(self) -> int:
+        value = self._additive()
+        while True:
+            if self._accept("<<"):
+                value <<= self._additive()
+            elif self._accept(">>"):
+                value >>= self._additive()
+            else:
+                return value
+
+    def _additive(self) -> int:
+        value = self._multiplicative()
+        while True:
+            if self._accept("+"):
+                value += self._multiplicative()
+            elif self._accept("-"):
+                value -= self._multiplicative()
+            else:
+                return value
+
+    def _multiplicative(self) -> int:
+        value = self._unary()
+        while True:
+            if self._accept("*"):
+                value *= self._unary()
+            elif self._accept("/"):
+                rhs = self._unary()
+                if rhs == 0:
+                    raise CParseError("division by zero in #if expression", self.lineno)
+                value = int(value / rhs)
+            elif self._accept("%"):
+                rhs = self._unary()
+                if rhs == 0:
+                    raise CParseError("modulo by zero in #if expression", self.lineno)
+                value = int(value - int(value / rhs) * rhs)
+            else:
+                return value
+
+    def _unary(self) -> int:
+        if self._accept("-"):
+            return -self._unary()
+        if self._accept("+"):
+            return self._unary()
+        if self._accept("!"):
+            return 0 if self._unary() else 1
+        if self._accept("~"):
+            return ~self._unary()
+        if self._accept("("):
+            value = self._ternary()
+            self._expect(")")
+            return value
+        token = self._peek()
+        if token is None:
+            raise CParseError("unexpected end of #if expression", self.lineno)
+        self._next()
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise CParseError(f"bad token {token!r} in #if expression", self.lineno) from exc
+
+
+def preprocess(source: str, *, extra_headers: Optional[dict[str, str]] = None,
+               predefined: Optional[dict[str, str]] = None,
+               filename: str = "<input>") -> str:
+    """Convenience wrapper: preprocess ``source`` with a fresh preprocessor."""
+    return Preprocessor(extra_headers=extra_headers, predefined=predefined).preprocess(
+        source, filename)

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: a semantics-based undefinedness checker.
+
+The dynamic semantics executes C programs on a symbolic abstract machine
+(symbolic base/offset pointers, symbolic pointer bytes, indeterminate bytes)
+and raises :class:`repro.errors.UndefinedBehaviorError` exactly when execution
+reaches a state the C standard leaves undefined — the "getting stuck with a
+report" behavior of the paper's kcc tool.
+"""
+
+from repro.core.config import CheckerOptions
+from repro.core.interpreter import Interpreter, ExecutionResult
+from repro.core.kcc import KccTool, check_program, run_program
+
+__all__ = [
+    "CheckerOptions",
+    "Interpreter",
+    "ExecutionResult",
+    "KccTool",
+    "check_program",
+    "run_program",
+]

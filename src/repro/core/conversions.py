@@ -1,0 +1,215 @@
+"""Value conversions of the C abstract machine.
+
+Conversions are where a surprising amount of undefinedness hides: the same
+"positive" conversion rule that works for every correct program silently
+launders out-of-range values unless side conditions are added (Section 4.1 of
+the paper).  The functions here implement the conversions of §6.3 together
+with those side conditions, guarded by :class:`repro.core.config.CheckerOptions`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.values import (
+    CValue,
+    FloatValue,
+    IndeterminateValue,
+    IntValue,
+    PointerValue,
+    StructValue,
+    VoidValue,
+)
+from repro.errors import UBKind, UndefinedBehaviorError
+
+
+#: Synthetic integer addresses handed out for pointer-to-integer casts.  The
+#: numeric value of such a cast is implementation-defined; what matters for
+#: the semantics is only that casting back recovers the same symbolic pointer.
+_POINTER_ADDRESS_STRIDE = 1 << 24
+
+
+def pointer_to_integer(pointer: PointerValue, target: ct.CType,
+                       profile: ct.ImplementationProfile,
+                       registry: dict[int, PointerValue]) -> IntValue:
+    """Cast a pointer to an integer type, remembering the provenance."""
+    if pointer.is_null:
+        return IntValue(0, target.unqualified())
+    if pointer.function is not None:
+        address = _POINTER_ADDRESS_STRIDE * (hash(pointer.function) % 4096 + 1)
+    else:
+        address = _POINTER_ADDRESS_STRIDE * (pointer.base or 0) + pointer.offset
+    registry[address] = pointer
+    value = address
+    if not ct.fits_in(value, target, profile):
+        value = ct.wrap_unsigned(value, target, profile)
+        if ct.is_signed_type(target, profile):
+            bits = ct.integer_bits(target, profile)
+            if value >= 1 << (bits - 1):
+                value -= 1 << bits
+    return IntValue(value, target.unqualified())
+
+
+def integer_to_pointer(value: int, target: ct.PointerType,
+                       registry: dict[int, PointerValue]) -> PointerValue:
+    """Cast an integer to a pointer type.
+
+    Zero yields the null pointer; an address previously produced by a
+    pointer-to-integer cast recovers its provenance; anything else yields an
+    invalid pointer (using it is then reported as undefined).
+    """
+    if value == 0:
+        return PointerValue(base=None, offset=0, type=target.unqualified())
+    known = registry.get(value)
+    if known is not None:
+        return known.with_type(target.unqualified())
+    return PointerValue(base=-abs(value) - 1, offset=0, type=target.unqualified())
+
+
+def convert(value: CValue, target: ct.CType, options: CheckerOptions, *,
+            line: Optional[int] = None, explicit: bool = False,
+            pointer_registry: Optional[dict[int, PointerValue]] = None) -> CValue:
+    """Convert ``value`` to ``target`` type, flagging undefined conversions."""
+    profile = options.profile
+    target_unq = target.unqualified()
+    registry = pointer_registry if pointer_registry is not None else {}
+
+    if isinstance(target_unq, ct.VoidType):
+        return VoidValue()
+
+    if isinstance(value, VoidValue):
+        raise UndefinedBehaviorError(
+            UBKind.VOID_VALUE_USED,
+            "The value of a void expression is used.", line=line)
+
+    if isinstance(value, IndeterminateValue):
+        # Conversion does not launder indeterminate values; the *use* check
+        # happens at the operation that consumes them.
+        return IndeterminateValue(type=target_unq, data=value.data)
+
+    if isinstance(value, StructValue):
+        if isinstance(target_unq, (ct.StructType, ct.UnionType, ct.ArrayType)):
+            return StructValue(data=value.data, type=target_unq)
+        raise UndefinedBehaviorError(
+            UBKind.BAD_FUNCTION_CALL,
+            f"Cannot convert aggregate value to {target_unq}.", line=line)
+
+    # --- integer targets ---------------------------------------------------
+    if target_unq.is_integer:
+        if isinstance(value, IntValue):
+            return _int_to_int(value.value, target_unq, profile)
+        if isinstance(value, FloatValue):
+            return _float_to_int(value.value, target_unq, profile, options, line)
+        if isinstance(value, PointerValue):
+            if isinstance(target_unq, ct.BoolType):
+                return IntValue(0 if value.is_null else 1, ct.BOOL)
+            if not explicit:
+                # Implicit pointer-to-integer conversion requires a cast; we
+                # still perform it (compilers accept with a warning) but the
+                # static checker reports it.
+                pass
+            return pointer_to_integer(value, target_unq, profile, registry)
+        raise UndefinedBehaviorError(
+            UBKind.BAD_FUNCTION_CALL, f"Cannot convert {value} to {target_unq}.", line=line)
+
+    # --- floating targets ----------------------------------------------------
+    if isinstance(target_unq, ct.FloatType):
+        if isinstance(value, IntValue):
+            return FloatValue(float(value.value), target_unq)
+        if isinstance(value, FloatValue):
+            converted = value.value
+            if target_unq.kind == "float":
+                converted = _narrow_to_float(converted)
+            return FloatValue(converted, target_unq)
+        raise UndefinedBehaviorError(
+            UBKind.BAD_FUNCTION_CALL, f"Cannot convert {value} to {target_unq}.", line=line)
+
+    # --- pointer targets -----------------------------------------------------
+    if isinstance(target_unq, ct.PointerType):
+        if isinstance(value, PointerValue):
+            return value.with_type(target_unq)
+        if isinstance(value, IntValue):
+            return integer_to_pointer(value.value, target_unq, registry)
+        if isinstance(value, FloatValue):
+            raise UndefinedBehaviorError(
+                UBKind.BAD_FUNCTION_CALL,
+                "Cannot convert a floating value to a pointer.", line=line)
+
+    raise UndefinedBehaviorError(
+        UBKind.BAD_FUNCTION_CALL,
+        f"Unsupported conversion from {type(value).__name__} to {target_unq}.", line=line)
+
+
+def _int_to_int(value: int, target: ct.CType, profile: ct.ImplementationProfile) -> IntValue:
+    """Integer-to-integer conversion (§6.3.1.3).
+
+    Out-of-range conversion to an unsigned type wraps (defined); to a signed
+    type the result is implementation-defined (we choose wrapping) — note
+    that unlike overflow in *arithmetic*, this is not undefined behavior.
+    """
+    if isinstance(target, ct.BoolType):
+        return IntValue(1 if value != 0 else 0, ct.BOOL)
+    if ct.fits_in(value, target, profile):
+        return IntValue(value, target.unqualified() if isinstance(target, ct.IntType) else ct.INT)
+    bits = ct.integer_bits(target, profile)
+    wrapped = value & ((1 << bits) - 1)
+    if ct.is_signed_type(target, profile) and wrapped >= (1 << (bits - 1)):
+        wrapped -= 1 << bits
+    result_type = target.unqualified() if isinstance(target, ct.IntType) else ct.INT
+    return IntValue(wrapped, result_type)
+
+
+def _float_to_int(value: float, target: ct.CType, profile: ct.ImplementationProfile,
+                  options: CheckerOptions, line: Optional[int]) -> IntValue:
+    """Float-to-integer conversion; out-of-range results are undefined (§6.3.1.4)."""
+    if math.isnan(value) or math.isinf(value):
+        if options.check_arithmetic:
+            raise UndefinedBehaviorError(
+                UBKind.CONVERSION_OVERFLOW,
+                "Conversion of NaN/infinity to an integer type.", line=line)
+        return IntValue(0, target.unqualified() if isinstance(target, ct.IntType) else ct.INT)
+    truncated = int(value)
+    if isinstance(target, ct.BoolType):
+        return IntValue(1 if value != 0.0 else 0, ct.BOOL)
+    if not ct.fits_in(truncated, target, profile):
+        if options.check_arithmetic:
+            raise UndefinedBehaviorError(
+                UBKind.CONVERSION_OVERFLOW,
+                f"Conversion of out-of-range value {value!r} to {target}.", line=line)
+        return _int_to_int(truncated, target, profile)
+    return IntValue(truncated, target.unqualified() if isinstance(target, ct.IntType) else ct.INT)
+
+
+def _narrow_to_float(value: float) -> float:
+    """Round a double to single precision (we keep it as a Python float)."""
+    import struct as _struct
+    try:
+        return _struct.unpack("<f", _struct.pack("<f", value))[0]
+    except (OverflowError, ValueError):
+        return math.inf if value > 0 else -math.inf
+
+
+def to_boolean(value: CValue, options: CheckerOptions, *,
+               line: Optional[int] = None) -> bool:
+    """Interpret a scalar value as a branch condition."""
+    if isinstance(value, IndeterminateValue):
+        if options.check_uninitialized:
+            raise UndefinedBehaviorError(
+                UBKind.UNINITIALIZED_READ,
+                "Branch condition depends on an indeterminate value.", line=line)
+        return False
+    if isinstance(value, IntValue):
+        return value.value != 0
+    if isinstance(value, FloatValue):
+        return value.value != 0.0
+    if isinstance(value, PointerValue):
+        return not value.is_null
+    if isinstance(value, VoidValue):
+        raise UndefinedBehaviorError(
+            UBKind.VOID_VALUE_USED,
+            "The value of a void expression is used as a condition.", line=line)
+    raise UndefinedBehaviorError(
+        UBKind.BAD_FUNCTION_CALL, "Aggregate value used as a condition.", line=line)

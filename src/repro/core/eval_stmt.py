@@ -1,0 +1,291 @@
+"""Statement execution rules of the dynamic semantics.
+
+Statements are where the sequence points live: the end of every full
+expression empties the ``locsWrittenTo`` cell (the paper's ``seqPoint`` rule,
+§4.2.1).  Block scopes also manage object lifetimes — leaving a block ends the
+lifetime of its automatic objects, which is what later turns a use of a saved
+pointer into a reported "dangling" undefined behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cfront import ast as c_ast
+from repro.cfront import ctypes as ct
+from repro.core.conversions import convert, to_boolean
+from repro.core.environment import (
+    BreakSignal,
+    ContinueSignal,
+    GotoSignal,
+    ReturnSignal,
+)
+from repro.core.values import CValue, IntValue, StructValue
+from repro.errors import UBKind, UndefinedBehaviorError, UnsupportedFeatureError
+
+
+class StatementExecutorMixin:
+    """Statement execution; mixed into :class:`repro.core.interpreter.Interpreter`."""
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def exec_stmt(self, stmt: Union[c_ast.Statement, c_ast.Declaration, c_ast.StaticAssert]) -> None:
+        self.step(stmt.line)
+        if isinstance(stmt, c_ast.Declaration):
+            self.exec_local_declaration(stmt)
+            return
+        if isinstance(stmt, c_ast.StaticAssert):
+            return  # checked statically
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is None:
+            raise UnsupportedFeatureError(f"cannot execute {type(stmt).__name__}")
+        method(stmt)
+
+    # ------------------------------------------------------------------
+    # Simple statements
+    # ------------------------------------------------------------------
+    def _exec_ExpressionStmt(self, stmt: c_ast.ExpressionStmt) -> None:
+        if stmt.expression is not None:
+            self.eval_expr(stmt.expression)
+        # End of a full expression: sequence point.
+        self.memory.sequence_point()
+
+    def _exec_Return(self, stmt: c_ast.Return) -> None:
+        value: Optional[CValue] = None
+        if stmt.value is not None:
+            value = self.eval_expr(stmt.value)
+        self.memory.sequence_point()
+        raise ReturnSignal(value, line=stmt.line)
+
+    def _exec_Break(self, stmt: c_ast.Break) -> None:
+        raise BreakSignal()
+
+    def _exec_Continue(self, stmt: c_ast.Continue) -> None:
+        raise ContinueSignal()
+
+    def _exec_Goto(self, stmt: c_ast.Goto) -> None:
+        raise GotoSignal(stmt.label)
+
+    def _exec_Label(self, stmt: c_ast.Label) -> None:
+        if stmt.statement is not None:
+            self.exec_stmt(stmt.statement)
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def _exec_Compound(self, stmt: c_ast.Compound) -> None:
+        self.exec_compound(stmt)
+
+    def exec_compound(self, block: c_ast.Compound, *, new_scope: bool = True) -> None:
+        """Execute a block, handling ``goto`` into labels contained in it."""
+        frame = self.current_frame()
+        if new_scope:
+            frame.push_scope()
+        try:
+            self._run_items(block.items, start_label=None)
+        except GotoSignal as signal:
+            if self._block_contains_label(block, signal.label):
+                self._run_goto_loop(block, signal.label)
+            else:
+                raise
+        finally:
+            if new_scope:
+                scope = frame.pop_scope()
+                for base in scope.owned_bases:
+                    self.memory.kill(base)
+
+    def _run_goto_loop(self, block: c_ast.Compound, label: str) -> None:
+        """Re-run the block seeking ``label``; loop if further gotos target it."""
+        while True:
+            try:
+                self._run_items(block.items, start_label=label)
+                return
+            except GotoSignal as signal:
+                if self._block_contains_label(block, signal.label):
+                    label = signal.label
+                    continue
+                raise
+
+    def _run_items(self, items: list, start_label: Optional[str]) -> None:
+        seeking = start_label
+        for item in items:
+            if seeking is not None:
+                if not self._item_contains_label(item, seeking):
+                    continue
+                if isinstance(item, c_ast.Label) and item.name == seeking:
+                    seeking = None
+                    if item.statement is not None:
+                        self.exec_stmt(item.statement)
+                    continue
+                if isinstance(item, c_ast.Compound):
+                    self._run_items(item.items, start_label=seeking)
+                    seeking = None
+                    continue
+                # The label is nested inside a structured statement; jumping
+                # into it is not supported by this executor.
+                raise UnsupportedFeatureError(
+                    f"goto into a nested statement (label '{seeking}')")
+            self.exec_stmt(item)
+
+    def _block_contains_label(self, block: c_ast.Compound, label: str) -> bool:
+        return any(isinstance(node, c_ast.Label) and node.name == label
+                   for node in c_ast.walk(block))
+
+    @staticmethod
+    def _item_contains_label(item: c_ast.Node, label: str) -> bool:
+        return any(isinstance(node, c_ast.Label) and node.name == label
+                   for node in c_ast.walk(item))
+
+    # ------------------------------------------------------------------
+    # Selection statements
+    # ------------------------------------------------------------------
+    def _exec_If(self, stmt: c_ast.If) -> None:
+        condition = self.eval_expr(stmt.condition)
+        self.memory.sequence_point()
+        if to_boolean(condition, self.options, line=stmt.line):
+            if stmt.then is not None:
+                self.exec_stmt(stmt.then)
+        elif stmt.otherwise is not None:
+            self.exec_stmt(stmt.otherwise)
+
+    def _exec_Switch(self, stmt: c_ast.Switch) -> None:
+        value = self.eval_expr(stmt.expression)
+        self.memory.sequence_point()
+        selector = value.value if isinstance(value, IntValue) else self._require_int(
+            value, stmt.line, "switch controlling expression")
+        body = stmt.body
+        if not isinstance(body, c_ast.Compound):
+            if isinstance(body, (c_ast.Case, c_ast.Default)):
+                body = c_ast.Compound(line=stmt.line, items=[body])
+            else:
+                return
+        frame = self.current_frame()
+        frame.push_scope()
+        try:
+            self._exec_switch_body(body, selector, stmt.line)
+        except BreakSignal:
+            pass
+        finally:
+            scope = frame.pop_scope()
+            for base in scope.owned_bases:
+                self.memory.kill(base)
+
+    def _exec_switch_body(self, body: c_ast.Compound, selector: int, line: int) -> None:
+        start_index: Optional[int] = None
+        default_index: Optional[int] = None
+        for index, item in enumerate(body.items):
+            if isinstance(item, c_ast.Case) and item.expression is not None:
+                from repro.cfront.parser import fold_constant
+                label_value = fold_constant(item.expression, self.profile)
+                if label_value is None:
+                    label_value = self._require_int(
+                        self.eval_expr(item.expression), item.line, "case label")
+                if label_value == selector:
+                    start_index = index
+                    break
+            elif isinstance(item, c_ast.Default):
+                if default_index is None:
+                    default_index = index
+        if start_index is None:
+            start_index = default_index
+        if start_index is None:
+            return
+        for item in body.items[start_index:]:
+            if isinstance(item, c_ast.Case):
+                if item.statement is not None:
+                    self.exec_stmt(item.statement)
+            elif isinstance(item, c_ast.Default):
+                if item.statement is not None:
+                    self.exec_stmt(item.statement)
+            else:
+                self.exec_stmt(item)
+
+    # ------------------------------------------------------------------
+    # Iteration statements
+    # ------------------------------------------------------------------
+    def _exec_While(self, stmt: c_ast.While) -> None:
+        while True:
+            self.step(stmt.line)
+            condition = self.eval_expr(stmt.condition)
+            self.memory.sequence_point()
+            if not to_boolean(condition, self.options, line=stmt.line):
+                return
+            try:
+                if stmt.body is not None:
+                    self.exec_stmt(stmt.body)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                continue
+
+    def _exec_DoWhile(self, stmt: c_ast.DoWhile) -> None:
+        while True:
+            self.step(stmt.line)
+            try:
+                if stmt.body is not None:
+                    self.exec_stmt(stmt.body)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                pass
+            condition = self.eval_expr(stmt.condition)
+            self.memory.sequence_point()
+            if not to_boolean(condition, self.options, line=stmt.line):
+                return
+
+    def _exec_For(self, stmt: c_ast.For) -> None:
+        frame = self.current_frame()
+        frame.push_scope()
+        try:
+            if stmt.init is not None:
+                if isinstance(stmt.init, list):
+                    for declaration in stmt.init:
+                        self.exec_stmt(declaration)
+                elif isinstance(stmt.init, c_ast.Declaration):
+                    self.exec_stmt(stmt.init)
+                else:
+                    self.eval_expr(stmt.init)
+                    self.memory.sequence_point()
+            while True:
+                self.step(stmt.line)
+                if stmt.condition is not None:
+                    condition = self.eval_expr(stmt.condition)
+                    self.memory.sequence_point()
+                    if not to_boolean(condition, self.options, line=stmt.line):
+                        return
+                try:
+                    if stmt.body is not None:
+                        self.exec_stmt(stmt.body)
+                except BreakSignal:
+                    return
+                except ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self.eval_expr(stmt.step)
+                    self.memory.sequence_point()
+        finally:
+            scope = frame.pop_scope()
+            for base in scope.owned_bases:
+                self.memory.kill(base)
+
+    # ------------------------------------------------------------------
+    # Declarations inside blocks
+    # ------------------------------------------------------------------
+    def exec_local_declaration(self, declaration: c_ast.Declaration) -> None:
+        """Create an automatic object and run its initializer, if any."""
+        ctype = declaration.type
+        if ctype is None:
+            raise UnsupportedFeatureError("declaration without a type")
+        if isinstance(ctype, ct.FunctionType):
+            self.register_function_declaration(declaration.name, ctype)
+            return
+        if declaration.storage == "extern":
+            # Refers to a global defined elsewhere in the translation unit.
+            if self.lookup_global(declaration.name) is not None:
+                return
+        if declaration.storage == "static":
+            self.define_static_local(declaration)
+            return
+        self.define_auto_object(declaration)
+        self.memory.sequence_point()

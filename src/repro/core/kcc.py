@@ -1,0 +1,224 @@
+"""The kcc-style front end: compile (parse + static checks) and run a program.
+
+This is the reproduction of the wrapper described in Section 3.2 of the paper:
+a tool that behaves like a C compiler/interpreter, runs defined programs to
+completion, and prints a numbered error report the moment an undefined
+behavior is reached.  It is also the programmatic entry point used by the
+evaluation harness (:mod:`repro.suites.harness`) and by the examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import ast as c_ast
+from repro.cfront import ctypes as ct
+from repro.cfront.parser import parse
+from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
+from repro.core.interpreter import ExecutionResult, Interpreter
+from repro.errors import (
+    CParseError,
+    Outcome,
+    OutcomeKind,
+    ResourceLimitError,
+    StaticViolation,
+    UndefinedBehaviorError,
+    UnsupportedFeatureError,
+)
+from repro.kframework.search import PathOutcome, SearchResult, search_evaluation_orders
+from repro.kframework.strategy import ScriptedStrategy
+from repro.sema.static_checks import check_translation_unit
+
+
+@dataclass
+class CheckReport:
+    """Everything kcc learned about one program."""
+
+    outcome: Outcome
+    result: Optional[ExecutionResult] = None
+    search: Optional[SearchResult] = None
+    unit: Optional[c_ast.TranslationUnit] = None
+
+    @property
+    def flagged(self) -> bool:
+        return self.outcome.flagged
+
+    def render(self) -> str:
+        """Render a kcc-style textual report."""
+        if self.outcome.kind is OutcomeKind.UNDEFINED and self.outcome.error is not None:
+            return self.outcome.error.report()
+        if self.outcome.kind is OutcomeKind.STATIC_ERROR:
+            lines = ["ERROR! KCC encountered an error during translation.",
+                     "=" * 47]
+            lines.extend(v.report() for v in self.outcome.static_violations)
+            lines.append("=" * 47)
+            return "\n".join(lines)
+        if self.outcome.kind is OutcomeKind.DEFINED:
+            return (f"Program completed with exit code {self.outcome.exit_code}.\n"
+                    f"{self.outcome.stdout}")
+        return f"Analysis inconclusive: {self.outcome.detail}"
+
+
+class KccTool:
+    """The semantics-based undefinedness checker (the paper's kcc)."""
+
+    name = "kcc"
+
+    def __init__(self, options: CheckerOptions = DEFAULT_OPTIONS, *,
+                 search_evaluation_order: bool = False,
+                 run_static_checks: bool = True) -> None:
+        self.options = options
+        self.search_evaluation_order = search_evaluation_order
+        self.run_static_checks = run_static_checks
+
+    # ------------------------------------------------------------------
+    # Compilation (parsing + static checks)
+    # ------------------------------------------------------------------
+    def compile(self, source: str, *, filename: str = "<input>") -> tuple[
+            Optional[c_ast.TranslationUnit], list[StaticViolation], Optional[str]]:
+        """Parse and statically check; returns (unit, violations, parse_error)."""
+        try:
+            unit = parse(source, filename=filename, profile=self.options.profile)
+        except CParseError as error:
+            return None, [], str(error)
+        except UnsupportedFeatureError as error:
+            return None, [], f"unsupported feature: {error}"
+        violations: list[StaticViolation] = []
+        if self.run_static_checks:
+            violations = check_translation_unit(unit, self.options.profile)
+        return unit, violations, None
+
+    # ------------------------------------------------------------------
+    # Checking a whole program
+    # ------------------------------------------------------------------
+    def check(self, source: str, *, filename: str = "<input>",
+              argv: Optional[list[str]] = None, stdin: str = "") -> CheckReport:
+        """Compile and run ``source``, classifying the result."""
+        unit, violations, parse_error = self.compile(source, filename=filename)
+        if parse_error is not None:
+            outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=parse_error)
+            return CheckReport(outcome=outcome)
+        assert unit is not None
+        if violations:
+            outcome = Outcome(kind=OutcomeKind.STATIC_ERROR, static_violations=violations)
+            return CheckReport(outcome=outcome, unit=unit)
+        if self.search_evaluation_order:
+            return self._check_with_search(unit, argv=argv, stdin=stdin)
+        outcome, result = self._run_once(unit, strategy=None, argv=argv, stdin=stdin)
+        return CheckReport(outcome=outcome, result=result, unit=unit)
+
+    def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin) -> tuple[
+            Outcome, Optional[ExecutionResult]]:
+        interpreter = Interpreter(unit, self.options, strategy=strategy, stdin=stdin)
+        try:
+            result = interpreter.run(argv)
+        except UndefinedBehaviorError as error:
+            outcome = Outcome(kind=OutcomeKind.UNDEFINED, error=error,
+                              stdout=interpreter.stdout)
+            return outcome, None
+        except (ResourceLimitError, UnsupportedFeatureError, ct.LayoutError,
+                RecursionError) as error:
+            # With checks disabled (ablation mode) execution can wander into
+            # states the positive semantics cannot give meaning to; report
+            # those as inconclusive rather than crashing the harness.
+            outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=str(error),
+                              stdout=interpreter.stdout)
+            return outcome, None
+        outcome = Outcome(kind=OutcomeKind.DEFINED, exit_code=result.exit_code,
+                          stdout=result.stdout)
+        return outcome, result
+
+    def _check_with_search(self, unit: c_ast.TranslationUnit, *, argv, stdin) -> CheckReport:
+        """Explore evaluation orders; undefined if any order is undefined (§2.5.2)."""
+        last_defined: dict[str, object] = {}
+
+        def run(strategy: ScriptedStrategy) -> PathOutcome:
+            outcome, result = self._run_once(unit, strategy=strategy, argv=argv, stdin=stdin)
+            if not outcome.flagged:
+                last_defined["outcome"] = outcome
+                last_defined["result"] = result
+            return PathOutcome(script=(), undefined=outcome.flagged,
+                               description=outcome.describe(), payload=outcome)
+
+        search = search_evaluation_orders(run, max_paths=self.options.max_search_paths,
+                                          stop_at_first=True)
+        first_bad = search.first_undefined
+        if first_bad is not None:
+            outcome = first_bad.payload  # type: ignore[assignment]
+            assert isinstance(outcome, Outcome)
+            return CheckReport(outcome=outcome, search=search, unit=unit)
+        outcome = last_defined.get("outcome")
+        if isinstance(outcome, Outcome):
+            return CheckReport(outcome=outcome, search=search, unit=unit,
+                               result=last_defined.get("result"))  # type: ignore[arg-type]
+        return CheckReport(outcome=Outcome(kind=OutcomeKind.INCONCLUSIVE,
+                                           detail="no path produced a result"),
+                           search=search, unit=unit)
+
+
+# ---------------------------------------------------------------------------
+# Convenience functions and CLI
+# ---------------------------------------------------------------------------
+
+def check_program(source: str, options: CheckerOptions = DEFAULT_OPTIONS, *,
+                  search_evaluation_order: bool = False,
+                  argv: Optional[list[str]] = None, stdin: str = "") -> CheckReport:
+    """Check a C program given as source text; the main public API entry point."""
+    tool = KccTool(options, search_evaluation_order=search_evaluation_order)
+    return tool.check(source, argv=argv, stdin=stdin)
+
+
+def run_program(source: str, options: CheckerOptions = DEFAULT_OPTIONS, *,
+                argv: Optional[list[str]] = None, stdin: str = "") -> ExecutionResult:
+    """Run a (presumed defined) program and return its execution result.
+
+    Raises :class:`UndefinedBehaviorError` if the program turns out to be
+    undefined — the "kcc as a compiler" usage of Section 3.2.
+    """
+    report = KccTool(options).check(source, argv=argv, stdin=stdin)
+    if report.outcome.kind is OutcomeKind.UNDEFINED and report.outcome.error is not None:
+        raise report.outcome.error
+    if report.outcome.kind is OutcomeKind.STATIC_ERROR:
+        raise UndefinedBehaviorError(
+            report.outcome.static_violations[0].kind,
+            report.outcome.static_violations[0].message,
+            line=report.outcome.static_violations[0].line)
+    if report.result is None:
+        return ExecutionResult(exit_code=report.outcome.exit_code or 0,
+                               stdout=report.outcome.stdout)
+    return report.result
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Command line interface: ``kcc-check program.c``."""
+    parser = argparse.ArgumentParser(
+        prog="kcc-check",
+        description="Semantics-based undefinedness checker for C "
+                    "(reproduction of Ellison & Rosu's kcc).")
+    parser.add_argument("file", help="C source file to check")
+    parser.add_argument("--profile", default="lp64", choices=sorted(ct.PROFILES),
+                        help="implementation profile (type sizes)")
+    parser.add_argument("--search", action="store_true",
+                        help="search over evaluation orders")
+    parser.add_argument("--no-static", action="store_true",
+                        help="skip translation-time checks")
+    arguments = parser.parse_args(argv)
+    with open(arguments.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    options = CheckerOptions(profile=ct.PROFILES[arguments.profile])
+    tool = KccTool(options, search_evaluation_order=arguments.search,
+                   run_static_checks=not arguments.no_static)
+    report = tool.check(source, filename=arguments.file)
+    print(report.render())
+    if report.flagged:
+        return 1
+    if report.outcome.kind is OutcomeKind.INCONCLUSIVE:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""The symbolic memory of the C abstract machine.
+
+Memory is a map from symbolic *base addresses* to objects, each object being a
+fixed-length block of (possibly symbolic) bytes — exactly the model of
+Section 4.3.1 of the paper.  Because bases are opaque, two pointers into
+different objects have no defined order, and a pointer can never "walk" from
+one object into another: the bounds check on every access is what turns
+buffer overflows into reported undefined behavior instead of silent reads of
+adjacent memory.
+
+The memory also carries the two auxiliary cells of Section 4.2:
+
+* ``locs_written`` — the ``locsWrittenTo`` set of byte locations written since
+  the last sequence point (unsequenced side effect detection), and
+* ``not_writable`` — the set of const / string-literal byte locations
+  (const-correctness checking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.values import (
+    Byte,
+    ConcreteByte,
+    PointerValue,
+    UnknownByte,
+    unknown_bytes,
+)
+from repro.errors import UBKind, UndefinedBehaviorError
+
+
+class StorageKind(enum.Enum):
+    STATIC = "static"
+    AUTO = "auto"
+    HEAP = "heap"
+    STRING_LITERAL = "string-literal"
+    FUNCTION = "function"
+
+
+@dataclass
+class MemoryObject:
+    """One allocated object: ``mem[base] = obj(Len, bytes)`` in the paper."""
+
+    base: int
+    size: int
+    kind: StorageKind
+    name: str = ""
+    data: list[Byte] = field(default_factory=list)
+    alive: bool = True
+    freed: bool = False
+    declared_type: Optional[ct.CType] = None
+    effective_type: Optional[ct.CType] = None
+    #: For allocated (heap) objects, the effective type is determined by the
+    #: last store to each part of the object (§6.5:6); we track it per offset.
+    effective_types: dict[int, ct.CType] = field(default_factory=dict)
+    frame: Optional[int] = None          # owning stack frame for AUTO objects
+    is_const: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = unknown_bytes(self.size)
+
+
+@dataclass(frozen=True)
+class ByteLocation:
+    """A single byte address ``sym(base) + offset``."""
+
+    base: int
+    offset: int
+
+
+class Memory:
+    """Symbolic memory plus the auxiliary undefinedness-tracking cells."""
+
+    def __init__(self, options: CheckerOptions) -> None:
+        self.options = options
+        self.profile = options.profile
+        self.objects: dict[int, MemoryObject] = {}
+        self._next_base = 1
+        # §4.2.1: locations written to since the last sequence point.
+        self.locs_written: set[ByteLocation] = set()
+        # §4.2.2: locations that must never be written (const, string literals).
+        self.not_writable: set[int] = set()     # object bases
+        self.heap_allocations = 0
+
+    # ------------------------------------------------------------------
+    # Allocation and lifetime
+    # ------------------------------------------------------------------
+    def allocate(self, size: int, kind: StorageKind, *, name: str = "",
+                 declared_type: Optional[ct.CType] = None,
+                 frame: Optional[int] = None,
+                 data: Optional[list[Byte]] = None,
+                 is_const: bool = False) -> MemoryObject:
+        """Create a new object and return it."""
+        base = self._next_base
+        self._next_base += 1
+        obj = MemoryObject(
+            base=base, size=size, kind=kind, name=name,
+            data=list(data) if data is not None else [],
+            declared_type=declared_type,
+            effective_type=declared_type.unqualified() if declared_type is not None else None,
+            frame=frame, is_const=is_const)
+        self.objects[base] = obj
+        if is_const or kind is StorageKind.STRING_LITERAL:
+            self.not_writable.add(base)
+        if kind is StorageKind.HEAP:
+            self.heap_allocations += 1
+        return obj
+
+    def object_for(self, base: Optional[int]) -> Optional[MemoryObject]:
+        if base is None:
+            return None
+        return self.objects.get(base)
+
+    def kill(self, base: int) -> None:
+        """End the lifetime of an automatic object (scope exit / return)."""
+        obj = self.objects.get(base)
+        if obj is not None:
+            obj.alive = False
+
+    def kill_frame(self, frame: int) -> None:
+        """End the lifetime of every automatic object owned by ``frame``."""
+        for obj in self.objects.values():
+            if obj.frame == frame and obj.kind is StorageKind.AUTO:
+                obj.alive = False
+
+    def free(self, pointer: PointerValue, *, line: Optional[int] = None) -> None:
+        """``free(ptr)`` with the §7.22.3.3 checks."""
+        if pointer.is_null:
+            return  # free(NULL) is a no-op and defined
+        obj = self.object_for(pointer.base)
+        if obj is None:
+            self._stuck(UBKind.BAD_FREE, "free() of a pointer not obtained from an allocation function", line)
+            return
+        if obj.kind is not StorageKind.HEAP:
+            self._stuck(UBKind.BAD_FREE,
+                        f"free() of non-heap object '{obj.name or obj.base}' "
+                        f"({obj.kind.value} storage)", line)
+            return
+        if obj.freed or not obj.alive:
+            self._stuck(UBKind.DOUBLE_FREE, "free() of already-freed memory", line)
+            return
+        if pointer.offset != 0:
+            self._stuck(UBKind.BAD_FREE,
+                        "free() of a pointer that does not point to the start of the allocation",
+                        line)
+            return
+        obj.alive = False
+        obj.freed = True
+
+    # ------------------------------------------------------------------
+    # Access checks (the embedded checkDeref of §4.1.2)
+    # ------------------------------------------------------------------
+    def check_access(self, pointer: PointerValue, size: int, *, write: bool,
+                     line: Optional[int] = None,
+                     lvalue_type: Optional[ct.CType] = None) -> Optional[MemoryObject]:
+        """Validate an access of ``size`` bytes through ``pointer``.
+
+        Returns the target object when the access is allowed (or when the
+        corresponding check is disabled); raises otherwise.
+        """
+        if not self.options.check_memory:
+            return self.object_for(pointer.base)
+        if pointer.is_null:
+            self._stuck(UBKind.NULL_DEREFERENCE, "Dereference of a null pointer.", line)
+            return None
+        if pointer.is_function:
+            self._stuck(UBKind.OUT_OF_BOUNDS, "Data access through a function pointer.", line)
+            return None
+        obj = self.object_for(pointer.base)
+        if obj is None:
+            self._stuck(UBKind.DANGLING_DEREFERENCE,
+                        "Use of an invalid pointer (no such object).", line)
+            return None
+        if not obj.alive:
+            if obj.freed:
+                self._stuck(UBKind.USE_AFTER_FREE,
+                            f"Use of memory after free() ({obj.name or 'heap object'}).", line)
+            else:
+                self._stuck(UBKind.DANGLING_DEREFERENCE,
+                            f"Use of object '{obj.name}' whose lifetime has ended.", line)
+            return None
+        if pointer.offset < 0 or pointer.offset + size > obj.size:
+            kind = UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS
+            self._stuck(kind,
+                        f"Access of {size} byte(s) at offset {pointer.offset} outside object "
+                        f"'{obj.name or obj.base}' of size {obj.size}.", line)
+            return None
+        return obj
+
+    def check_alignment(self, pointer: PointerValue, ctype: ct.CType,
+                        line: Optional[int] = None) -> None:
+        if not self.options.check_memory:
+            return
+        try:
+            align = ct.align_of(ctype, self.profile)
+        except ct.LayoutError:
+            return
+        if align > 1 and pointer.offset % align != 0:
+            self._stuck(UBKind.UNALIGNED_ACCESS,
+                        f"Access at offset {pointer.offset} is not aligned to {align} bytes "
+                        f"for type {ctype}.", line)
+
+    def check_effective_type(self, obj: MemoryObject, lvalue_type: ct.CType,
+                             *, write: bool, offset: int = 0,
+                             line: Optional[int] = None) -> None:
+        """The strict-aliasing check of §6.5:7.
+
+        Objects with a declared type use that type as their effective type.
+        Allocated objects have no declared type: the effective type of each
+        part of the object is set by the last store to it (§6.5:6), which we
+        track per offset so that writing the different members of a
+        ``malloc``-ed struct does not conflict with itself.
+        """
+        if not self.options.check_effective_types:
+            return
+        if lvalue_type is None or not lvalue_type.is_scalar:
+            return
+        if ct.is_character_type(lvalue_type):
+            return
+        if obj.declared_type is None or obj.declared_type.is_void:
+            # Allocated storage: the store determines the effective type.
+            if write:
+                obj.effective_types[offset] = lvalue_type.unqualified()
+                return
+            recorded = obj.effective_types.get(offset)
+            if recorded is None:
+                return
+            if not ct.aliasing_compatible(lvalue_type, recorded, self.profile):
+                self._stuck(UBKind.EFFECTIVE_TYPE_VIOLATION,
+                            f"Allocated object written with effective type '{recorded}' "
+                            f"read through an lvalue of incompatible type '{lvalue_type}'.",
+                            line)
+            return
+        effective = obj.declared_type.unqualified()
+        if isinstance(effective, ct.ArrayType):
+            effective_elem = effective.element
+        else:
+            effective_elem = effective
+        if not ct.aliasing_compatible(lvalue_type, effective, self.profile) and \
+                not ct.aliasing_compatible(lvalue_type, effective_elem, self.profile):
+            self._stuck(UBKind.EFFECTIVE_TYPE_VIOLATION,
+                        f"Object with effective type '{effective}' accessed through an lvalue "
+                        f"of incompatible type '{lvalue_type}'.", line)
+
+    # ------------------------------------------------------------------
+    # Reads and writes (writeByte / readByte of §4.2.1)
+    # ------------------------------------------------------------------
+    def read_bytes(self, pointer: PointerValue, size: int, *,
+                   line: Optional[int] = None,
+                   lvalue_type: Optional[ct.CType] = None,
+                   track_sequencing: bool = True) -> list[Byte]:
+        obj = self.check_access(pointer, size, write=False, line=line,
+                                lvalue_type=lvalue_type)
+        if obj is None:
+            return unknown_bytes(size)
+        if pointer.offset < 0 or pointer.offset + size > obj.size:
+            # Only reachable with the memory checks disabled (ablation mode):
+            # model the out-of-bounds read as indeterminate data.
+            return unknown_bytes(size)
+        if lvalue_type is not None:
+            self.check_effective_type(obj, lvalue_type, write=False,
+                                      offset=pointer.offset, line=line)
+        if track_sequencing and self.options.check_sequencing:
+            for index in range(size):
+                loc = ByteLocation(pointer.base, pointer.offset + index)
+                if loc in self.locs_written:
+                    self._stuck(
+                        UBKind.UNSEQUENCED_SIDE_EFFECT,
+                        "Unsequenced side effect on scalar object with value computation "
+                        "of same object.", line)
+        start = pointer.offset
+        return list(obj.data[start:start + size])
+
+    def write_bytes(self, pointer: PointerValue, data: list[Byte], *,
+                    line: Optional[int] = None,
+                    lvalue_type: Optional[ct.CType] = None,
+                    track_sequencing: bool = True) -> None:
+        size = len(data)
+        obj = self.check_access(pointer, size, write=True, line=line,
+                                lvalue_type=lvalue_type)
+        if obj is None:
+            return
+        if pointer.offset < 0 or pointer.offset + size > obj.size:
+            # Only reachable with the memory checks disabled (ablation mode):
+            # drop the out-of-bounds part of the write.
+            return
+        # §4.2.2: const-correctness — notWritable objects must not be written.
+        if self.options.check_const and obj.base in self.not_writable:
+            if obj.kind is StorageKind.STRING_LITERAL:
+                self._stuck(UBKind.MODIFY_STRING_LITERAL,
+                            "Attempt to modify a string literal.", line)
+            else:
+                self._stuck(UBKind.CONST_VIOLATION,
+                            f"Write to object '{obj.name}' defined with a const-qualified type.",
+                            line)
+            if self.options.check_const:
+                return
+        if lvalue_type is not None:
+            self.check_effective_type(obj, lvalue_type, write=True,
+                                      offset=pointer.offset, line=line)
+        # §4.2.1: unsequenced-write detection against locsWrittenTo.
+        if track_sequencing and self.options.check_sequencing:
+            for index in range(size):
+                loc = ByteLocation(pointer.base, pointer.offset + index)
+                if loc in self.locs_written:
+                    self._stuck(
+                        UBKind.UNSEQUENCED_SIDE_EFFECT,
+                        "Unsequenced side effect on scalar object with side effect "
+                        "of same object.", line)
+                self.locs_written.add(loc)
+        start = pointer.offset
+        obj.data[start:start + size] = data
+
+    def sequence_point(self) -> None:
+        """Empty the ``locsWrittenTo`` set (the paper's ``seqPoint`` rule)."""
+        self.locs_written.clear()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def mark_not_writable(self, base: int) -> None:
+        self.not_writable.add(base)
+
+    def object_count(self, kind: Optional[StorageKind] = None) -> int:
+        if kind is None:
+            return len(self.objects)
+        return sum(1 for obj in self.objects.values() if obj.kind is kind)
+
+    def live_heap_objects(self) -> list[MemoryObject]:
+        return [obj for obj in self.objects.values()
+                if obj.kind is StorageKind.HEAP and obj.alive]
+
+    def _stuck(self, kind: UBKind, message: str, line: Optional[int]) -> None:
+        """Raise (get stuck) unless the corresponding check family is off."""
+        raise UndefinedBehaviorError(kind, message, line=line)

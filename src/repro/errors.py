@@ -1,0 +1,225 @@
+"""Error model shared by every component of the reproduction.
+
+The paper's tool (kcc) reports undefined behavior with a numbered error code,
+a human readable description, and the location (function / line) where the
+behavior was triggered (see the sample report in Section 3.2 of the paper).
+This module defines:
+
+* :class:`UBKind` -- the categories of undefined behavior our checker and the
+  baseline analyzers can report.  Each kind carries the C11 section that makes
+  the behavior undefined and a kcc-style error number.
+* :class:`UndefinedBehaviorError` -- the exception raised by the dynamic
+  semantics when execution reaches an undefined state (a rule "gets stuck").
+* :class:`StaticViolation` -- a statically detected undefinedness / constraint
+  violation (the 92 statically detectable behaviors of Section 5.2.1).
+* :class:`Outcome` -- the result of running a tool on a program: defined
+  (with exit code and output), undefined (with the error), or inconclusive
+  (resource limits, unsupported construct).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class UBKind(enum.Enum):
+    """Categories of undefined behavior recognized by the checker.
+
+    The value tuple is ``(error_code, c11_section, description)``.  Error
+    codes mimic kcc's zero-padded numbering; the numbers themselves are ours,
+    only the style is the paper's.
+    """
+
+    # Arithmetic
+    DIVISION_BY_ZERO = (1, "6.5.5:5", "Division or modulus by zero.")
+    SIGNED_OVERFLOW = (2, "6.5:5", "Signed integer overflow.")
+    SHIFT_TOO_FAR = (3, "6.5.7:3", "Shift amount negative or >= width of the type.")
+    SHIFT_NEGATIVE = (4, "6.5.7:4", "Left shift of a negative value.")
+    SHIFT_OVERFLOW = (5, "6.5.7:4", "Left shift overflows the result type.")
+    CONVERSION_OVERFLOW = (6, "6.3.1.4:1", "Conversion of out-of-range value to integer type.")
+
+    # Pointers and memory
+    NULL_DEREFERENCE = (10, "6.5.3.2:4", "Dereference of a null pointer.")
+    VOID_DEREFERENCE = (11, "6.3.2.1:1", "Dereference of a void pointer.")
+    DANGLING_DEREFERENCE = (12, "6.2.4:2", "Use of a pointer to an object whose lifetime has ended.")
+    OUT_OF_BOUNDS = (13, "6.5.6:8", "Pointer arithmetic or access outside the bounds of an object.")
+    BUFFER_OVERFLOW = (14, "6.5.6:8", "Read or write outside the bounds of an object.")
+    INVALID_POINTER_ARITHMETIC = (15, "6.5.6:8", "Pointer arithmetic producing a pointer not into the object.")
+    POINTER_COMPARE_UNRELATED = (16, "6.5.8:5", "Relational comparison of pointers to different objects.")
+    POINTER_SUBTRACT_UNRELATED = (17, "6.5.6:9", "Subtraction of pointers to different objects.")
+    BAD_FREE = (18, "7.22.3.3:2", "Invalid argument to free(): not a pointer returned by allocation.")
+    DOUBLE_FREE = (19, "7.22.3.3:2", "free() called on already-freed memory.")
+    USE_AFTER_FREE = (20, "6.2.4:2", "Use of memory after it has been freed.")
+    UNALIGNED_ACCESS = (21, "6.3.2.3:7", "Conversion to a pointer type with stricter alignment.")
+    MODIFY_STRING_LITERAL = (22, "6.4.5:7", "Attempt to modify a string literal.")
+    NULL_POINTER_ARITHMETIC = (23, "6.5.6:8", "Arithmetic on a null pointer.")
+
+    # Reads of bad values
+    UNINITIALIZED_READ = (30, "6.3.2.1:2", "Use of an indeterminate (uninitialized) value.")
+    EFFECTIVE_TYPE_VIOLATION = (31, "6.5:7", "Object accessed through an lvalue of incompatible type.")
+    VOID_VALUE_USED = (32, "6.3.2.2:1", "The (nonexistent) value of a void expression is used.")
+
+    # Sequencing and const
+    UNSEQUENCED_SIDE_EFFECT = (
+        16, "6.5:2", "Unsequenced side effect on scalar object with side effect or value computation of same object.")
+    CONST_VIOLATION = (41, "6.7.3:6", "Modification of an object defined with a const-qualified type.")
+
+    # Functions
+    BAD_FUNCTION_CALL = (50, "6.5.2.2:9", "Function called with wrong number or incompatible types of arguments.")
+    BAD_FUNCTION_TYPE = (51, "6.5.2.2:9", "Function called through a pointer of incompatible type.")
+    MISSING_RETURN_VALUE = (52, "6.9.1:12", "Value of a function call used although the function returned without a value.")
+    NO_MAIN_RETURN_USE = (53, "6.9.1:12", "Use of return value of a function falling off the end without returning one.")
+    RECURSIVE_MAIN_EXIT = (54, "7.22.4.4", "exit() semantics violated.")
+    VARIADIC_MISUSE = (55, "7.16.1.1:2", "va_arg with incompatible type or no corresponding argument.")
+
+    # Static / declaration-level undefinedness
+    ARRAY_SIZE_NOT_POSITIVE = (60, "6.7.6.2:1", "Array declared with a size that is not greater than zero.")
+    INCOMPATIBLE_DECLARATIONS = (61, "6.2.7:2", "Two declarations of the same object or function with incompatible types.")
+    QUALIFIED_FUNCTION_TYPE = (62, "6.7.3:9", "Function type specified with type qualifiers.")
+    DUPLICATE_LABEL = (63, "6.8.1:3", "Duplicate label in a function.")
+    GOTO_INTO_VLA_SCOPE = (64, "6.8.6.1:1", "Jump into the scope of a variably modified declaration.")
+    VOID_RETURN_WITH_VALUE = (65, "6.8.6.4:1", "return with an expression in a function returning void.")
+    IDENTIFIER_LINKAGE_MISMATCH = (66, "6.2.2:7", "Identifier declared with both internal and external linkage.")
+    MAIN_BAD_SIGNATURE = (67, "5.1.2.2.1:1", "main declared with an invalid signature.")
+    INCOMPLETE_TYPE_OBJECT = (68, "6.9.2:3", "Object defined with an incomplete type.")
+    NEGATIVE_ARRAY_INDEX_CONSTANT = (69, "6.5.6:8", "Constant array index outside the bounds of the array.")
+    RESERVED_IDENTIFIER = (70, "7.1.3:2", "Definition of a reserved identifier.")
+    EMPTY_CHAR_CONSTANT = (71, "6.4.4.4", "Empty or malformed character constant.")
+
+    # Other dynamic behaviors
+    STACK_EXHAUSTION = (80, "5.2.4.1", "Program exceeded the translation/execution limits of the implementation.")
+    UNTERMINATED_STRING_OP = (81, "7.24.1:1", "String function applied to a buffer that is not null-terminated.")
+    OVERLAPPING_COPY = (82, "7.24.2.1:2", "memcpy/strcpy with overlapping source and destination.")
+    NEGATIVE_SIZE_ALLOCATION = (83, "7.22.3:1", "Allocation request with a pathological size.")
+    FORMAT_MISMATCH = (84, "7.21.6.1:9", "printf/scanf conversion specification does not match its argument.")
+    OFFSET_PAST_END_USE = (85, "6.5.6:8", "Dereference of the one-past-the-end pointer.")
+
+    def __init__(self, code: int, section: str, description: str) -> None:
+        self.code = int(code)
+        self.section = section
+        self.description = description
+
+    @property
+    def error_code(self) -> str:
+        """kcc-style zero padded error code, e.g. ``"00016"``."""
+        return f"{self.code:05d}"
+
+
+# The paper's sample report uses error 00016 for the unsequenced side effect
+# case; we keep the same number for fidelity of the quickstart example.
+assert UBKind.UNSEQUENCED_SIDE_EFFECT.code == 16
+
+
+class UndefinedBehaviorError(Exception):
+    """Raised by the dynamic semantics when an undefined state is reached.
+
+    Carrying the :class:`UBKind`, a human readable message, and the source
+    position lets the front end produce kcc-style reports.
+    """
+
+    def __init__(self, kind: UBKind, message: str = "", *,
+                 function: str | None = None, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.kind = kind
+        self.message = message or kind.description
+        self.function = function
+        self.line = line
+        self.column = column
+        super().__init__(self.message)
+
+    def report(self) -> str:
+        """Render a kcc-style error report (cf. paper Section 3.2)."""
+        lines = [
+            "ERROR! KCC encountered an error.",
+            "=" * 47,
+            f"Error: {self.kind.error_code}",
+            f"Description: {self.message}",
+            f"Section: C11 {self.kind.section}",
+            "=" * 47,
+        ]
+        if self.function is not None:
+            lines.append(f"Function: {self.function}")
+        if self.line is not None:
+            lines.append(f"Line: {self.line}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" at line {self.line}" if self.line is not None else ""
+        return f"UndefinedBehaviorError({self.kind.name}{where}: {self.message!r})"
+
+
+@dataclass(frozen=True)
+class StaticViolation:
+    """A statically detected undefined behavior or constraint violation."""
+
+    kind: UBKind
+    message: str
+    line: int | None = None
+    column: int | None = None
+    function: str | None = None
+
+    def report(self) -> str:
+        loc = f" (line {self.line})" if self.line is not None else ""
+        return f"static error {self.kind.error_code}: {self.message}{loc}"
+
+
+class OutcomeKind(enum.Enum):
+    """Classification of a single program run / analysis result."""
+
+    DEFINED = "defined"
+    UNDEFINED = "undefined"
+    STATIC_ERROR = "static-error"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class Outcome:
+    """Result of running a tool on one program."""
+
+    kind: OutcomeKind
+    exit_code: int | None = None
+    stdout: str = ""
+    error: UndefinedBehaviorError | None = None
+    static_violations: list[StaticViolation] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def flagged(self) -> bool:
+        """True if the tool reported *any* undefinedness for the program."""
+        return self.kind in (OutcomeKind.UNDEFINED, OutcomeKind.STATIC_ERROR)
+
+    @property
+    def ub_kinds(self) -> list[UBKind]:
+        kinds: list[UBKind] = []
+        if self.error is not None:
+            kinds.append(self.error.kind)
+        kinds.extend(v.kind for v in self.static_violations)
+        return kinds
+
+    def describe(self) -> str:
+        if self.kind is OutcomeKind.DEFINED:
+            return f"defined (exit code {self.exit_code})"
+        if self.kind is OutcomeKind.UNDEFINED and self.error is not None:
+            return f"undefined: {self.error.kind.name}: {self.error.message}"
+        if self.kind is OutcomeKind.STATIC_ERROR and self.static_violations:
+            return "static error: " + "; ".join(v.message for v in self.static_violations)
+        return self.detail or self.kind.value
+
+
+class CParseError(Exception):
+    """Raised by the front end for programs we cannot parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        where = f" at line {line}" if line is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+class UnsupportedFeatureError(Exception):
+    """Raised when a program uses a C feature outside the supported subset."""
+
+
+class ResourceLimitError(Exception):
+    """Raised when an execution exceeds the configured step/memory limits."""

@@ -1,0 +1,37 @@
+"""A small K-style substrate: configurations, evaluation strategies, search.
+
+The paper's semantics is written in the K framework, where program state is a
+nested multiset of labeled cells (Figure 1) and evaluation is rewriting.  We
+do not reimplement rewriting-logic matching; instead this package provides the
+pieces of K that the paper's *techniques* rely on:
+
+* :mod:`repro.kframework.cells` — the labeled-cell configuration view of the
+  interpreter state (``k``, ``env``, ``mem``, ``locsWrittenTo``,
+  ``notWritable``, ``callStack``, ...),
+* :mod:`repro.kframework.strategy` — evaluation-order strategies standing in
+  for the nondeterministic choice of rewrite redexes in unsequenced
+  subexpressions,
+* :mod:`repro.kframework.search` — bounded exhaustive search over those
+  choices, the analogue of K's search mode that the paper says is required to
+  find undefinedness reachable only under some evaluation orders (§2.5.2).
+"""
+
+from repro.kframework.cells import Cell, Configuration
+from repro.kframework.strategy import (
+    EvaluationStrategy,
+    LeftToRightStrategy,
+    RightToLeftStrategy,
+    ScriptedStrategy,
+)
+from repro.kframework.search import SearchResult, search_evaluation_orders
+
+__all__ = [
+    "Cell",
+    "Configuration",
+    "EvaluationStrategy",
+    "LeftToRightStrategy",
+    "RightToLeftStrategy",
+    "ScriptedStrategy",
+    "SearchResult",
+    "search_evaluation_orders",
+]

@@ -1,0 +1,112 @@
+"""Labeled-cell configurations in the style of the K framework.
+
+The paper's Figure 1 shows a subset of the C configuration: nested, labeled
+cells holding the computation (``k``), environments, memory, the undefinedness
+bookkeeping cells (``locsWrittenTo``, ``notWritable``) and the call stack.
+The real kcc configuration has over 90 cells; ours is smaller but keeps the
+same structure so that tests and documentation can talk about the state in the
+paper's vocabulary.
+
+Cells are a lightweight tree of name/content pairs.  The interpreter exposes
+its state as a :class:`Configuration` (see
+:meth:`repro.core.interpreter.Interpreter.configuration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+CellContent = Union["Cell", str, int, list, dict, set, tuple, None]
+
+
+@dataclass
+class Cell:
+    """A labeled cell: ``<content>label``."""
+
+    label: str
+    content: CellContent = None
+    children: list["Cell"] = field(default_factory=list)
+
+    def add(self, child: "Cell") -> "Cell":
+        self.children.append(child)
+        return child
+
+    def find(self, label: str) -> Optional["Cell"]:
+        """Find the first (depth-first) descendant cell with ``label``."""
+        for cell in self.walk():
+            if cell.label == label:
+                return cell
+        return None
+
+    def walk(self) -> Iterator["Cell"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if not self.children:
+            return f"{pad}<{self.label}> {self._render_content()} </{self.label}>"
+        lines = [f"{pad}<{self.label}>"]
+        if self.content not in (None, "", [], {}, set()):
+            lines.append(f"{pad}  {self._render_content()}")
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        lines.append(f"{pad}</{self.label}>")
+        return "\n".join(lines)
+
+    def _render_content(self) -> str:
+        if isinstance(self.content, dict):
+            inner = ", ".join(f"{k} |-> {v}" for k, v in self.content.items())
+            return f"{{{inner}}}"
+        if isinstance(self.content, (set, frozenset)):
+            inner = ", ".join(str(v) for v in sorted(self.content, key=str))
+            return f"{{{inner}}}"
+        if isinstance(self.content, (list, tuple)):
+            return " ~> ".join(str(v) for v in self.content) or ".K"
+        if self.content is None:
+            return "."
+        return str(self.content)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Configuration:
+    """The top-level ``<T>`` cell of a program state."""
+
+    root: Cell = field(default_factory=lambda: Cell("T"))
+
+    def cell(self, label: str) -> Optional[Cell]:
+        return self.root.find(label)
+
+    def render(self) -> str:
+        return self.root.render()
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def make_configuration(*, k: list, genv: dict, mem_summary: dict,
+                       locs_written: set, not_writable: set,
+                       call_stack: list, local_env: dict,
+                       local_types: dict, output: str = "") -> Configuration:
+    """Build the Figure-1-shaped configuration from interpreter state."""
+    config = Configuration()
+    root = config.root
+    root.add(Cell("k", k))
+    root.add(Cell("genv", genv))
+    root.add(Cell("gtypes", {name: str(t) for name, t in local_types.items()
+                             if name in genv}))
+    root.add(Cell("locsWrittenTo", locs_written))
+    root.add(Cell("notWritable", not_writable))
+    root.add(Cell("mem", mem_summary))
+    local = root.add(Cell("local"))
+    control = local.add(Cell("control"))
+    control.add(Cell("env", local_env))
+    control.add(Cell("types", {name: str(t) for name, t in local_types.items()}))
+    local.add(Cell("callStack", call_stack))
+    root.add(Cell("out", output))
+    return config

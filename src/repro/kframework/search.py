@@ -1,0 +1,96 @@
+"""Bounded exhaustive search over evaluation orders.
+
+Section 2.5.2 of the paper observes that a tool seeking to identify all
+undefined behaviors "must search all possible evaluation strategies", because
+an implementation may pick any order for unsequenced subexpressions (the
+``setDenom`` example is defined under left-to-right evaluation but divides by
+zero under right-to-left).  This module implements that search as a DFS over
+the decision points recorded by :class:`ScriptedStrategy`.
+
+The driver is generic: it takes a callable that runs the program under a given
+strategy and reports whether the run was undefined, so it can drive the kcc
+interpreter (its normal use) or any other execution engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.kframework.strategy import ScriptedStrategy
+
+
+@dataclass
+class PathOutcome:
+    """The result of one explored evaluation order."""
+
+    script: tuple[int, ...]
+    undefined: bool
+    description: str = ""
+    payload: object = None
+
+
+@dataclass
+class SearchResult:
+    """Aggregate result of the evaluation-order search."""
+
+    paths: list[PathOutcome] = field(default_factory=list)
+    exhausted: bool = True
+
+    @property
+    def explored(self) -> int:
+        return len(self.paths)
+
+    @property
+    def undefined_paths(self) -> list[PathOutcome]:
+        return [p for p in self.paths if p.undefined]
+
+    @property
+    def any_undefined(self) -> bool:
+        return any(p.undefined for p in self.paths)
+
+    @property
+    def first_undefined(self) -> Optional[PathOutcome]:
+        for path in self.paths:
+            if path.undefined:
+                return path
+        return None
+
+
+RunCallback = Callable[[ScriptedStrategy], PathOutcome]
+
+
+def search_evaluation_orders(run: RunCallback, *, max_paths: int = 64,
+                             stop_at_first: bool = False) -> SearchResult:
+    """Explore evaluation orders depth-first.
+
+    ``run`` executes the program with the given scripted strategy and returns
+    a :class:`PathOutcome` (the strategy's ``observed_arity`` after the run
+    tells the driver how many alternatives each decision point had).
+    """
+    result = SearchResult()
+    pending: list[list[int]] = [[]]
+    seen: set[tuple[int, ...]] = set()
+    while pending:
+        if len(result.paths) >= max_paths:
+            result.exhausted = False
+            break
+        script = pending.pop()
+        key = tuple(script)
+        if key in seen:
+            continue
+        seen.add(key)
+        strategy = ScriptedStrategy(decisions=list(script))
+        strategy.reset()
+        outcome = run(strategy)
+        outcome.script = key
+        result.paths.append(outcome)
+        if outcome.undefined and stop_at_first:
+            result.exhausted = False
+            break
+        arity = strategy.observed_arity
+        for index in range(len(script), len(arity)):
+            for choice in range(1, arity[index]):
+                new_script = list(script) + [0] * (index - len(script)) + [choice]
+                pending.append(new_script)
+    return result

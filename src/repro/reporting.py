@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the reproduced evaluation tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+                 title: str = "") -> str:
+    """Render a simple aligned text table (used by the benchmark harness)."""
+    columns = len(headers)
+    normalized_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in normalized_rows:
+        for index in range(columns):
+            if index < len(row):
+                widths[index] = max(widths[index], len(row[index]))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index in range(columns):
+            cell = cells[index] if index < len(cells) else ""
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row([str(h) for h in headers]))
+    lines.append(format_row(["-" * w for w in widths]))
+    lines.extend(format_row(row) for row in normalized_rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """Format a 0..1 fraction the way the paper's tables do (one decimal)."""
+    return f"{value * 100.0:.1f}"

@@ -1,0 +1,20 @@
+"""Static semantics: symbol tables and statically detectable undefinedness.
+
+The paper classifies 92 of the 221 undefined behaviors of C11 as statically
+detectable (§5.2.1).  This package implements the translation-time side of the
+checker: constraint violations and undefined behaviors that can be reported
+without executing the program (zero-length arrays, qualified function types,
+duplicate labels, constant division by zero, writes to const-qualified
+lvalues, obviously out-of-bounds constant indices, bad ``main`` signatures,
+incompatible redeclarations, ...).
+"""
+
+from repro.sema.symtab import SymbolTable, SymbolInfo
+from repro.sema.static_checks import StaticChecker, check_translation_unit
+
+__all__ = [
+    "SymbolTable",
+    "SymbolInfo",
+    "StaticChecker",
+    "check_translation_unit",
+]

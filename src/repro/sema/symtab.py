@@ -1,0 +1,61 @@
+"""A lexically scoped symbol table used by the static checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import ctypes as ct
+
+
+@dataclass
+class SymbolInfo:
+    """Information recorded about one declared identifier."""
+
+    name: str
+    type: ct.CType
+    storage: Optional[str] = None
+    line: int = 0
+    is_function: bool = False
+    is_definition: bool = True
+
+
+@dataclass
+class SymbolTable:
+    """A stack of scopes mapping identifiers to :class:`SymbolInfo`."""
+
+    scopes: list[dict[str, SymbolInfo]] = field(default_factory=lambda: [{}])
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, info: SymbolInfo) -> Optional[SymbolInfo]:
+        """Declare ``info`` in the innermost scope.
+
+        Returns the previous declaration *in the same scope* if there was one
+        (the caller decides whether the redeclaration is legal).
+        """
+        scope = self.scopes[-1]
+        previous = scope.get(info.name)
+        scope[info.name] = info
+        return previous
+
+    def lookup(self, name: str) -> Optional[SymbolInfo]:
+        for scope in reversed(self.scopes):
+            info = scope.get(name)
+            if info is not None:
+                return info
+        return None
+
+    def lookup_innermost(self, name: str) -> Optional[SymbolInfo]:
+        return self.scopes[-1].get(name)
+
+    @property
+    def depth(self) -> int:
+        return len(self.scopes)
+
+    def at_file_scope(self) -> bool:
+        return len(self.scopes) == 1

@@ -1,0 +1,23 @@
+"""Test suites and the evaluation harness (Section 5 of the paper)."""
+
+from repro.suites.juliet import JulietLikeSuite, generate_juliet_suite
+from repro.suites.ubsuite import UndefinednessSuite, generate_undefinedness_suite
+from repro.suites.harness import (
+    EvaluationHarness,
+    SuiteScore,
+    TestCase,
+    TestSuite,
+    run_comparison,
+)
+
+__all__ = [
+    "JulietLikeSuite",
+    "generate_juliet_suite",
+    "UndefinednessSuite",
+    "generate_undefinedness_suite",
+    "EvaluationHarness",
+    "SuiteScore",
+    "TestCase",
+    "TestSuite",
+    "run_comparison",
+]

@@ -1,0 +1,814 @@
+"""A Juliet-style undefinedness benchmark generator.
+
+The paper extracts 4113 tests from the NIST Juliet suite, covering six
+classes of undefined behavior, each test a separate small program with one
+flaw and a paired "good" control (Section 5.1.2).  The original suite is not
+redistributable here, so this module *generates* an equivalent benchmark:
+
+* the same six classes (use of invalid pointer, division by zero, bad
+  argument to ``free()``, uninitialized memory, bad function call, integer
+  overflow),
+* one undefined behavior per bad test, with a paired good test,
+* Juliet-style data-flow variants: the flawed value is used directly, flows
+  through a local variable, or flows through a helper function — so purely
+  syntactic detectors cannot score well.
+
+Absolute test counts differ from NIST's; the class structure, pairing and
+scoring methodology match the paper's use of the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.suites.harness import TestCase, TestSuite
+
+CLASS_INVALID_POINTER = "Use of invalid pointer"
+CLASS_DIVISION_BY_ZERO = "Division by zero"
+CLASS_BAD_FREE = "Bad argument to free()"
+CLASS_UNINITIALIZED = "Uninitialized memory"
+CLASS_BAD_CALL = "Bad function call"
+CLASS_INTEGER_OVERFLOW = "Integer overflow"
+
+ALL_CLASSES = (
+    CLASS_INVALID_POINTER,
+    CLASS_DIVISION_BY_ZERO,
+    CLASS_BAD_FREE,
+    CLASS_UNINITIALIZED,
+    CLASS_BAD_CALL,
+    CLASS_INTEGER_OVERFLOW,
+)
+
+#: Juliet-style data-flow variants.  ``{decl}`` declares the flaw-controlling
+#: value, ``{use}`` is the expression that reads it.
+_FLOW_VARIANTS = ("direct", "variable", "helper")
+
+
+@dataclass(frozen=True)
+class _Template:
+    """A bad/good program pair, parameterized by a data-flow variant."""
+
+    name: str
+    category: str
+    behavior: str
+    bad: str
+    good: str
+    description: str = ""
+
+
+def _flow_wrap(body: str, flow: str, flaw_value: str, safe_value: str, use_bad: bool) -> str:
+    """Wrap ``body`` so the interesting value reaches it via ``flow``."""
+    value = flaw_value if use_bad else safe_value
+    if flow == "direct":
+        return body.replace("@VALUE@", value)
+    if flow == "variable":
+        # The controlling value flows through an extra local variable declared
+        # at the top of main (a Juliet-style local data-flow variant).
+        declaration = f"int main(void) {{\n    int flaw_source = {value};\n"
+        wrapped = body.replace("int main(void) {\n", declaration, 1)
+        return wrapped.replace("@VALUE@", "flaw_source")
+    # helper: the value comes back from a function call
+    return body.replace("@VALUE@", "flaw_helper()")
+
+
+def _helper_function(flow: str, flaw_value: str, safe_value: str, use_bad: bool) -> str:
+    if flow != "helper":
+        return ""
+    value = flaw_value if use_bad else safe_value
+    return f"static int flaw_helper(void) {{ return {value}; }}\n"
+
+
+# ---------------------------------------------------------------------------
+# Class 1: use of invalid pointer
+# ---------------------------------------------------------------------------
+
+def _invalid_pointer_templates() -> list[_Template]:
+    templates: list[_Template] = []
+    templates.append(_Template(
+        name="stack_overflow_write",
+        category=CLASS_INVALID_POINTER,
+        behavior="stack-buffer-overflow-write",
+        description="Write one element past the end of a stack array (CWE-121).",
+        bad="""
+#include <string.h>
+{helper}int main(void) {{
+    int data[8];
+    memset(data, 0, sizeof(data));
+    int index = @VALUE@;
+    data[index] = 42;
+    return data[0];
+}}
+""",
+        good="""
+#include <string.h>
+{helper}int main(void) {{
+    int data[8];
+    memset(data, 0, sizeof(data));
+    int index = @VALUE@;
+    data[index] = 42;
+    return data[0];
+}}
+"""))
+    templates.append(_Template(
+        name="heap_overflow_write",
+        category=CLASS_INVALID_POINTER,
+        behavior="heap-buffer-overflow-write",
+        description="Write past the end of a heap allocation (CWE-122).",
+        bad="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(8 * sizeof(int));
+    if (!data) return 0;
+    for (int i = 0; i < 8; i++) data[i] = i;
+    int index = @VALUE@;
+    data[index] = 7;
+    int result = data[0];
+    free(data);
+    return result;
+}}
+""",
+        good="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(8 * sizeof(int));
+    if (!data) return 0;
+    for (int i = 0; i < 8; i++) data[i] = i;
+    int index = @VALUE@;
+    data[index] = 7;
+    int result = data[0];
+    free(data);
+    return result;
+}}
+"""))
+    templates.append(_Template(
+        name="heap_overflow_read",
+        category=CLASS_INVALID_POINTER,
+        behavior="heap-buffer-overflow-read",
+        description="Read past the end of a heap allocation (CWE-126).",
+        bad="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(4 * sizeof(int));
+    if (!data) return 0;
+    for (int i = 0; i < 4; i++) data[i] = i;
+    int index = @VALUE@;
+    int result = data[index];
+    free(data);
+    return result;
+}}
+""",
+        good="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(4 * sizeof(int));
+    if (!data) return 0;
+    for (int i = 0; i < 4; i++) data[i] = i;
+    int index = @VALUE@;
+    int result = data[index];
+    free(data);
+    return result;
+}}
+"""))
+    templates.append(_Template(
+        name="null_dereference",
+        category=CLASS_INVALID_POINTER,
+        behavior="null-pointer-dereference",
+        description="Dereference a pointer that may be null (CWE-476).",
+        bad="""
+#include <stdlib.h>
+{helper}static int *pick(int use_null) {{
+    static int storage = 5;
+    if (use_null) return NULL;
+    return &storage;
+}}
+int main(void) {{
+    int *p = pick(@VALUE@);
+    return *p;
+}}
+""",
+        good="""
+#include <stdlib.h>
+{helper}static int *pick(int use_null) {{
+    static int storage = 5;
+    if (use_null) return NULL;
+    return &storage;
+}}
+int main(void) {{
+    int *p = pick(@VALUE@);
+    return *p;
+}}
+"""))
+    templates.append(_Template(
+        name="use_after_free",
+        category=CLASS_INVALID_POINTER,
+        behavior="use-after-free",
+        description="Use heap memory after it was freed (CWE-416).",
+        bad="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(sizeof(int));
+    if (!data) return 0;
+    *data = 9;
+    int early_free = @VALUE@;
+    if (early_free) free(data);
+    int result = *data;
+    if (!early_free) free(data);
+    return result;
+}}
+""",
+        good="""
+#include <stdlib.h>
+{helper}int main(void) {{
+    int *data = malloc(sizeof(int));
+    if (!data) return 0;
+    *data = 9;
+    int early_free = @VALUE@;
+    if (early_free) free(data);
+    int result = *data;
+    if (!early_free) free(data);
+    return result;
+}}
+"""))
+    templates.append(_Template(
+        name="return_stack_address",
+        category=CLASS_INVALID_POINTER,
+        behavior="return-of-stack-address",
+        description="Return the address of a local and use it after return (CWE-562).",
+        bad="""
+{helper}static int *make_value(int which) {{
+    static int persistent = 11;
+    int local = 11;
+    if (which) return &local;
+    return &persistent;
+}}
+int main(void) {{
+    int *p = make_value(@VALUE@);
+    return *p;
+}}
+""",
+        good="""
+{helper}static int *make_value(int which) {{
+    static int persistent = 11;
+    int local = 11;
+    if (which) return &local;
+    return &persistent;
+}}
+int main(void) {{
+    int *p = make_value(@VALUE@);
+    return *p;
+}}
+"""))
+    templates.append(_Template(
+        name="string_copy_overflow",
+        category=CLASS_INVALID_POINTER,
+        behavior="string-copy-overflow",
+        description="strcpy into a buffer that is too small (CWE-121).",
+        bad="""
+#include <string.h>
+#include <stdlib.h>
+{helper}int main(void) {{
+    int size = @VALUE@;
+    char *buffer = malloc(size);
+    if (!buffer) return 0;
+    strcpy(buffer, "0123456789");
+    int result = buffer[0];
+    free(buffer);
+    return result;
+}}
+""",
+        good="""
+#include <string.h>
+#include <stdlib.h>
+{helper}int main(void) {{
+    int size = @VALUE@;
+    char *buffer = malloc(size);
+    if (!buffer) return 0;
+    strcpy(buffer, "0123456789");
+    int result = buffer[0];
+    free(buffer);
+    return result;
+}}
+"""))
+    templates.append(_Template(
+        name="off_by_one_loop",
+        category=CLASS_INVALID_POINTER,
+        behavior="off-by-one-loop-overflow",
+        description="Loop bound one past the end of a stack array (CWE-193).",
+        bad="""
+{helper}int main(void) {{
+    int data[10];
+    int bound = @VALUE@;
+    for (int i = 0; i < bound; i++) {{
+        data[i] = i;
+    }}
+    return data[9];
+}}
+""",
+        good="""
+{helper}int main(void) {{
+    int data[10];
+    int bound = @VALUE@;
+    for (int i = 0; i < bound; i++) {{
+        data[i] = i;
+    }}
+    return data[9];
+}}
+"""))
+    return templates
+
+
+_INVALID_POINTER_VALUES = {
+    "stack_overflow_write": ("8", "7"),
+    "heap_overflow_write": ("8", "7"),
+    "heap_overflow_read": ("4", "3"),
+    "null_dereference": ("1", "0"),
+    "use_after_free": ("1", "0"),
+    "return_stack_address": ("1", "0"),
+    "string_copy_overflow": ("4", "16"),
+    "off_by_one_loop": ("11", "10"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Class 2: division by zero
+# ---------------------------------------------------------------------------
+
+def _division_templates() -> list[_Template]:
+    shared_bad_good = {
+        "int_division": ("0", "2"),
+        "int_modulus": ("0", "3"),
+        "division_in_loop": ("0", "5"),
+    }
+    body = {
+        "int_division": """
+{helper}int main(void) {{
+    int denominator = @VALUE@;
+    int result = 100 / denominator;
+    return result;
+}}
+""",
+        "int_modulus": """
+{helper}int main(void) {{
+    int denominator = @VALUE@;
+    int result = 100 % denominator;
+    return result;
+}}
+""",
+        "division_in_loop": """
+{helper}int main(void) {{
+    int denominator = @VALUE@;
+    int total = 0;
+    for (int i = 1; i <= 3; i++) {{
+        total += i / denominator;
+    }}
+    return total;
+}}
+""",
+    }
+    templates = []
+    for name, source in body.items():
+        templates.append(_Template(
+            name=name, category=CLASS_DIVISION_BY_ZERO, behavior=f"div-zero-{name}",
+            description="Integer division or modulus by zero (CWE-369).",
+            bad=source, good=source))
+    return templates, shared_bad_good
+
+
+# ---------------------------------------------------------------------------
+# Class 3: bad argument to free()
+# ---------------------------------------------------------------------------
+
+def _bad_free_templates() -> list[tuple[str, str, str]]:
+    """Returns (name, bad_source, good_source) triples (no flow variants)."""
+    cases = []
+    cases.append(("free_stack_pointer", """
+#include <stdlib.h>
+int main(void) {
+    int value = 5;
+    int *p = &value;
+    free(p);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    *p = 5;
+    free(p);
+    return 0;
+}
+"""))
+    cases.append(("free_interior_pointer", """
+#include <stdlib.h>
+int main(void) {
+    char *block = malloc(16);
+    if (!block) return 0;
+    free(block + 4);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+int main(void) {
+    char *block = malloc(16);
+    if (!block) return 0;
+    free(block);
+    return 0;
+}
+"""))
+    cases.append(("double_free", """
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    free(p);
+    free(p);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    free(p);
+    p = NULL;
+    free(p);
+    return 0;
+}
+"""))
+    cases.append(("free_global", """
+#include <stdlib.h>
+int global_value = 3;
+int main(void) {
+    free(&global_value);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+int global_value = 3;
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    *p = global_value;
+    free(p);
+    return 0;
+}
+"""))
+    cases.append(("free_string_literal", """
+#include <stdlib.h>
+int main(void) {
+    char *text = "constant";
+    free(text);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+    char *text = malloc(9);
+    if (!text) return 0;
+    strcpy(text, "constant");
+    free(text);
+    return 0;
+}
+"""))
+    cases.append(("double_free_via_alias", """
+#include <stdlib.h>
+int main(void) {
+    char *a = malloc(8);
+    if (!a) return 0;
+    char *b = a;
+    free(a);
+    free(b);
+    return 0;
+}
+""", """
+#include <stdlib.h>
+int main(void) {
+    char *a = malloc(8);
+    if (!a) return 0;
+    char *b = a;
+    b[0] = 1;
+    free(a);
+    return 0;
+}
+"""))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Class 4: uninitialized memory
+# ---------------------------------------------------------------------------
+
+def _uninitialized_templates() -> list[tuple[str, str, str]]:
+    cases = []
+    cases.append(("uninit_int_use", """
+int main(void) {
+    int value;
+    int doubled = value * 2;
+    return doubled;
+}
+""", """
+int main(void) {
+    int value = 21;
+    int doubled = value * 2;
+    return doubled;
+}
+"""))
+    cases.append(("uninit_array_element", """
+int main(void) {
+    int data[4];
+    data[0] = 1;
+    data[1] = 2;
+    data[2] = 3;
+    return data[3];
+}
+""", """
+int main(void) {
+    int data[4];
+    data[0] = 1;
+    data[1] = 2;
+    data[2] = 3;
+    data[3] = 4;
+    return data[3];
+}
+"""))
+    cases.append(("uninit_struct_field", """
+struct config { int width; int height; };
+int main(void) {
+    struct config c;
+    c.width = 640;
+    return c.height;
+}
+""", """
+struct config { int width; int height; };
+int main(void) {
+    struct config c;
+    c.width = 640;
+    c.height = 480;
+    return c.height;
+}
+"""))
+    cases.append(("uninit_pointer_deref", """
+int main(void) {
+    int *pointer;
+    return *pointer;
+}
+""", """
+int main(void) {
+    int target = 7;
+    int *pointer = &target;
+    return *pointer;
+}
+"""))
+    cases.append(("uninit_heap_read", """
+#include <stdlib.h>
+int main(void) {
+    int *data = malloc(4 * sizeof(int));
+    if (!data) return 0;
+    int result = data[2];
+    free(data);
+    return result;
+}
+""", """
+#include <stdlib.h>
+int main(void) {
+    int *data = calloc(4, sizeof(int));
+    if (!data) return 0;
+    int result = data[2];
+    free(data);
+    return result;
+}
+"""))
+    cases.append(("uninit_passed_to_function", """
+static int consume(int value) { return value + 1; }
+int main(void) {
+    int value;
+    return consume(value);
+}
+""", """
+static int consume(int value) { return value + 1; }
+int main(void) {
+    int value = 41;
+    return consume(value);
+}
+"""))
+    cases.append(("uninit_condition", """
+int main(void) {
+    int flag;
+    if (flag) {
+        return 1;
+    }
+    return 0;
+}
+""", """
+int main(void) {
+    int flag = 0;
+    if (flag) {
+        return 1;
+    }
+    return 0;
+}
+"""))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Class 5: bad function call
+# ---------------------------------------------------------------------------
+
+def _bad_call_templates() -> list[tuple[str, str, str]]:
+    cases = []
+    cases.append(("too_few_arguments", """
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+int main(void) {
+    return add(1);
+}
+""", """
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+int main(void) {
+    return add(1, 2);
+}
+"""))
+    cases.append(("too_many_arguments", """
+int identity(int a);
+int identity(int a) { return a; }
+int main(void) {
+    return identity(1, 2, 3);
+}
+""", """
+int identity(int a);
+int identity(int a) { return a; }
+int main(void) {
+    return identity(1);
+}
+"""))
+    cases.append(("int_passed_for_pointer", """
+#include <string.h>
+int main(void) {
+    return (int)strlen(1234);
+}
+""", """
+#include <string.h>
+int main(void) {
+    return (int)strlen("1234");
+}
+"""))
+    cases.append(("pointer_passed_for_int", """
+static int square(int x) { return x * x; }
+int main(void) {
+    int value = 3;
+    int *p = &value;
+    return square(p);
+}
+""", """
+static int square(int x) { return x * x; }
+int main(void) {
+    int value = 3;
+    int *p = &value;
+    return square(*p);
+}
+"""))
+    cases.append(("incompatible_function_pointer", """
+static int add(int a, int b) { return a + b; }
+int main(void) {
+    int (*f)(int) = (int (*)(int))add;
+    return f(1);
+}
+""", """
+static int add(int a, int b) { return a + b; }
+int main(void) {
+    int (*f)(int, int) = add;
+    return f(1, 2);
+}
+"""))
+    cases.append(("format_string_mismatch", """
+#include <stdio.h>
+int main(void) {
+    int value = 3;
+    printf("%s\\n", value);
+    return 0;
+}
+""", """
+#include <stdio.h>
+int main(void) {
+    int value = 3;
+    printf("%d\\n", value);
+    return 0;
+}
+"""))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Class 6: integer overflow
+# ---------------------------------------------------------------------------
+
+def _overflow_templates() -> list[_Template]:
+    shared = {
+        "addition_overflow": ("2147483647", "2147483646 - 41"),
+        "multiplication_overflow": ("65536", "1024"),
+        "increment_overflow": ("2147483647", "100"),
+        "subtraction_overflow": ("-2147483647 - 1", "-100"),
+    }
+    body = {
+        "addition_overflow": """
+{helper}int main(void) {{
+    int value = @VALUE@;
+    int result = value + 42;
+    return result > 0 ? 0 : 1;
+}}
+""",
+        "multiplication_overflow": """
+{helper}int main(void) {{
+    int value = @VALUE@;
+    int result = value * 65536;
+    return result > 0 ? 0 : 1;
+}}
+""",
+        "increment_overflow": """
+{helper}int main(void) {{
+    int value = @VALUE@;
+    value++;
+    return value > 0 ? 0 : 1;
+}}
+""",
+        "subtraction_overflow": """
+{helper}int main(void) {{
+    int value = @VALUE@;
+    int result = value - 42;
+    return result < 0 ? 0 : 1;
+}}
+""",
+    }
+    templates = []
+    for name, source in body.items():
+        templates.append(_Template(
+            name=name, category=CLASS_INTEGER_OVERFLOW, behavior=f"overflow-{name}",
+            description="Signed integer overflow (CWE-190).",
+            bad=source, good=source))
+    return templates, shared
+
+
+# ---------------------------------------------------------------------------
+# Suite assembly
+# ---------------------------------------------------------------------------
+
+class JulietLikeSuite(TestSuite):
+    """The generated Juliet-style benchmark (Figure 2 substrate)."""
+
+
+def _add_flow_cases(suite: TestSuite, template: _Template,
+                    flaw_value: str, safe_value: str) -> None:
+    for flow in _FLOW_VARIANTS:
+        for is_bad in (True, False):
+            helper = _helper_function(flow, flaw_value, safe_value, is_bad)
+            body = template.bad if is_bad else template.good
+            source = body.format(helper=helper)
+            source = _flow_wrap(source, flow, flaw_value, safe_value, is_bad)
+            suite.add(TestCase(
+                name=f"{template.name}_{flow}_{'bad' if is_bad else 'good'}",
+                source=source,
+                is_bad=is_bad,
+                category=template.category,
+                behavior=template.behavior,
+                stage="dynamic",
+                description=template.description,
+            ))
+
+
+def _add_pair_cases(suite: TestSuite, category: str,
+                    cases: Iterable[tuple[str, str, str]]) -> None:
+    for name, bad_source, good_source in cases:
+        suite.add(TestCase(name=f"{name}_bad", source=bad_source, is_bad=True,
+                           category=category, behavior=name, stage="dynamic"))
+        suite.add(TestCase(name=f"{name}_good", source=good_source, is_bad=False,
+                           category=category, behavior=name, stage="dynamic"))
+
+
+def generate_juliet_suite() -> JulietLikeSuite:
+    """Generate the full Juliet-style benchmark."""
+    suite = JulietLikeSuite(name="the Juliet-style suite")
+
+    for template in _invalid_pointer_templates():
+        flaw, safe = _INVALID_POINTER_VALUES[template.name]
+        _add_flow_cases(suite, template, flaw, safe)
+
+    division_templates, division_values = _division_templates()
+    for template in division_templates:
+        flaw, safe = division_values[template.name]
+        _add_flow_cases(suite, template, flaw, safe)
+
+    _add_pair_cases(suite, CLASS_BAD_FREE, _bad_free_templates())
+    _add_pair_cases(suite, CLASS_UNINITIALIZED, _uninitialized_templates())
+    _add_pair_cases(suite, CLASS_BAD_CALL, _bad_call_templates())
+
+    overflow_templates, overflow_values = _overflow_templates()
+    for template in overflow_templates:
+        flaw, safe = overflow_values[template.name]
+        _add_flow_cases(suite, template, flaw, safe)
+
+    return suite

@@ -1,0 +1,1563 @@
+"""The undefinedness test suite (Section 5.2 of the paper).
+
+The paper's authors built their own suite because no existing benchmark
+covered undefined behavior broadly: 178 tests over 70 of the 221 undefined
+behaviors, each behavior tested by a separate small program paired with a
+defined "control" program, classified as statically or dynamically
+detectable.  This module is our version of that suite: a hand-written
+catalog of undefined/defined program pairs, each tagged with the C11 section
+that makes the bad program undefined and with its static/dynamic
+classification.
+
+The suite leans toward the non-library, dynamically detectable behaviors,
+exactly as the paper's does, and includes all four of the example behaviors
+the paper calls out as absent from the Juliet tests (modifying a string
+literal, effective-type violations, subtraction of unrelated pointers, and
+unsequenced side effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.suites.harness import TestCase, TestSuite
+
+GROUP_ARITHMETIC = "arithmetic"
+GROUP_POINTERS = "pointers and memory"
+GROUP_LIFETIME = "object lifetime"
+GROUP_SEQUENCING = "sequencing and const"
+GROUP_TYPES = "types and lvalues"
+GROUP_FUNCTIONS = "functions"
+GROUP_LIBRARY = "library"
+GROUP_DECLARATIONS = "declarations (static)"
+
+
+@dataclass(frozen=True)
+class BehaviorTest:
+    """One undefined behavior: its metadata plus a bad/good program pair."""
+
+    behavior: str
+    section: str
+    stage: str              # "static" or "dynamic"
+    group: str
+    description: str
+    bad: str
+    good: str
+
+
+#: The suite proper.  Each entry contributes two test programs.
+BEHAVIOR_TESTS: list[BehaviorTest] = [
+    # ------------------------------------------------------------------
+    # Arithmetic (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="division-by-zero", section="6.5.5:5", stage="dynamic", group=GROUP_ARITHMETIC,
+        description="Integer division by zero.",
+        bad="""
+int main(void) {
+    int d = 0;
+    return 5 / d;
+}
+""",
+        good="""
+int main(void) {
+    int d = 5;
+    return 5 / d;
+}
+"""),
+    BehaviorTest(
+        behavior="modulo-by-zero", section="6.5.5:5", stage="dynamic", group=GROUP_ARITHMETIC,
+        description="Integer remainder by zero.",
+        bad="""
+int main(void) {
+    int d = 0;
+    return 17 % d;
+}
+""",
+        good="""
+int main(void) {
+    int d = 5;
+    return 17 % d;
+}
+"""),
+    BehaviorTest(
+        behavior="int-min-divided-by-minus-one", section="6.5.5:6", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="INT_MIN / -1 is not representable.",
+        bad="""
+#include <limits.h>
+int main(void) {
+    int numerator = INT_MIN;
+    int denominator = -1;
+    return (int)(numerator / denominator == 0);
+}
+""",
+        good="""
+#include <limits.h>
+int main(void) {
+    int numerator = INT_MIN + 1;
+    int denominator = -1;
+    return (int)(numerator / denominator == 0);
+}
+"""),
+    BehaviorTest(
+        behavior="signed-addition-overflow", section="6.5:5", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Signed integer overflow in addition.",
+        bad="""
+#include <limits.h>
+int main(void) {
+    int x = INT_MAX;
+    int y = x + 1;
+    return y < x;
+}
+""",
+        good="""
+#include <limits.h>
+int main(void) {
+    int x = INT_MAX - 1;
+    int y = x + 1;
+    return y < x;
+}
+"""),
+    BehaviorTest(
+        behavior="signed-multiplication-overflow", section="6.5:5", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Signed integer overflow in multiplication.",
+        bad="""
+int main(void) {
+    int x = 1000000;
+    int y = x * 10000;
+    return y > 0;
+}
+""",
+        good="""
+int main(void) {
+    int x = 1000;
+    int y = x * 1000;
+    return y > 0;
+}
+"""),
+    BehaviorTest(
+        behavior="signed-negation-overflow", section="6.5:5", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Negating INT_MIN overflows.",
+        bad="""
+#include <limits.h>
+int main(void) {
+    int x = INT_MIN;
+    int y = -x;
+    return y > 0;
+}
+""",
+        good="""
+#include <limits.h>
+int main(void) {
+    int x = INT_MIN + 1;
+    int y = -x;
+    return y > 0;
+}
+"""),
+    BehaviorTest(
+        behavior="shift-amount-too-large", section="6.5.7:3", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Shift by an amount >= the width of the promoted operand.",
+        bad="""
+int main(void) {
+    int x = 1;
+    int amount = 40;
+    return x << amount;
+}
+""",
+        good="""
+int main(void) {
+    int x = 1;
+    int amount = 20;
+    return (x << amount) != 0;
+}
+"""),
+    BehaviorTest(
+        behavior="shift-negative-amount", section="6.5.7:3", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Shift by a negative amount.",
+        bad="""
+int main(void) {
+    int x = 4;
+    int amount = -2;
+    return x >> amount;
+}
+""",
+        good="""
+int main(void) {
+    int x = 4;
+    int amount = 2;
+    return x >> amount;
+}
+"""),
+    BehaviorTest(
+        behavior="left-shift-of-negative", section="6.5.7:4", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Left shift of a negative value.",
+        bad="""
+int main(void) {
+    int x = -1;
+    int y = x << 2;
+    return y != 0;
+}
+""",
+        good="""
+int main(void) {
+    int x = 1;
+    int y = x << 2;
+    return y != 4;
+}
+"""),
+    BehaviorTest(
+        behavior="left-shift-overflow", section="6.5.7:4", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Left shift whose result is not representable.",
+        bad="""
+int main(void) {
+    int x = 1;
+    int y = x << 31;
+    return y != 0;
+}
+""",
+        good="""
+int main(void) {
+    unsigned int x = 1;
+    unsigned int y = x << 31;
+    return y == 0;
+}
+"""),
+    BehaviorTest(
+        behavior="float-to-int-overflow", section="6.3.1.4:1", stage="dynamic",
+        group=GROUP_ARITHMETIC,
+        description="Conversion of an out-of-range floating value to an integer type.",
+        bad="""
+int main(void) {
+    double huge = 1e30;
+    int truncated = (int)huge;
+    return truncated != 0;
+}
+""",
+        good="""
+int main(void) {
+    double small = 1e3;
+    int truncated = (int)small;
+    return truncated != 1000;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Pointers and memory (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="null-pointer-dereference", section="6.5.3.2:4", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Dereference of a null pointer.",
+        bad="""
+#include <stddef.h>
+int main(void) {
+    int *p = NULL;
+    return *p;
+}
+""",
+        good="""
+#include <stddef.h>
+int main(void) {
+    int x = 3;
+    int *p = &x;
+    return *p;
+}
+"""),
+    BehaviorTest(
+        behavior="array-read-out-of-bounds", section="6.5.6:8", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Read past the end of an array.",
+        bad="""
+int main(void) {
+    int data[4] = {1, 2, 3, 4};
+    int i = 4;
+    return data[i];
+}
+""",
+        good="""
+int main(void) {
+    int data[4] = {1, 2, 3, 4};
+    int i = 3;
+    return data[i];
+}
+"""),
+    BehaviorTest(
+        behavior="array-write-out-of-bounds", section="6.5.6:8", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Write past the end of an array.",
+        bad="""
+int main(void) {
+    int data[4] = {0, 0, 0, 0};
+    int i = 5;
+    data[i] = 1;
+    return data[0];
+}
+""",
+        good="""
+int main(void) {
+    int data[4] = {0, 0, 0, 0};
+    int i = 2;
+    data[i] = 1;
+    return data[0];
+}
+"""),
+    BehaviorTest(
+        behavior="pointer-arithmetic-out-of-object", section="6.5.6:8", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Pointer arithmetic producing a pointer more than one past the end.",
+        bad="""
+int main(void) {
+    int data[4] = {0, 1, 2, 3};
+    int *p = data;
+    p = p + 6;
+    return p != data;
+}
+""",
+        good="""
+int main(void) {
+    int data[4] = {0, 1, 2, 3};
+    int *p = data;
+    p = p + 4;
+    return p != data;
+}
+"""),
+    BehaviorTest(
+        behavior="dereference-one-past-end", section="6.5.6:8", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Dereferencing the one-past-the-end pointer.",
+        bad="""
+int main(void) {
+    int data[4] = {0, 1, 2, 3};
+    int *end = data + 4;
+    return *end;
+}
+""",
+        good="""
+int main(void) {
+    int data[4] = {0, 1, 2, 3};
+    int *end = data + 4;
+    return *(end - 1);
+}
+"""),
+    BehaviorTest(
+        behavior="relational-comparison-unrelated-pointers", section="6.5.8:5", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Relational comparison of pointers to different objects.",
+        bad="""
+int main(void) {
+    int a, b;
+    a = 1; b = 2;
+    if (&a < &b) { return 1; }
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    struct { int a; int b; } s;
+    s.a = 1; s.b = 2;
+    if (&s.a < &s.b) { return 1; }
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="subtraction-unrelated-pointers", section="6.5.6:9", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Subtraction of pointers into different array objects.",
+        bad="""
+int main(void) {
+    int a[4]; int b[4];
+    a[0] = 0; b[0] = 0;
+    return (int)(&a[1] - &b[0]);
+}
+""",
+        good="""
+int main(void) {
+    int a[4];
+    a[0] = 0;
+    return (int)(&a[3] - &a[0]);
+}
+"""),
+    BehaviorTest(
+        behavior="dereference-void-pointer", section="6.3.2.1:1", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Dereference of a pointer to void.",
+        bad="""
+int main(void) {
+    int x = 3;
+    void *p = &x;
+    *p;
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    int x = 3;
+    void *p = &x;
+    return *(int *)p;
+}
+"""),
+    BehaviorTest(
+        behavior="misaligned-pointer-access", section="6.3.2.3:7", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Access through a pointer that is not suitably aligned.",
+        bad="""
+int main(void) {
+    char buffer[16];
+    for (int i = 0; i < 16; i++) buffer[i] = (char)i;
+    int *p = (int *)(buffer + 1);
+    return *p;
+}
+""",
+        good="""
+int main(void) {
+    char buffer[16];
+    for (int i = 0; i < 16; i++) buffer[i] = (char)i;
+    char *p = buffer + 1;
+    return *p;
+}
+"""),
+    BehaviorTest(
+        behavior="null-pointer-arithmetic", section="6.5.6:8", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Arithmetic on a null pointer.",
+        bad="""
+#include <stddef.h>
+int main(void) {
+    char *p = NULL;
+    char *q = p + 4;
+    return q != NULL;
+}
+""",
+        good="""
+#include <stddef.h>
+int main(void) {
+    char buffer[8];
+    buffer[4] = 0;
+    char *q = buffer + 4;
+    return q == NULL;
+}
+"""),
+    BehaviorTest(
+        behavior="modify-string-literal", section="6.4.5:7", stage="dynamic",
+        group=GROUP_POINTERS,
+        description="Attempt to modify a string literal.",
+        bad="""
+int main(void) {
+    char *s = "hello";
+    s[0] = 'H';
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    char s[] = "hello";
+    s[0] = 'H';
+    return s[0] == 'H' ? 0 : 1;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Object lifetime (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="use-after-free", section="6.2.4:2", stage="dynamic", group=GROUP_LIFETIME,
+        description="Use of heap memory after free().",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    *p = 1;
+    free(p);
+    return *p;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    *p = 1;
+    int result = *p;
+    free(p);
+    return result;
+}
+"""),
+    BehaviorTest(
+        behavior="double-free", section="7.22.3.3:2", stage="dynamic", group=GROUP_LIFETIME,
+        description="free() called twice on the same allocation.",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(8);
+    if (!p) return 0;
+    free(p);
+    free(p);
+    return 0;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(8);
+    if (!p) return 0;
+    free(p);
+    p = NULL;
+    free(p);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="free-of-non-heap-pointer", section="7.22.3.3:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="free() of a pointer not returned by an allocation function.",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    int local = 1;
+    free(&local);
+    return 0;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (!p) return 0;
+    free(p);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="free-of-interior-pointer", section="7.22.3.3:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="free() of a pointer into the middle of an allocation.",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(16);
+    if (!p) return 0;
+    free(p + 8);
+    return 0;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(16);
+    if (!p) return 0;
+    free(p);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="use-of-dead-automatic-object", section="6.2.4:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="Use of a pointer to an automatic object whose lifetime has ended.",
+        bad="""
+static int *escape(void) {
+    int local = 7;
+    return &local;
+}
+int main(void) {
+    int *p = escape();
+    return *p;
+}
+""",
+        good="""
+static int *escape(void) {
+    static int persistent = 7;
+    return &persistent;
+}
+int main(void) {
+    int *p = escape();
+    return *p;
+}
+"""),
+    BehaviorTest(
+        behavior="use-of-pointer-to-exited-block", section="6.2.4:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="Use of a pointer to a block-scoped object after the block exits.",
+        bad="""
+int main(void) {
+    int *p;
+    {
+        int inner = 9;
+        p = &inner;
+    }
+    return *p;
+}
+""",
+        good="""
+int main(void) {
+    int outer = 9;
+    int *p;
+    {
+        p = &outer;
+    }
+    return *p;
+}
+"""),
+    BehaviorTest(
+        behavior="read-of-uninitialized-object", section="6.3.2.1:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="Use of the value of an uninitialized automatic object.",
+        bad="""
+int main(void) {
+    int value;
+    return value + 1;
+}
+""",
+        good="""
+int main(void) {
+    int value = 0;
+    return value + 1;
+}
+"""),
+    BehaviorTest(
+        behavior="read-of-uninitialized-heap", section="6.3.2.1:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="Use of an indeterminate value read from malloc'd storage.",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int) * 2);
+    if (!p) return 0;
+    int value = p[1];
+    free(p);
+    return value;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    int *p = calloc(2, sizeof(int));
+    if (!p) return 0;
+    int value = p[1];
+    free(p);
+    return value;
+}
+"""),
+    BehaviorTest(
+        behavior="dereference-of-uninitialized-pointer", section="6.3.2.1:2", stage="dynamic",
+        group=GROUP_LIFETIME,
+        description="Dereference of an uninitialized pointer.",
+        bad="""
+int main(void) {
+    int *p;
+    return *p;
+}
+""",
+        good="""
+int main(void) {
+    int x = 2;
+    int *p = &x;
+    return *p;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Sequencing and const (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="unsequenced-writes-to-scalar", section="6.5:2", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="Two unsequenced side effects on the same scalar object.",
+        bad="""
+int main(void) {
+    int x = 0;
+    return (x = 1) + (x = 2);
+}
+""",
+        good="""
+int main(void) {
+    int x = 0;
+    x = 1;
+    int first = x;
+    x = 2;
+    return first + x;
+}
+"""),
+    BehaviorTest(
+        behavior="unsequenced-write-and-read", section="6.5:2", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="A side effect unsequenced with a value computation of the same object.",
+        bad="""
+int main(void) {
+    int i = 1;
+    int result = (i = 5) + i;
+    return result;
+}
+""",
+        good="""
+int main(void) {
+    int i = 1;
+    i = 5;
+    int result = i + i;
+    return result;
+}
+"""),
+    BehaviorTest(
+        behavior="unsequenced-increment-in-assignment", section="6.5:2", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="i = i++ modifies i twice without a sequence point.",
+        bad="""
+int main(void) {
+    int i = 0;
+    i = i++;
+    return i;
+}
+""",
+        good="""
+int main(void) {
+    int i = 0;
+    i++;
+    return i;
+}
+"""),
+    BehaviorTest(
+        behavior="unsequenced-increments-in-call", section="6.5:2", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="The same object modified twice in unsequenced function arguments.",
+        bad="""
+static int combine(int a, int b) { return a * 10 + b; }
+int main(void) {
+    int i = 1;
+    return combine(i++, i++);
+}
+""",
+        good="""
+static int combine(int a, int b) { return a * 10 + b; }
+int main(void) {
+    int i = 1;
+    int first = i++;
+    int second = i++;
+    return combine(first, second);
+}
+"""),
+    BehaviorTest(
+        behavior="write-to-const-object", section="6.7.3:6", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="Modification of an object defined with a const-qualified type.",
+        bad="""
+int main(void) {
+    const int limit = 10;
+    int *p = (int *)&limit;
+    *p = 20;
+    return limit;
+}
+""",
+        good="""
+int main(void) {
+    int limit = 10;
+    int *p = &limit;
+    *p = 20;
+    return limit;
+}
+"""),
+    BehaviorTest(
+        behavior="write-to-const-through-strchr", section="6.7.3:6", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="The paper's strchr example: const dropped by the library, then written.",
+        bad="""
+#include <string.h>
+int main(void) {
+    const char p[] = "hello";
+    char *q = strchr(p, p[0]);
+    *q = 'H';
+    return 0;
+}
+""",
+        good="""
+#include <string.h>
+int main(void) {
+    char p[] = "hello";
+    char *q = strchr(p, p[0]);
+    *q = 'H';
+    return p[0] == 'H' ? 0 : 1;
+}
+"""),
+    BehaviorTest(
+        behavior="write-to-const-struct-member", section="6.7.3:6", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="Modification of a member of a const-qualified structure.",
+        bad="""
+struct settings { int verbose; };
+int main(void) {
+    const struct settings defaults = { 1 };
+    struct settings *p = (struct settings *)&defaults;
+    p->verbose = 0;
+    return defaults.verbose;
+}
+""",
+        good="""
+struct settings { int verbose; };
+int main(void) {
+    struct settings defaults = { 1 };
+    struct settings *p = &defaults;
+    p->verbose = 0;
+    return defaults.verbose;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Types and lvalues (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="effective-type-violation", section="6.5:7", stage="dynamic",
+        group=GROUP_TYPES,
+        description="Object accessed through an lvalue of incompatible type.",
+        bad="""
+int main(void) {
+    int value = 0x01020304;
+    short *p = (short *)&value;
+    return p[0];
+}
+""",
+        good="""
+int main(void) {
+    int value = 0x01020304;
+    unsigned char *p = (unsigned char *)&value;
+    return p[0];
+}
+"""),
+    BehaviorTest(
+        behavior="heap-type-punning", section="6.5:7", stage="dynamic", group=GROUP_TYPES,
+        description="Allocated object written as one type and read as an incompatible one.",
+        bad="""
+#include <stdlib.h>
+int main(void) {
+    void *storage = malloc(8);
+    if (!storage) return 0;
+    *(long *)storage = 1;
+    double reinterpreted = *(double *)storage;
+    free(storage);
+    return reinterpreted > 0.0;
+}
+""",
+        good="""
+#include <stdlib.h>
+int main(void) {
+    void *storage = malloc(8);
+    if (!storage) return 0;
+    *(long *)storage = 1;
+    long read_back = *(long *)storage;
+    free(storage);
+    return read_back != 1;
+}
+"""),
+    BehaviorTest(
+        behavior="partial-pointer-copy-use", section="6.2.6.1:5", stage="dynamic",
+        group=GROUP_TYPES,
+        description="Using a pointer object only some of whose bytes were copied.",
+        bad="""
+int main(void) {
+    int x = 5, y = 6;
+    int *p = &x, *q = &y;
+    char *a = (char *)&p, *b = (char *)&q;
+    a[0] = b[0]; a[1] = b[1]; a[2] = b[2];
+    return *p;
+}
+""",
+        good="""
+int main(void) {
+    int x = 5, y = 6;
+    int *p = &x, *q = &y;
+    char *a = (char *)&p, *b = (char *)&q;
+    a[0] = b[0]; a[1] = b[1]; a[2] = b[2];
+    a[3] = b[3]; a[4] = b[4]; a[5] = b[5]; a[6] = b[6]; a[7] = b[7];
+    return *p;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Functions (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="call-with-wrong-argument-count", section="6.5.2.2:6", stage="dynamic",
+        group=GROUP_FUNCTIONS,
+        description="Function called with the wrong number of arguments.",
+        bad="""
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+int main(void) {
+    return add(1);
+}
+""",
+        good="""
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+int main(void) {
+    return add(1, 2);
+}
+"""),
+    BehaviorTest(
+        behavior="call-with-wrong-argument-type", section="6.5.2.2:6", stage="dynamic",
+        group=GROUP_FUNCTIONS,
+        description="Function called with an argument of incompatible type.",
+        bad="""
+static int deref(int *p) { return *p; }
+int main(void) {
+    return deref(42);
+}
+""",
+        good="""
+static int deref(int *p) { return *p; }
+int main(void) {
+    int value = 42;
+    return deref(&value);
+}
+"""),
+    BehaviorTest(
+        behavior="call-through-incompatible-function-pointer", section="6.5.2.2:9",
+        stage="dynamic", group=GROUP_FUNCTIONS,
+        description="Function called through a pointer to an incompatible function type.",
+        bad="""
+static int add(int a, int b) { return a + b; }
+int main(void) {
+    int (*f)(int) = (int (*)(int))add;
+    return f(3);
+}
+""",
+        good="""
+static int add(int a, int b) { return a + b; }
+int main(void) {
+    int (*f)(int, int) = add;
+    return f(3, 4);
+}
+"""),
+    BehaviorTest(
+        behavior="use-of-missing-return-value", section="6.9.1:12", stage="dynamic",
+        group=GROUP_FUNCTIONS,
+        description="Using the value of a function that fell off its end without returning one.",
+        bad="""
+static int maybe_answer(int want) {
+    if (want) { return 42; }
+}
+int main(void) {
+    return maybe_answer(0) + 1;
+}
+""",
+        good="""
+static int maybe_answer(int want) {
+    if (want) { return 42; }
+    return 0;
+}
+int main(void) {
+    return maybe_answer(0) + 1;
+}
+"""),
+    BehaviorTest(
+        behavior="call-through-null-function-pointer", section="6.5.3.2:4", stage="dynamic",
+        group=GROUP_FUNCTIONS,
+        description="Call through a null function pointer.",
+        bad="""
+#include <stddef.h>
+int main(void) {
+    int (*f)(void) = NULL;
+    return f();
+}
+""",
+        good="""
+#include <stddef.h>
+static int zero(void) { return 0; }
+int main(void) {
+    int (*f)(void) = zero;
+    return f();
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Library (dynamic)
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="strcpy-buffer-overflow", section="7.24.2.3", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="strcpy into a destination that is too small.",
+        bad="""
+#include <string.h>
+int main(void) {
+    char small[4];
+    strcpy(small, "overflowing");
+    return small[0];
+}
+""",
+        good="""
+#include <string.h>
+int main(void) {
+    char big[16];
+    strcpy(big, "fits");
+    return big[0];
+}
+"""),
+    BehaviorTest(
+        behavior="strlen-of-unterminated-buffer", section="7.24.6.3", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="strlen applied to a buffer with no terminating NUL.",
+        bad="""
+#include <string.h>
+int main(void) {
+    char letters[4];
+    letters[0] = 'a'; letters[1] = 'b'; letters[2] = 'c'; letters[3] = 'd';
+    return (int)strlen(letters);
+}
+""",
+        good="""
+#include <string.h>
+int main(void) {
+    char letters[4];
+    letters[0] = 'a'; letters[1] = 'b'; letters[2] = 'c'; letters[3] = 0;
+    return (int)strlen(letters);
+}
+"""),
+    BehaviorTest(
+        behavior="memcpy-overlapping-objects", section="7.24.2.1:2", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="memcpy with overlapping source and destination.",
+        bad="""
+#include <string.h>
+int main(void) {
+    char buffer[16] = "abcdefgh";
+    memcpy(buffer + 2, buffer, 8);
+    return buffer[2];
+}
+""",
+        good="""
+#include <string.h>
+int main(void) {
+    char buffer[16] = "abcdefgh";
+    memmove(buffer + 2, buffer, 8);
+    return buffer[2];
+}
+"""),
+    BehaviorTest(
+        behavior="memcpy-out-of-bounds", section="7.24.2.1", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="memcpy reading past the end of the source object.",
+        bad="""
+#include <string.h>
+int main(void) {
+    char source[4] = {1, 2, 3, 4};
+    char destination[16];
+    memcpy(destination, source, 8);
+    return destination[0];
+}
+""",
+        good="""
+#include <string.h>
+int main(void) {
+    char source[4] = {1, 2, 3, 4};
+    char destination[16];
+    memcpy(destination, source, 4);
+    return destination[0];
+}
+"""),
+    BehaviorTest(
+        behavior="printf-format-mismatch", section="7.21.6.1:9", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="printf conversion specification incompatible with its argument.",
+        bad="""
+#include <stdio.h>
+int main(void) {
+    int value = 7;
+    printf("%s\\n", value);
+    return 0;
+}
+""",
+        good="""
+#include <stdio.h>
+int main(void) {
+    int value = 7;
+    printf("%d\\n", value);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="printf-missing-argument", section="7.21.6.1:2", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="printf with fewer arguments than conversion specifications.",
+        bad="""
+#include <stdio.h>
+int main(void) {
+    printf("%d %d\\n", 1);
+    return 0;
+}
+""",
+        good="""
+#include <stdio.h>
+int main(void) {
+    printf("%d %d\\n", 1, 2);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="negative-abs-overflow", section="7.22.6.1", stage="dynamic",
+        group=GROUP_LIBRARY,
+        description="abs(INT_MIN) is not representable.",
+        bad="""
+#include <stdlib.h>
+#include <limits.h>
+int main(void) {
+    int value = INT_MIN;
+    return abs(value) < 0;
+}
+""",
+        good="""
+#include <stdlib.h>
+#include <limits.h>
+int main(void) {
+    int value = INT_MIN + 1;
+    return abs(value) < 0;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Behaviors the default checker configuration does NOT catch.
+    # They are included deliberately (the paper's suite likewise contains
+    # behaviors its own tool missed): a benchmark that only contains what
+    # one tool detects cannot measure that tool.
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="unsequenced-conflict-on-other-order", section="6.5:2", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="Write/read conflict that only manifests under right-to-left evaluation "
+                    "(requires the evaluation-order search of Section 2.5.2).",
+        bad="""
+int main(void) {
+    int i = 1;
+    int r = i + (i = 2);
+    return r;
+}
+""",
+        good="""
+int main(void) {
+    int i = 1;
+    int first = i;
+    i = 2;
+    return first + i;
+}
+"""),
+    BehaviorTest(
+        behavior="evaluation-order-dependent-division", section="6.5.5:5", stage="dynamic",
+        group=GROUP_SEQUENCING,
+        description="The paper's setDenom example: division by zero reachable only under "
+                    "some evaluation orders of the call and the division.",
+        bad="""
+static int d = 5;
+static int setDenom(int x) { return d = x; }
+int main(void) {
+    return (10 / d) + setDenom(0);
+}
+""",
+        good="""
+static int d = 5;
+static int setDenom(int x) { return d = x; }
+int main(void) {
+    int quotient = 10 / d;
+    return quotient + setDenom(0);
+}
+"""),
+    BehaviorTest(
+        behavior="restrict-qualifier-violation", section="6.7.3.1", stage="dynamic",
+        group=GROUP_TYPES,
+        description="Two restrict-qualified pointers alias the same object.",
+        bad="""
+static void scale(int * restrict out, int * restrict in) {
+    out[0] = in[0] * 2;
+    out[1] = in[1] * 2;
+}
+int main(void) {
+    int data[2] = {1, 2};
+    scale(data, data);
+    return data[0];
+}
+""",
+        good="""
+static void scale(int * restrict out, int * restrict in) {
+    out[0] = in[0] * 2;
+    out[1] = in[1] * 2;
+}
+int main(void) {
+    int source[2] = {1, 2};
+    int target[2] = {0, 0};
+    scale(target, source);
+    return target[0];
+}
+"""),
+    BehaviorTest(
+        behavior="volatile-accessed-through-nonvolatile", section="6.7.3:7", stage="dynamic",
+        group=GROUP_TYPES,
+        description="Volatile object referred to through a non-volatile lvalue.",
+        bad="""
+int main(void) {
+    volatile int sensor = 3;
+    int *plain = (int *)&sensor;
+    return *plain;
+}
+""",
+        good="""
+int main(void) {
+    volatile int sensor = 3;
+    volatile int *typed = &sensor;
+    return *typed;
+}
+"""),
+
+    # ------------------------------------------------------------------
+    # Statically detectable behaviors
+    # ------------------------------------------------------------------
+    BehaviorTest(
+        behavior="array-of-zero-length", section="6.7.6.2:1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Array declared with length zero (the paper's Section 3.2 example).",
+        bad="""
+int main(void) {
+    int empty[0];
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    int single[1];
+    single[0] = 0;
+    return single[0];
+}
+"""),
+    BehaviorTest(
+        behavior="array-of-negative-length", section="6.7.6.2:1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Array declared with a negative length.",
+        bad="""
+int main(void) {
+    int impossible[-4];
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    int possible[4];
+    possible[0] = 0;
+    return possible[0];
+}
+"""),
+    BehaviorTest(
+        behavior="qualified-function-type", section="6.7.3:9", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="A function type specified with type qualifiers.",
+        bad="""
+typedef int handler(void);
+const handler process;
+int main(void) {
+    return 0;
+}
+""",
+        good="""
+typedef int handler(void);
+handler process;
+int main(void) {
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="duplicate-label", section="6.8.1:3", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="The same label defined twice in one function.",
+        bad="""
+int main(void) {
+    int x = 0;
+retry:
+    x++;
+    if (x < 2) goto retry;
+retry:
+    return x;
+}
+""",
+        good="""
+int main(void) {
+    int x = 0;
+retry:
+    x++;
+    if (x < 2) goto retry;
+    return x;
+}
+"""),
+    BehaviorTest(
+        behavior="goto-undefined-label", section="6.8.6.1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="goto to a label that does not exist in the function.",
+        bad="""
+int main(void) {
+    int x = 0;
+    if (x) goto missing;
+    return x;
+}
+""",
+        good="""
+int main(void) {
+    int x = 0;
+    if (x) goto done;
+done:
+    return x;
+}
+"""),
+    BehaviorTest(
+        behavior="return-with-value-in-void-function", section="6.8.6.4:1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="return with an expression in a function returning void.",
+        bad="""
+static void report(int code) {
+    return code;
+}
+int main(void) {
+    report(3);
+    return 0;
+}
+""",
+        good="""
+static void report(int code) {
+    (void)code;
+    return;
+}
+int main(void) {
+    report(3);
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="bad-main-signature", section="5.1.2.2.1:1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="main defined with a non-conforming signature.",
+        bad="""
+float main(void) {
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="incompatible-redeclaration", section="6.2.7:2", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="The same identifier declared twice with incompatible types.",
+        bad="""
+extern int shared;
+extern long shared;
+int main(void) {
+    return 0;
+}
+""",
+        good="""
+extern int shared;
+extern int shared;
+int main(void) {
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="object-of-incomplete-type", section="6.9.2:3", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="An object defined with an incomplete structure type.",
+        bad="""
+struct unknown;
+struct unknown blob;
+int main(void) {
+    return 0;
+}
+""",
+        good="""
+struct known { int field; };
+struct known blob;
+int main(void) {
+    return blob.field;
+}
+"""),
+    BehaviorTest(
+        behavior="constant-division-by-zero", section="6.5.5:5", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Division by a literal zero, visible at translation time.",
+        bad="""
+int main(void) {
+    return 5 / 0;
+}
+""",
+        good="""
+int main(void) {
+    return 5 / 1;
+}
+"""),
+    BehaviorTest(
+        behavior="constant-shift-too-far", section="6.5.7:3", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Shift by a constant amount larger than the type width.",
+        bad="""
+int main(void) {
+    int x = 1;
+    return x << 40;
+}
+""",
+        good="""
+int main(void) {
+    int x = 1;
+    return (x << 4) == 16 ? 0 : 1;
+}
+"""),
+    BehaviorTest(
+        behavior="assignment-to-const-lvalue", section="6.5.16.1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Direct assignment to an identifier declared const.",
+        bad="""
+int main(void) {
+    const int limit = 5;
+    limit = 6;
+    return limit;
+}
+""",
+        good="""
+int main(void) {
+    int limit = 5;
+    limit = 6;
+    return limit;
+}
+"""),
+    BehaviorTest(
+        behavior="constant-index-out-of-bounds", section="6.5.6:8", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Array subscript with a constant index far outside the array.",
+        bad="""
+int main(void) {
+    int data[4];
+    data[0] = 1;
+    return data[10];
+}
+""",
+        good="""
+int main(void) {
+    int data[4];
+    data[0] = 1;
+    return data[0];
+}
+"""),
+    BehaviorTest(
+        behavior="void-value-used", section="6.3.2.2:1", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="The (nonexistent) value of a void expression is converted.",
+        bad="""
+int main(void) {
+    if (0) { (int)(void)5; }
+    return 0;
+}
+""",
+        good="""
+int main(void) {
+    if (0) { (void)5; }
+    return 0;
+}
+"""),
+    BehaviorTest(
+        behavior="reserved-identifier-definition", section="7.1.3:2", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Definition of an identifier in the reserved namespace.",
+        bad="""
+int __internal_state = 1;
+int main(void) {
+    return __internal_state - 1;
+}
+""",
+        good="""
+int internal_state = 1;
+int main(void) {
+    return internal_state - 1;
+}
+"""),
+    BehaviorTest(
+        behavior="internal-and-external-linkage", section="6.2.2:7", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="An identifier declared with both internal and external linkage "
+                    "(not detected by the current translation-time checks).",
+        bad="""
+extern int flag;
+static int flag = 1;
+int main(void) {
+    return flag - 1;
+}
+""",
+        good="""
+static int flag = 1;
+int main(void) {
+    return flag - 1;
+}
+"""),
+    BehaviorTest(
+        behavior="empty-character-constant-spelling", section="6.4.4.4", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="Identifier spellings differing only in non-significant characters "
+                    "(a historically undefined case, not detected by the current checks).",
+        bad="""
+int an_extremely_long_identifier_name_that_goes_on_and_on_and_on_and_on_version_a = 1;
+int an_extremely_long_identifier_name_that_goes_on_and_on_and_on_and_on_version_b = 2;
+int main(void) {
+    return an_extremely_long_identifier_name_that_goes_on_and_on_and_on_and_on_version_a;
+}
+""",
+        good="""
+int short_name_a = 1;
+int short_name_b = 2;
+int main(void) {
+    return short_name_a;
+}
+"""),
+    BehaviorTest(
+        behavior="static-assert-failure", section="6.7.10", stage="static",
+        group=GROUP_DECLARATIONS,
+        description="A failing _Static_assert (a constraint the implementation must diagnose).",
+        bad="""
+_Static_assert(sizeof(int) == 2, "int must be 2 bytes");
+int main(void) {
+    return 0;
+}
+""",
+        good="""
+_Static_assert(sizeof(int) == 4, "int must be 4 bytes");
+int main(void) {
+    return 0;
+}
+"""),
+]
+
+
+class UndefinednessSuite(TestSuite):
+    """The paper-style undefinedness test suite (Figure 3 substrate)."""
+
+    def behavior_count(self) -> int:
+        return len({case.behavior for case in self.cases})
+
+    def static_behaviors(self) -> list[str]:
+        return sorted({case.behavior for case in self.cases if case.stage == "static"})
+
+    def dynamic_behaviors(self) -> list[str]:
+        return sorted({case.behavior for case in self.cases if case.stage == "dynamic"})
+
+
+def generate_undefinedness_suite() -> UndefinednessSuite:
+    """Build the undefinedness suite: one bad and one good test per behavior."""
+    suite = UndefinednessSuite(name="our undefinedness suite")
+    for entry in BEHAVIOR_TESTS:
+        suite.add(TestCase(
+            name=f"{entry.behavior}_bad", source=entry.bad, is_bad=True,
+            category=entry.group, behavior=entry.behavior, stage=entry.stage,
+            description=f"{entry.description} (C11 {entry.section})"))
+        suite.add(TestCase(
+            name=f"{entry.behavior}_good", source=entry.good, is_bad=False,
+            category=entry.group, behavior=entry.behavior, stage=entry.stage,
+            description=f"Defined control for {entry.behavior}."))
+    return suite

@@ -1,0 +1,17 @@
+"""The catalog of C11 undefined behaviors (see :mod:`repro.ub.catalog`)."""
+
+from repro.ub.catalog import (
+    UB_CATALOG,
+    UndefinedBehaviorEntry,
+    count_dynamic,
+    count_static,
+    entries_for_kind,
+)
+
+__all__ = [
+    "UB_CATALOG",
+    "UndefinedBehaviorEntry",
+    "count_dynamic",
+    "count_static",
+    "entries_for_kind",
+]

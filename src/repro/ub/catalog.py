@@ -1,0 +1,403 @@
+"""A catalog of the undefined behaviors of C11 (Annex J.2 style).
+
+Section 5.2.1 of the paper classifies the 221 undefined behaviors listed in
+the C11 standard into 92 statically detectable and 129 only dynamically
+detectable behaviors.  This module records that classification.
+
+The catalog below enumerates the behaviors individually, in the order and
+wording style of Annex J.2, each tagged with:
+
+* ``section`` — the normative C11 clause that makes the behavior undefined,
+* ``stage`` — ``"static"`` if the behavior is detectable at translation time
+  (it does not depend on a particular control flow), ``"dynamic"`` otherwise
+  (following the paper's interpretation rule: a behavior is static only when
+  code generation for it is implausible),
+* ``kind`` — the :class:`repro.errors.UBKind` our checker reports for it, or
+  ``None`` for behaviors outside the checker's current scope (the paper's own
+  tool likewise covers a subset: its suite tests 70 of the 221).
+
+The paper's headline counts are kept as module constants so the benchmark can
+compare them with the catalog's own totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UBKind
+
+#: The counts reported in Section 5.2.1 of the paper.
+PAPER_TOTAL_BEHAVIORS = 221
+PAPER_STATIC_BEHAVIORS = 92
+PAPER_DYNAMIC_BEHAVIORS = 129
+
+
+@dataclass(frozen=True)
+class UndefinedBehaviorEntry:
+    """One undefined behavior of C11."""
+
+    identifier: str
+    section: str
+    stage: str                      # "static" or "dynamic"
+    description: str
+    kind: Optional[UBKind] = None   # what our checker reports, if covered
+
+    @property
+    def is_static(self) -> bool:
+        return self.stage == "static"
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.stage == "dynamic"
+
+    @property
+    def covered(self) -> bool:
+        return self.kind is not None
+
+
+def _entry(identifier: str, section: str, stage: str, description: str,
+           kind: Optional[UBKind] = None) -> UndefinedBehaviorEntry:
+    return UndefinedBehaviorEntry(identifier=identifier, section=section, stage=stage,
+                                  description=description, kind=kind)
+
+
+#: The catalog.  Ordering loosely follows Annex J.2 (standard section order).
+UB_CATALOG: list[UndefinedBehaviorEntry] = [
+    # --- translation, environment, lexical (mostly static) -----------------
+    _entry("nonempty-source-no-newline", "5.1.1.2", "static",
+           "A non-empty source file does not end in a newline character."),
+    _entry("token-paste-forms-invalid-token", "6.10.3.3", "static",
+           "Token concatenation produces an invalid preprocessing token."),
+    _entry("unmatched-quote-in-pp-token", "6.4", "static",
+           "An unmatched ' or \" character is encountered on a logical source line."),
+    _entry("reserved-identifier-defined", "7.1.3", "static",
+           "The program declares or defines a reserved identifier.", UBKind.RESERVED_IDENTIFIER),
+    _entry("identifier-significant-chars", "6.4.2", "static",
+           "Two identifiers differ only in nonsignificant characters."),
+    _entry("universal-char-name-mismatch", "6.4.3", "static",
+           "A universal character name names a character outside the allowed range."),
+    _entry("unspecified-escape-sequence", "6.4.4.4", "static",
+           "An unspecified escape sequence is used in a character constant or string literal."),
+    _entry("header-name-invalid-chars", "6.4.7", "static",
+           "Characters ', \\, //, or /* appear between < and > in a header name."),
+    _entry("include-depth-exceeded", "6.10.2", "static",
+           "A #include directive nests past the translation limit."),
+    _entry("macro-argument-count-mismatch", "6.10.3", "static",
+           "A function-like macro is invoked with the wrong number of arguments."),
+    _entry("defined-produced-by-expansion", "6.10.1", "static",
+           "Macro expansion produces the token 'defined' inside an #if expression."),
+    _entry("line-directive-out-of-range", "6.10.4", "static",
+           "A #line directive specifies a line number of zero or greater than 2147483647."),
+    _entry("undefined-pragma", "6.10.6", "static",
+           "A non-STDC #pragma causes translation to fail in a documented way."),
+    _entry("main-wrong-signature", "5.1.2.2.1", "static",
+           "main is defined with a signature other than the permitted forms.",
+           UBKind.MAIN_BAD_SIGNATURE),
+    _entry("program-exceeds-limits", "5.2.4.1", "dynamic",
+           "The program exceeds an implementation translation or execution limit.",
+           UBKind.STACK_EXHAUSTION),
+
+    # --- identifiers, linkage, declarations (static) ------------------------
+    _entry("internal-and-external-linkage", "6.2.2", "static",
+           "An identifier is declared with both internal and external linkage in one unit.",
+           UBKind.IDENTIFIER_LINKAGE_MISMATCH),
+    _entry("object-referred-outside-lifetime", "6.2.4", "dynamic",
+           "An object is referred to outside of its lifetime.", UBKind.DANGLING_DEREFERENCE),
+    _entry("pointer-to-dead-object-used", "6.2.4", "dynamic",
+           "The value of a pointer to an object whose lifetime has ended is used.",
+           UBKind.DANGLING_DEREFERENCE),
+    _entry("indeterminate-auto-object-used", "6.2.4, 6.7.9", "dynamic",
+           "The value of an uninitialized automatic object is used while indeterminate.",
+           UBKind.UNINITIALIZED_READ),
+    _entry("trap-representation-read", "6.2.6.1", "dynamic",
+           "A trap representation is read by an lvalue expression without character type.",
+           UBKind.UNINITIALIZED_READ),
+    _entry("trap-representation-produced", "6.2.6.1", "dynamic",
+           "A trap representation is produced by a side effect that modifies part of an "
+           "object through an lvalue without character type.", UBKind.UNINITIALIZED_READ),
+    _entry("incompatible-declarations-same-object", "6.2.7", "static",
+           "Two declarations of the same object or function specify incompatible types.",
+           UBKind.INCOMPATIBLE_DECLARATIONS),
+    _entry("conversion-unrepresentable-fp-int", "6.3.1.4", "dynamic",
+           "Conversion to or from an integer type produces a value outside the range of a "
+           "floating type, or the real value cannot be represented.", UBKind.CONVERSION_OVERFLOW),
+    _entry("demotion-unrepresentable-fp", "6.3.1.5", "dynamic",
+           "Demotion of a real floating value produces a value outside the representable range.",
+           UBKind.CONVERSION_OVERFLOW),
+    _entry("lvalue-with-incomplete-type", "6.3.2.1", "dynamic",
+           "An lvalue with incomplete type is used in a context that requires its value.",
+           UBKind.INCOMPLETE_TYPE_OBJECT),
+    _entry("lvalue-designates-no-object", "6.3.2.1", "dynamic",
+           "An lvalue that does not designate an object when evaluated is used.",
+           UBKind.DANGLING_DEREFERENCE),
+    _entry("void-expression-value-used", "6.3.2.2", "static",
+           "The (nonexistent) value of a void expression is used or converted.",
+           UBKind.VOID_VALUE_USED),
+    _entry("misaligned-pointer-conversion", "6.3.2.3", "dynamic",
+           "A pointer is converted to a pointer type for which the value is incorrectly aligned.",
+           UBKind.UNALIGNED_ACCESS),
+    _entry("function-pointer-wrong-type-call", "6.3.2.3", "dynamic",
+           "A converted function pointer is used to call a function of incompatible type.",
+           UBKind.BAD_FUNCTION_TYPE),
+
+    # --- expressions (mostly dynamic) ----------------------------------------
+    _entry("unsequenced-side-effects", "6.5", "dynamic",
+           "A side effect on a scalar object is unsequenced relative to another side effect "
+           "or value computation using the same object.", UBKind.UNSEQUENCED_SIDE_EFFECT),
+    _entry("arithmetic-exceptional-condition", "6.5", "dynamic",
+           "An exceptional condition (overflow) occurs during expression evaluation.",
+           UBKind.SIGNED_OVERFLOW),
+    _entry("effective-type-violation", "6.5", "dynamic",
+           "An object has its stored value accessed by an lvalue of a type that is not "
+           "allowed by the effective type rules.", UBKind.EFFECTIVE_TYPE_VIOLATION),
+    _entry("function-called-wrong-type", "6.5.2.2", "dynamic",
+           "A function is called with a function type incompatible with the called definition.",
+           UBKind.BAD_FUNCTION_TYPE),
+    _entry("call-arguments-mismatch-no-prototype", "6.5.2.2", "dynamic",
+           "The number or types of arguments disagree with the function definition when no "
+           "prototype is in scope.", UBKind.BAD_FUNCTION_CALL),
+    _entry("member-access-non-struct", "6.5.2.3", "static",
+           "The . or -> operator is applied to an expression without the appropriate "
+           "structure or union type."),
+    _entry("compound-literal-in-function-call-return", "6.5.2.5", "dynamic",
+           "A compound literal with automatic storage is used after its block terminates.",
+           UBKind.DANGLING_DEREFERENCE),
+    _entry("invalid-address-of", "6.5.3.2", "static",
+           "The operand of the unary & operator is not an lvalue, function designator, or "
+           "[] / * expression."),
+    _entry("invalid-pointer-dereference", "6.5.3.2", "dynamic",
+           "An invalid value (null, dangling, misaligned) has been assigned to the operand "
+           "of the unary * operator.", UBKind.NULL_DEREFERENCE),
+    _entry("division-by-zero", "6.5.5", "dynamic",
+           "The value of the second operand of the / or % operator is zero.",
+           UBKind.DIVISION_BY_ZERO),
+    _entry("division-quotient-unrepresentable", "6.5.5", "dynamic",
+           "The quotient a/b is not representable (INT_MIN / -1).", UBKind.SIGNED_OVERFLOW),
+    _entry("pointer-addition-outside-object", "6.5.6", "dynamic",
+           "Addition or subtraction of a pointer and an integer produces a result that does "
+           "not point into, or one past, the same array object.",
+           UBKind.INVALID_POINTER_ARITHMETIC),
+    _entry("one-past-end-dereferenced", "6.5.6", "dynamic",
+           "The result of pointer arithmetic points one past the array and is dereferenced.",
+           UBKind.OUT_OF_BOUNDS),
+    _entry("array-access-out-of-bounds", "6.5.6", "dynamic",
+           "An array subscript is out of range even if the object is apparently accessible "
+           "(a[1][7] for int a[4][5]).", UBKind.OUT_OF_BOUNDS),
+    _entry("pointer-subtraction-different-objects", "6.5.6", "dynamic",
+           "Pointers that do not point into the same array object are subtracted.",
+           UBKind.POINTER_SUBTRACT_UNRELATED),
+    _entry("pointer-difference-unrepresentable", "6.5.6", "dynamic",
+           "The difference of two pointers is not representable in ptrdiff_t.",
+           UBKind.SIGNED_OVERFLOW),
+    _entry("shift-amount-out-of-range", "6.5.7", "dynamic",
+           "The shift amount is negative or >= the width of the promoted left operand.",
+           UBKind.SHIFT_TOO_FAR),
+    _entry("left-shift-negative-or-overflow", "6.5.7", "dynamic",
+           "A negative value is left-shifted, or the shifted result is not representable.",
+           UBKind.SHIFT_OVERFLOW),
+    _entry("relational-comparison-unrelated-pointers", "6.5.8", "dynamic",
+           "Pointers that do not point to the same aggregate or union are compared with "
+           "relational operators.", UBKind.POINTER_COMPARE_UNRELATED),
+    _entry("assignment-overlapping-objects", "6.5.16.1", "dynamic",
+           "An object is assigned to an inexactly overlapping or incompatibly typed "
+           "overlapping object.", UBKind.OVERLAPPING_COPY),
+
+    # --- declarations (mostly static) ----------------------------------------
+    _entry("incomplete-type-object-defined", "6.7, 6.9.2", "static",
+           "An object is defined with an incomplete type.", UBKind.INCOMPLETE_TYPE_OBJECT),
+    _entry("const-object-modified", "6.7.3", "dynamic",
+           "An object defined with a const-qualified type is modified through a "
+           "non-const-qualified lvalue.", UBKind.CONST_VIOLATION),
+    _entry("volatile-through-nonvolatile", "6.7.3", "dynamic",
+           "An object defined with a volatile-qualified type is referred to through an "
+           "lvalue with non-volatile-qualified type."),
+    _entry("function-type-with-qualifiers", "6.7.3", "static",
+           "The specification of a function type includes any type qualifiers.",
+           UBKind.QUALIFIED_FUNCTION_TYPE),
+    _entry("restrict-aliasing-violation", "6.7.3.1", "dynamic",
+           "An object accessed through a restrict-qualified pointer is also accessed through "
+           "another pointer."),
+    _entry("restrict-copy-between-overlapping", "6.7.3.1", "dynamic",
+           "A restrict-qualified pointer is assigned a value based on another restricted "
+           "pointer whose referenced object overlaps."),
+    _entry("array-size-not-positive", "6.7.6.2", "static",
+           "An array is declared with a constant size that is not greater than zero.",
+           UBKind.ARRAY_SIZE_NOT_POSITIVE),
+    _entry("vla-size-not-positive", "6.7.6.2", "dynamic",
+           "A variable length array has a size that evaluates to a non-positive value.",
+           UBKind.ARRAY_SIZE_NOT_POSITIVE),
+    _entry("function-returns-array-or-function", "6.7.6.3", "static",
+           "A function is declared to return an array type or a function type."),
+    _entry("incompatible-function-redeclaration", "6.7.6.3", "static",
+           "Declarations of the same function have incompatible parameter lists.",
+           UBKind.INCOMPATIBLE_DECLARATIONS),
+    _entry("initializer-not-constant-static", "6.7.9", "static",
+           "The initializer of an object with static storage duration is not a constant "
+           "expression."),
+    _entry("initializer-for-incomplete-entity", "6.7.9", "static",
+           "An initializer attempts to provide a value for an object not contained within "
+           "the entity being initialized."),
+
+    # --- statements -----------------------------------------------------------
+    _entry("duplicate-labels", "6.8.1", "static",
+           "The same label appears more than once in a function.", UBKind.DUPLICATE_LABEL),
+    _entry("goto-into-vm-scope", "6.8.6.1", "static",
+           "A goto jumps into the scope of an identifier with variably modified type.",
+           UBKind.GOTO_INTO_VLA_SCOPE),
+    _entry("return-value-mismatch-void", "6.8.6.4", "static",
+           "A return statement with an expression appears in a function whose return type "
+           "is void (constraint) or vice versa and the value is used.",
+           UBKind.VOID_RETURN_WITH_VALUE),
+    _entry("missing-return-value-used", "6.9.1", "dynamic",
+           "The } terminating a non-void function is reached and the caller uses the value.",
+           UBKind.MISSING_RETURN_VALUE),
+    _entry("identifier-used-but-not-defined", "6.9", "static",
+           "An identifier with external linkage is used but no definition exists in the "
+           "program."),
+    _entry("recursive-main-exit", "5.1.2.2.3", "dynamic",
+           "The program's exit semantics are violated (e.g. exit called during exit "
+           "handling)."),
+
+    # --- string literals, character constants --------------------------------
+    _entry("string-literal-modified", "6.4.5", "dynamic",
+           "The program attempts to modify a string literal.", UBKind.MODIFY_STRING_LITERAL),
+    _entry("adjacent-wide-and-narrow-strings", "6.4.5", "static",
+           "Adjacent string literal tokens with incompatible encoding prefixes are "
+           "concatenated."),
+
+    # --- preprocessor-level dynamic-ish ---------------------------------------
+    _entry("offsetof-invalid-member", "7.19", "static",
+           "The member designator parameter of offsetof does not designate a valid member."),
+    _entry("setjmp-misused", "7.13", "dynamic",
+           "setjmp appears in a context other than the allowed comparison forms, or "
+           "longjmp targets a frame that has already returned."),
+    _entry("va-arg-type-mismatch", "7.16.1.1", "dynamic",
+           "va_arg is invoked with a type incompatible with the actual next argument.",
+           UBKind.VARIADIC_MISUSE),
+    _entry("va-start-not-matched", "7.16.1", "dynamic",
+           "va_start or va_copy is invoked without a corresponding va_end."),
+
+    # --- library: general ------------------------------------------------------
+    _entry("library-invalid-argument", "7.1.4", "dynamic",
+           "A library function is called with an invalid argument (out-of-range value, "
+           "null pointer, wrong buffer size).", UBKind.BAD_FUNCTION_CALL),
+    _entry("library-array-too-small", "7.1.4", "dynamic",
+           "A library function is given an array too small to hold the result.",
+           UBKind.BUFFER_OVERFLOW),
+    _entry("assert-macro-suppressed-wrong", "7.2", "static",
+           "The assert macro is redefined or suppressed in a non-conforming way."),
+    _entry("errno-macro-redefined", "7.5", "static",
+           "The program defines a macro or identifier named errno."),
+    _entry("printf-conversion-mismatch", "7.21.6.1", "dynamic",
+           "A printf-family conversion specification does not match the type of the "
+           "corresponding argument.", UBKind.FORMAT_MISMATCH),
+    _entry("printf-insufficient-arguments", "7.21.6.1", "dynamic",
+           "There are fewer arguments than required by the format string.",
+           UBKind.FORMAT_MISMATCH),
+    _entry("scanf-result-pointer-invalid", "7.21.6.2", "dynamic",
+           "A scanf-family result pointer does not point to suitable storage.",
+           UBKind.BUFFER_OVERFLOW),
+    _entry("string-function-unterminated", "7.24", "dynamic",
+           "A string handling function is applied to an array with no terminating null "
+           "character.", UBKind.UNTERMINATED_STRING_OP),
+    _entry("memcpy-overlapping", "7.24.2.1", "dynamic",
+           "memcpy or strcpy is used with overlapping source and destination objects.",
+           UBKind.OVERLAPPING_COPY),
+    _entry("free-invalid-pointer", "7.22.3.3", "dynamic",
+           "The argument to free or realloc does not match a pointer earlier returned by an "
+           "allocation function.", UBKind.BAD_FREE),
+    _entry("free-already-freed", "7.22.3.3", "dynamic",
+           "The argument to free or realloc refers to space that has been deallocated.",
+           UBKind.DOUBLE_FREE),
+    _entry("allocated-object-used-after-free", "7.22.3", "dynamic",
+           "Memory obtained from an allocation function is used after it has been "
+           "deallocated.", UBKind.USE_AFTER_FREE),
+    _entry("abs-of-most-negative", "7.22.6.1", "dynamic",
+           "The absolute value of the most negative number cannot be represented.",
+           UBKind.SIGNED_OVERFLOW),
+    _entry("exit-called-twice", "7.22.4.4", "dynamic",
+           "exit or quick_exit is called more than once, or both are called."),
+    _entry("getenv-result-modified", "7.22.4.6", "dynamic",
+           "The string returned by getenv is modified by the program."),
+    _entry("signal-handler-bad-call", "7.14.1.1", "dynamic",
+           "A signal handler calls a function outside the allowed set, or refers to an "
+           "object with static storage duration that is not a volatile sig_atomic_t."),
+    _entry("strtok-null-on-first-call", "7.24.5.8", "dynamic",
+           "strtok is called with a null first argument before any non-null call."),
+    _entry("fgets-null-or-closed-stream", "7.21", "dynamic",
+           "A stream function is applied to a stream that has been closed or never opened."),
+    _entry("fflush-input-stream", "7.21.5.2", "dynamic",
+           "fflush is applied to an input stream."),
+    _entry("file-position-invalid", "7.21.9", "dynamic",
+           "A file positioning function is given a position not previously obtained for "
+           "that stream."),
+    _entry("qsort-comparator-inconsistent", "7.22.5", "dynamic",
+           "The comparison function passed to bsearch or qsort alters the array or gives "
+           "inconsistent answers."),
+    _entry("ungetc-pushback-overflow", "7.21.7.10", "dynamic",
+           "Too many characters are pushed back onto a stream without intervening reads."),
+    _entry("multibyte-invalid-sequence", "7.22.7", "dynamic",
+           "A multibyte character conversion function is given an invalid sequence."),
+    _entry("locale-string-modified", "7.11.1.1", "dynamic",
+           "The string returned by setlocale is modified by the program."),
+    _entry("time-conversion-out-of-range", "7.27.3", "dynamic",
+           "A time conversion function is given values outside the normalized ranges."),
+    _entry("atexit-handler-longjmp", "7.22.4", "dynamic",
+           "A function registered with atexit terminates via longjmp instead of returning."),
+    _entry("wide-char-null-pointer", "7.29", "dynamic",
+           "A wide character function is called with a null pointer where an object is "
+           "required."),
+
+    # --- threads (C11) ----------------------------------------------------------
+    _entry("data-race", "5.1.2.4", "dynamic",
+           "Two conflicting actions in different threads, at least one not atomic, and "
+           "neither happens before the other (a data race)."),
+    _entry("mutex-not-owned-unlock", "7.26.4", "dynamic",
+           "A thread unlocks a mutex it does not own."),
+    _entry("thread-storage-after-exit", "7.26.5", "dynamic",
+           "Thread-specific storage is accessed after the owning thread has exited."),
+    _entry("condition-variable-different-mutexes", "7.26.3", "dynamic",
+           "Threads block on one condition variable using different mutexes."),
+]
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+def count_static() -> int:
+    """Number of statically detectable behaviors in the catalog."""
+    return sum(1 for entry in UB_CATALOG if entry.is_static)
+
+
+def count_dynamic() -> int:
+    """Number of dynamically detectable behaviors in the catalog."""
+    return sum(1 for entry in UB_CATALOG if entry.is_dynamic)
+
+
+def count_covered() -> int:
+    """Number of behaviors the checker currently maps to a concrete UBKind."""
+    return sum(1 for entry in UB_CATALOG if entry.covered)
+
+
+def entries_for_kind(kind: UBKind) -> list[UndefinedBehaviorEntry]:
+    """All catalog entries that our checker reports as ``kind``."""
+    return [entry for entry in UB_CATALOG if entry.kind is kind]
+
+
+def entries_for_section(section_prefix: str) -> list[UndefinedBehaviorEntry]:
+    return [entry for entry in UB_CATALOG if entry.section.startswith(section_prefix)]
+
+
+def coverage_summary() -> dict[str, int]:
+    """Summary used by the catalog benchmark (E3)."""
+    return {
+        "catalog_total": len(UB_CATALOG),
+        "catalog_static": count_static(),
+        "catalog_dynamic": count_dynamic(),
+        "catalog_covered_by_checker": count_covered(),
+        "paper_total": PAPER_TOTAL_BEHAVIORS,
+        "paper_static": PAPER_STATIC_BEHAVIORS,
+        "paper_dynamic": PAPER_DYNAMIC_BEHAVIORS,
+    }

@@ -1,0 +1,199 @@
+"""Tests for the baseline analyzers: each tool's blind spots are part of its model."""
+
+from repro.analyzers import (
+    CheckPointerLikeTool,
+    ValgrindLikeTool,
+    ValueAnalysisTool,
+    all_tools,
+    tool_by_name,
+)
+from repro.analyzers.base import KccAnalysisTool
+from repro.errors import UBKind
+
+DIV_BY_ZERO = "int main(void){ int d = 0; return 5 / d; }"
+SIGNED_OVERFLOW = "int main(void){ int x = 2147483647; return (x + 1) < x; }"
+HEAP_OVERFLOW = """
+#include <stdlib.h>
+int main(void){ int *p = malloc(4 * sizeof(int)); if (!p) return 0; p[5] = 1; free(p); return 0; }
+"""
+STACK_OVERFLOW_WRITE = """
+int main(void){ int a[4]; int i = 4; a[i] = 1; return 0; }
+"""
+BAD_FREE = """
+#include <stdlib.h>
+int main(void){ int x = 1; free(&x); return 0; }
+"""
+UNINIT_INT = "int main(void){ int x; return x + 1; }"
+UNINIT_POINTER = "int main(void){ int *p; return *p; }"
+UNSEQUENCED = "int main(void){ int x = 0; return (x = 1) + (x = 2); }"
+CONST_WRITE = "int main(void){ const int x = 1; *(int*)&x = 2; return x; }"
+DEFINED = "int main(void){ int x = 3; return x * 2; }"
+RETURN_STACK_ADDRESS = """
+static int *leak(void){ int local = 7; return &local; }
+int main(void){ return *leak(); }
+"""
+
+
+class TestValgrindLike:
+    tool = ValgrindLikeTool()
+
+    def test_defined_program_not_flagged(self):
+        assert not self.tool.analyze(DEFINED).flagged
+
+    def test_heap_overflow_flagged(self):
+        assert self.tool.analyze(HEAP_OVERFLOW).flagged
+
+    def test_bad_free_flagged(self):
+        assert self.tool.analyze(BAD_FREE).flagged
+
+    def test_uninitialized_value_flagged(self):
+        assert self.tool.analyze(UNINIT_INT).flagged
+
+    def test_division_by_zero_not_detected(self):
+        assert not self.tool.analyze(DIV_BY_ZERO).flagged
+
+    def test_signed_overflow_not_detected(self):
+        assert not self.tool.analyze(SIGNED_OVERFLOW).flagged
+
+    def test_stack_overflow_write_missed_at_binary_level(self):
+        # The write lands inside the frame's addressable slack.
+        assert not self.tool.analyze(STACK_OVERFLOW_WRITE).flagged
+
+    def test_unsequenced_side_effects_not_detected(self):
+        assert not self.tool.analyze(UNSEQUENCED).flagged
+
+    def test_const_write_not_detected(self):
+        assert not self.tool.analyze(CONST_WRITE).flagged
+
+    def test_return_stack_address_missed(self):
+        assert not self.tool.analyze(RETURN_STACK_ADDRESS).flagged
+
+
+class TestCheckPointerLike:
+    tool = CheckPointerLikeTool()
+
+    def test_defined_program_not_flagged(self):
+        assert not self.tool.analyze(DEFINED).flagged
+
+    def test_stack_overflow_write_detected(self):
+        assert self.tool.analyze(STACK_OVERFLOW_WRITE).flagged
+
+    def test_heap_overflow_detected(self):
+        assert self.tool.analyze(HEAP_OVERFLOW).flagged
+
+    def test_return_stack_address_detected(self):
+        assert self.tool.analyze(RETURN_STACK_ADDRESS).flagged
+
+    def test_uninitialized_pointer_detected_but_not_uninitialized_int(self):
+        assert self.tool.analyze(UNINIT_POINTER).flagged
+        assert not self.tool.analyze(UNINIT_INT).flagged
+
+    def test_division_by_zero_not_detected(self):
+        assert not self.tool.analyze(DIV_BY_ZERO).flagged
+
+    def test_overflow_not_detected(self):
+        assert not self.tool.analyze(SIGNED_OVERFLOW).flagged
+
+    def test_unsequenced_not_detected(self):
+        assert not self.tool.analyze(UNSEQUENCED).flagged
+
+
+class TestValueAnalysisLike:
+    tool = ValueAnalysisTool()
+
+    def test_defined_program_not_flagged(self):
+        assert not self.tool.analyze(DEFINED).flagged
+
+    def test_arithmetic_alarms(self):
+        assert self.tool.analyze(DIV_BY_ZERO).flagged
+        assert self.tool.analyze(SIGNED_OVERFLOW).flagged
+
+    def test_memory_alarms(self):
+        assert self.tool.analyze(HEAP_OVERFLOW).flagged
+        assert self.tool.analyze(STACK_OVERFLOW_WRITE).flagged
+
+    def test_uninitialized_alarm(self):
+        assert self.tool.analyze(UNINIT_INT).flagged
+
+    def test_language_level_undefinedness_missed(self):
+        assert not self.tool.analyze(UNSEQUENCED).flagged
+        assert not self.tool.analyze(CONST_WRITE).flagged
+
+    def test_reports_kind(self):
+        result = self.tool.analyze(DIV_BY_ZERO)
+        assert UBKind.DIVISION_BY_ZERO in result.kinds
+
+
+class TestKccTool:
+    tool = KccAnalysisTool()
+
+    def test_catches_everything_the_others_catch_and_more(self):
+        for source in (DIV_BY_ZERO, SIGNED_OVERFLOW, HEAP_OVERFLOW, STACK_OVERFLOW_WRITE,
+                       BAD_FREE, UNINIT_INT, UNINIT_POINTER, UNSEQUENCED, CONST_WRITE,
+                       RETURN_STACK_ADDRESS):
+            assert self.tool.analyze(source).flagged, source
+
+    def test_defined_program_not_flagged(self):
+        assert not self.tool.analyze(DEFINED).flagged
+
+
+class TestRegistry:
+    def test_default_tools_order_matches_the_paper(self):
+        names = [tool.name for tool in all_tools()]
+        assert names == ["Valgrind", "CheckPointer", "V. Analysis", "kcc"]
+
+    def test_tool_by_name(self):
+        assert tool_by_name("kcc").name == "kcc"
+        assert tool_by_name("valgrind").name == "Valgrind"
+
+    def test_unknown_tool_raises(self):
+        import pytest
+        with pytest.raises(KeyError):
+            tool_by_name("lint")
+
+    def test_timed_analyze_records_runtime(self):
+        result = tool_by_name("kcc").timed_analyze(DEFINED)
+        assert result.runtime_seconds > 0
+
+
+class TestIntervalDomain:
+    def test_constant_interval(self):
+        from repro.analyzers.value_analysis import Interval
+        five = Interval.constant(5)
+        assert five.is_constant and five.contains(5) and not five.contains(6)
+
+    def test_join_and_meet(self):
+        from repro.analyzers.value_analysis import Interval
+        a = Interval.range(0, 10)
+        b = Interval.range(5, 20)
+        assert a.join(b) == Interval.range(0, 20)
+        assert a.meet(b) == Interval.range(5, 10)
+
+    def test_meet_disjoint_is_bottom(self):
+        from repro.analyzers.value_analysis import Interval
+        assert Interval.range(0, 1).meet(Interval.range(5, 6)).is_bottom
+
+    def test_arithmetic(self):
+        from repro.analyzers.value_analysis import Interval
+        a = Interval.range(1, 2)
+        b = Interval.range(10, 20)
+        assert a.add(b) == Interval.range(11, 22)
+        assert b.subtract(a) == Interval.range(8, 19)
+        assert a.multiply(b) == Interval.range(10, 40)
+        assert a.negate() == Interval.range(-2, -1)
+
+    def test_widening_jumps_to_infinity(self):
+        from repro.analyzers.value_analysis import Interval
+        a = Interval.range(0, 10)
+        b = Interval.range(0, 11)
+        widened = a.widen(b)
+        assert widened.high is None
+        assert widened.low == 0
+
+    def test_may_be_zero_and_exceed(self):
+        from repro.analyzers.value_analysis import Interval
+        assert Interval.range(-1, 1).may_be_zero()
+        assert not Interval.range(1, 5).may_be_zero()
+        assert Interval.range(0, 300).may_exceed(0, 255)
+        assert not Interval.range(0, 255).may_exceed(0, 255)
+        assert Interval.top().may_be_zero()

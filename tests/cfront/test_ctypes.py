@@ -1,0 +1,192 @@
+"""Unit tests for the C type model and implementation profiles."""
+
+import pytest
+
+from repro.cfront import ctypes as ct
+
+
+class TestSizeof:
+    def test_basic_sizes_lp64(self):
+        assert ct.size_of(ct.CHAR, ct.LP64) == 1
+        assert ct.size_of(ct.SHORT, ct.LP64) == 2
+        assert ct.size_of(ct.INT, ct.LP64) == 4
+        assert ct.size_of(ct.LONG, ct.LP64) == 8
+        assert ct.size_of(ct.LLONG, ct.LP64) == 8
+        assert ct.size_of(ct.FLOAT, ct.LP64) == 4
+        assert ct.size_of(ct.DOUBLE, ct.LP64) == 8
+        assert ct.size_of(ct.VOID_PTR, ct.LP64) == 8
+
+    def test_basic_sizes_ilp32(self):
+        assert ct.size_of(ct.LONG, ct.ILP32) == 4
+        assert ct.size_of(ct.VOID_PTR, ct.ILP32) == 4
+        assert ct.size_of(ct.LLONG, ct.ILP32) == 8
+
+    def test_wide_int_profile(self):
+        assert ct.size_of(ct.INT, ct.WIDE_INT) == 8
+
+    def test_array_size(self):
+        array = ct.ArrayType(element=ct.INT, length=10)
+        assert ct.size_of(array, ct.LP64) == 40
+
+    def test_incomplete_array_has_no_size(self):
+        with pytest.raises(ct.LayoutError):
+            ct.size_of(ct.ArrayType(element=ct.INT, length=None), ct.LP64)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ct.LayoutError):
+            ct.size_of(ct.VOID, ct.LP64)
+
+    def test_function_has_no_size(self):
+        with pytest.raises(ct.LayoutError):
+            ct.size_of(ct.FunctionType(return_type=ct.INT), ct.LP64)
+
+
+class TestStructLayout:
+    def test_packed_struct_of_ints(self):
+        record = ct.StructType(tag="pair", fields=(
+            ct.StructField("a", ct.INT), ct.StructField("b", ct.INT)))
+        layout = ct.struct_layout(record, ct.LP64)
+        assert layout.size == 8
+        assert layout.field("a").offset == 0
+        assert layout.field("b").offset == 4
+
+    def test_padding_for_alignment(self):
+        record = ct.StructType(tag="mixed", fields=(
+            ct.StructField("c", ct.CHAR), ct.StructField("l", ct.LONG)))
+        layout = ct.struct_layout(record, ct.LP64)
+        assert layout.field("l").offset == 8
+        assert layout.size == 16
+
+    def test_trailing_padding(self):
+        record = ct.StructType(tag="tail", fields=(
+            ct.StructField("l", ct.LONG), ct.StructField("c", ct.CHAR)))
+        layout = ct.struct_layout(record, ct.LP64)
+        assert layout.size == 16
+
+    def test_union_layout(self):
+        union = ct.UnionType(tag="u", fields=(
+            ct.StructField("i", ct.INT), ct.StructField("d", ct.DOUBLE)))
+        layout = ct.struct_layout(union, ct.LP64)
+        assert layout.size == 8
+        assert all(f.offset == 0 for f in layout.fields)
+
+    def test_field_order_is_preserved(self):
+        record = ct.StructType(tag="ordered", fields=(
+            ct.StructField("x", ct.INT), ct.StructField("y", ct.INT)))
+        layout = ct.struct_layout(record, ct.LP64)
+        assert layout.field("x").offset < layout.field("y").offset
+
+    def test_struct_completion_in_place(self):
+        record = ct.StructType(tag="node")
+        assert not record.is_complete
+        record.complete((ct.StructField("value", ct.INT),))
+        assert record.is_complete
+        assert ct.size_of(record, ct.LP64) == 4
+
+
+class TestIntegerRanges:
+    def test_int_range(self):
+        assert ct.integer_range(ct.INT, ct.LP64) == (-2**31, 2**31 - 1)
+
+    def test_unsigned_int_range(self):
+        assert ct.integer_range(ct.UINT, ct.LP64) == (0, 2**32 - 1)
+
+    def test_char_signedness_follows_profile(self):
+        unsigned_char_profile = ct.ImplementationProfile(name="uchar", char_signed=False)
+        assert ct.integer_range(ct.CHAR, ct.LP64) == (-128, 127)
+        assert ct.integer_range(ct.CHAR, unsigned_char_profile) == (0, 255)
+
+    def test_bool_range(self):
+        assert ct.integer_range(ct.BOOL, ct.LP64) == (0, 1)
+
+    def test_fits_in(self):
+        assert ct.fits_in(127, ct.SCHAR, ct.LP64)
+        assert not ct.fits_in(128, ct.SCHAR, ct.LP64)
+        assert ct.fits_in(255, ct.UCHAR, ct.LP64)
+
+    def test_wrap_unsigned(self):
+        assert ct.wrap_unsigned(256, ct.UCHAR, ct.LP64) == 0
+        assert ct.wrap_unsigned(-1, ct.UINT, ct.LP64) == 2**32 - 1
+
+
+class TestConversions:
+    def test_integer_promotion_of_small_types(self):
+        assert ct.promote_integer(ct.CHAR, ct.LP64) == ct.INT
+        assert ct.promote_integer(ct.SHORT, ct.LP64) == ct.INT
+        assert ct.promote_integer(ct.USHORT, ct.LP64) == ct.INT
+        assert ct.promote_integer(ct.BOOL, ct.LP64) == ct.INT
+
+    def test_promotion_keeps_large_types(self):
+        assert ct.promote_integer(ct.LONG, ct.LP64) == ct.LONG
+        assert ct.promote_integer(ct.UINT, ct.LP64) == ct.UINT
+
+    def test_usual_arithmetic_same_type(self):
+        assert ct.usual_arithmetic_conversions(ct.INT, ct.INT, ct.LP64) == ct.INT
+
+    def test_usual_arithmetic_int_and_unsigned(self):
+        result = ct.usual_arithmetic_conversions(ct.INT, ct.UINT, ct.LP64)
+        assert result == ct.UINT
+
+    def test_usual_arithmetic_unsigned_int_and_long(self):
+        # long can represent all unsigned int values under LP64, so the
+        # common type is long.
+        result = ct.usual_arithmetic_conversions(ct.UINT, ct.LONG, ct.LP64)
+        assert result == ct.LONG
+
+    def test_usual_arithmetic_with_double(self):
+        result = ct.usual_arithmetic_conversions(ct.INT, ct.DOUBLE, ct.LP64)
+        assert isinstance(result, ct.FloatType)
+        assert result.kind == "double"
+
+    def test_usual_arithmetic_float_and_double(self):
+        result = ct.usual_arithmetic_conversions(ct.FLOAT, ct.DOUBLE, ct.LP64)
+        assert result.kind == "double"
+
+
+class TestCompatibilityAndAliasing:
+    def test_identical_types_compatible(self):
+        assert ct.types_compatible(ct.INT, ct.INT)
+        assert not ct.types_compatible(ct.INT, ct.LONG)
+
+    def test_qualifier_mismatch_not_compatible(self):
+        assert not ct.types_compatible(ct.INT, ct.INT.with_qualifiers(const=True))
+
+    def test_pointer_compatibility(self):
+        assert ct.types_compatible(ct.PointerType(pointee=ct.INT),
+                                   ct.PointerType(pointee=ct.INT))
+        assert not ct.types_compatible(ct.PointerType(pointee=ct.INT),
+                                       ct.PointerType(pointee=ct.LONG))
+
+    def test_struct_compatibility_by_tag(self):
+        a = ct.StructType(tag="s", fields=(ct.StructField("x", ct.INT),))
+        b = ct.StructType(tag="s", fields=(ct.StructField("x", ct.INT),))
+        c = ct.StructType(tag="t", fields=(ct.StructField("x", ct.INT),))
+        assert ct.types_compatible(a, b)
+        assert not ct.types_compatible(a, c)
+
+    def test_function_type_compatibility(self):
+        f1 = ct.FunctionType(return_type=ct.INT, parameters=(ct.INT,))
+        f2 = ct.FunctionType(return_type=ct.INT, parameters=(ct.INT,))
+        f3 = ct.FunctionType(return_type=ct.INT, parameters=(ct.INT, ct.INT))
+        assert ct.types_compatible(f1, f2)
+        assert not ct.types_compatible(f1, f3)
+
+    def test_decay(self):
+        assert ct.decay(ct.ArrayType(element=ct.INT, length=4)) == ct.PointerType(pointee=ct.INT)
+        decayed = ct.decay(ct.FunctionType(return_type=ct.INT))
+        assert isinstance(decayed, ct.PointerType)
+
+    def test_character_lvalue_aliases_anything(self):
+        assert ct.aliasing_compatible(ct.CHAR, ct.DOUBLE, ct.LP64)
+        assert ct.aliasing_compatible(ct.UCHAR, ct.PointerType(pointee=ct.INT), ct.LP64)
+
+    def test_signed_unsigned_variants_alias(self):
+        assert ct.aliasing_compatible(ct.UINT, ct.INT, ct.LP64)
+
+    def test_incompatible_aliasing(self):
+        assert not ct.aliasing_compatible(ct.SHORT, ct.INT, ct.LP64)
+        assert not ct.aliasing_compatible(ct.DOUBLE, ct.LONG, ct.LP64)
+
+    def test_struct_member_aliasing(self):
+        record = ct.StructType(tag="holder", fields=(ct.StructField("value", ct.INT),))
+        assert ct.aliasing_compatible(ct.INT, record, ct.LP64)

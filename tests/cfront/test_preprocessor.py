@@ -1,0 +1,135 @@
+"""Unit tests for the preprocessor."""
+
+import pytest
+
+from repro.cfront.preprocessor import Preprocessor, preprocess
+from repro.errors import CParseError
+
+
+class TestObjectMacros:
+    def test_simple_replacement(self):
+        assert "5 + 5" in preprocess("#define FIVE 5\nFIVE + FIVE")
+
+    def test_undef(self):
+        out = preprocess("#define X 1\n#undef X\nX")
+        assert out.strip().splitlines()[-1].strip() == "X"
+
+    def test_macro_not_expanded_inside_string(self):
+        out = preprocess('#define NAME world\nchar *s = "NAME";')
+        assert '"NAME"' in out
+
+    def test_recursive_macro_does_not_loop(self):
+        out = preprocess("#define X X + 1\nX")
+        assert "X + 1" in out
+
+    def test_empty_macro(self):
+        out = preprocess("#define NOTHING\nint NOTHING x;")
+        assert "int" in out and "x;" in out
+
+
+class TestFunctionMacros:
+    def test_single_argument(self):
+        out = preprocess("#define SQUARE(x) ((x) * (x))\nSQUARE(4)")
+        assert "((4) * (4))" in out
+
+    def test_multiple_arguments(self):
+        out = preprocess("#define ADD(a, b) (a + b)\nADD(1, 2)")
+        assert "(1 + 2)" in out
+
+    def test_nested_call_argument(self):
+        out = preprocess("#define ID(x) x\nID(f(1, 2))")
+        assert "f(1, 2)" in out
+
+    def test_name_without_parens_not_expanded(self):
+        out = preprocess("#define CALL(x) x()\nint CALL;")
+        assert "int CALL;" in out
+
+    def test_wrong_argument_count_raises(self):
+        with pytest.raises(CParseError):
+            preprocess("#define TWO(a, b) a + b\nTWO(1)")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define FLAG 1\n#ifdef FLAG\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_ifdef_not_taken(self):
+        out = preprocess("#ifdef MISSING\nint no;\n#endif")
+        assert "int no;" not in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef MISSING\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_else_branch(self):
+        out = preprocess("#ifdef MISSING\nint a;\n#else\nint b;\n#endif")
+        assert "int b;" in out
+        assert "int a;" not in out
+
+    def test_if_with_expression(self):
+        out = preprocess("#if 2 + 2 == 4\nint math_works;\n#endif")
+        assert "int math_works;" in out
+
+    def test_if_with_defined(self):
+        out = preprocess("#define A 1\n#if defined(A) && !defined(B)\nint ok;\n#endif")
+        assert "int ok;" in out
+
+    def test_elif(self):
+        source = "#if 0\nint a;\n#elif 1\nint b;\n#else\nint c;\n#endif"
+        out = preprocess(source)
+        assert "int b;" in out
+        assert "int a;" not in out
+        assert "int c;" not in out
+
+    def test_nested_conditionals(self):
+        source = "#if 1\n#if 0\nint a;\n#endif\nint b;\n#endif"
+        out = preprocess(source)
+        assert "int b;" in out
+        assert "int a;" not in out
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(CParseError):
+            preprocess("#if 1\nint x;")
+
+    def test_error_directive_raises(self):
+        with pytest.raises(CParseError):
+            preprocess("#error something is wrong")
+
+    def test_error_in_untaken_branch_ignored(self):
+        out = preprocess("#if 0\n#error skipped\n#endif\nint ok;")
+        assert "int ok;" in out
+
+
+class TestIncludes:
+    def test_builtin_header(self):
+        out = preprocess("#include <stddef.h>\nsize_t n;")
+        assert "typedef unsigned long size_t;" in out
+        assert "((void*)0)" not in out  # NULL macro not used, only defined
+
+    def test_null_macro_from_stddef(self):
+        out = preprocess("#include <stddef.h>\nchar *p = NULL;")
+        assert "((void*)0)" in out
+
+    def test_unknown_header_raises(self):
+        with pytest.raises(CParseError):
+            preprocess("#include <nonexistent_header.h>")
+
+    def test_extra_headers(self):
+        out = preprocess('#include "mylib.h"\nMYCONST',
+                         extra_headers={"mylib.h": "#define MYCONST 99\n"})
+        assert "99" in out
+
+    def test_double_include_is_idempotent(self):
+        out = preprocess("#include <stdlib.h>\n#include <stdlib.h>\nint x;")
+        assert out.count("void *malloc(size_t size);") == 1
+
+    def test_limits_macros(self):
+        out = preprocess("#include <limits.h>\nint m = INT_MAX;")
+        assert "2147483647" in out
+
+
+class TestLineContinuation:
+    def test_backslash_newline_joined(self):
+        out = preprocess("#define LONG 1 + \\\n2\nLONG")
+        assert "1 +  2" in out

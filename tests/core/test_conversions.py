@@ -1,0 +1,136 @@
+"""Unit tests for value conversions (§6.3) and their undefinedness side conditions."""
+
+import pytest
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.conversions import (
+    convert,
+    integer_to_pointer,
+    pointer_to_integer,
+    to_boolean,
+)
+from repro.core.values import (
+    FloatValue,
+    IndeterminateValue,
+    IntValue,
+    PointerValue,
+    VoidValue,
+)
+from repro.errors import UBKind, UndefinedBehaviorError
+
+OPTIONS = CheckerOptions()
+
+
+class TestIntegerConversions:
+    def test_identity(self):
+        value = convert(IntValue(5, ct.INT), ct.INT, OPTIONS)
+        assert isinstance(value, IntValue) and value.value == 5
+
+    def test_widening_preserves_value(self):
+        value = convert(IntValue(-3, ct.INT), ct.LONG, OPTIONS)
+        assert value.value == -3 and value.type == ct.LONG
+
+    def test_narrowing_to_unsigned_wraps(self):
+        value = convert(IntValue(300, ct.INT), ct.UCHAR, OPTIONS)
+        assert value.value == 44
+
+    def test_narrowing_to_signed_is_implementation_defined_not_ub(self):
+        value = convert(IntValue(200, ct.INT), ct.SCHAR, OPTIONS)
+        assert value.value == 200 - 256
+
+    def test_conversion_to_bool_is_zero_or_one(self):
+        assert convert(IntValue(42, ct.INT), ct.BOOL, OPTIONS).value == 1
+        assert convert(IntValue(0, ct.INT), ct.BOOL, OPTIONS).value == 0
+
+    def test_negative_to_unsigned_wraps(self):
+        value = convert(IntValue(-1, ct.INT), ct.UINT, OPTIONS)
+        assert value.value == 2**32 - 1
+
+
+class TestFloatConversions:
+    def test_int_to_float(self):
+        value = convert(IntValue(3, ct.INT), ct.DOUBLE, OPTIONS)
+        assert isinstance(value, FloatValue) and value.value == 3.0
+
+    def test_float_to_int_truncates(self):
+        value = convert(FloatValue(3.9, ct.DOUBLE), ct.INT, OPTIONS)
+        assert value.value == 3
+
+    def test_float_to_int_out_of_range_is_undefined(self):
+        with pytest.raises(UndefinedBehaviorError) as err:
+            convert(FloatValue(1e30, ct.DOUBLE), ct.INT, OPTIONS)
+        assert err.value.kind is UBKind.CONVERSION_OVERFLOW
+
+    def test_nan_to_int_is_undefined(self):
+        with pytest.raises(UndefinedBehaviorError):
+            convert(FloatValue(float("nan"), ct.DOUBLE), ct.INT, OPTIONS)
+
+    def test_out_of_range_allowed_when_arithmetic_checks_disabled(self):
+        relaxed = CheckerOptions(check_arithmetic=False)
+        value = convert(FloatValue(1e30, ct.DOUBLE), ct.INT, relaxed)
+        assert isinstance(value, IntValue)
+
+    def test_double_to_float_narrows(self):
+        value = convert(FloatValue(1.0e40, ct.DOUBLE), ct.FLOAT, OPTIONS)
+        assert isinstance(value, FloatValue)
+        assert value.value == float("inf")
+
+
+class TestPointerConversions:
+    def test_pointer_type_change(self):
+        pointer = PointerValue(base=3, offset=0, type=ct.PointerType(pointee=ct.INT))
+        converted = convert(pointer, ct.CHAR_PTR, OPTIONS, explicit=True)
+        assert isinstance(converted, PointerValue)
+        assert converted.base == 3
+        assert converted.type == ct.CHAR_PTR
+
+    def test_zero_integer_to_pointer_is_null(self):
+        converted = convert(IntValue(0, ct.INT), ct.VOID_PTR, OPTIONS, explicit=True)
+        assert isinstance(converted, PointerValue) and converted.is_null
+
+    def test_pointer_to_integer_and_back_preserves_provenance(self):
+        registry = {}
+        pointer = PointerValue(base=9, offset=4, type=ct.PointerType(pointee=ct.INT))
+        as_int = pointer_to_integer(pointer, ct.ULONG, ct.LP64, registry)
+        back = integer_to_pointer(as_int.value, ct.PointerType(pointee=ct.INT), registry)
+        assert back.base == 9 and back.offset == 4
+
+    def test_arbitrary_integer_to_pointer_is_invalid_provenance(self):
+        converted = integer_to_pointer(0xDEAD, ct.PointerType(pointee=ct.INT), {})
+        assert converted.base is not None and converted.base < 0
+
+    def test_pointer_to_bool(self):
+        pointer = PointerValue(base=1, offset=0, type=ct.VOID_PTR)
+        assert convert(pointer, ct.BOOL, OPTIONS).value == 1
+        assert convert(PointerValue(base=None, offset=0), ct.BOOL, OPTIONS).value == 0
+
+
+class TestSpecialValues:
+    def test_void_value_use_is_undefined(self):
+        with pytest.raises(UndefinedBehaviorError) as err:
+            convert(VoidValue(), ct.INT, OPTIONS)
+        assert err.value.kind is UBKind.VOID_VALUE_USED
+
+    def test_conversion_to_void_discards(self):
+        assert isinstance(convert(IntValue(1, ct.INT), ct.VOID, OPTIONS), VoidValue)
+
+    def test_indeterminate_stays_indeterminate(self):
+        value = IndeterminateValue(type=ct.INT, data=())
+        converted = convert(value, ct.LONG, OPTIONS)
+        assert isinstance(converted, IndeterminateValue)
+        assert converted.type == ct.LONG
+
+    def test_to_boolean_on_scalars(self):
+        assert to_boolean(IntValue(2, ct.INT), OPTIONS) is True
+        assert to_boolean(IntValue(0, ct.INT), OPTIONS) is False
+        assert to_boolean(FloatValue(0.5, ct.DOUBLE), OPTIONS) is True
+        assert to_boolean(PointerValue(base=None, offset=0), OPTIONS) is False
+
+    def test_to_boolean_on_indeterminate_is_undefined(self):
+        with pytest.raises(UndefinedBehaviorError):
+            to_boolean(IndeterminateValue(type=ct.INT, data=()), OPTIONS)
+
+    def test_to_boolean_on_void_is_undefined(self):
+        with pytest.raises(UndefinedBehaviorError):
+            to_boolean(VoidValue(), OPTIONS)

@@ -1,0 +1,413 @@
+"""Integration tests: arrays, structs, strings, and the heap (defined programs)."""
+
+from tests.util import exit_code_of, stdout_of
+
+
+class TestArrays:
+    def test_array_initialization_and_sum(self):
+        source = """
+        int main(void) {
+            int numbers[5] = {1, 2, 3, 4, 5};
+            int total = 0;
+            for (int i = 0; i < 5; i++) total += numbers[i];
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 15
+
+    def test_partial_initializer_zero_fills(self):
+        source = """
+        int main(void) {
+            int numbers[5] = {1, 2};
+            return numbers[0] + numbers[4];
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_array_size_from_initializer(self):
+        source = """
+        int main(void) {
+            int numbers[] = {5, 6, 7};
+            return (int)(sizeof(numbers) / sizeof(numbers[0]));
+        }
+        """
+        assert exit_code_of(source) == 3
+
+    def test_two_dimensional_array(self):
+        source = """
+        int main(void) {
+            int grid[3][4];
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    grid[i][j] = i * 10 + j;
+            return grid[2][3];
+        }
+        """
+        assert exit_code_of(source) == 23
+
+    def test_array_decays_to_pointer(self):
+        source = """
+        int sum(int *values, int count) {
+            int total = 0;
+            for (int i = 0; i < count; i++) total += values[i];
+            return total;
+        }
+        int main(void) {
+            int data[4] = {1, 2, 3, 4};
+            return sum(data, 4);
+        }
+        """
+        assert exit_code_of(source) == 10
+
+    def test_pointer_iteration(self):
+        source = """
+        int main(void) {
+            int data[4] = {1, 2, 3, 4};
+            int total = 0;
+            for (int *p = data; p < data + 4; p++) total += *p;
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 10
+
+    def test_pointer_difference_within_object(self):
+        source = """
+        int main(void) {
+            int data[8];
+            data[0] = 0;
+            int *first = &data[1];
+            int *last = &data[6];
+            return (int)(last - first);
+        }
+        """
+        assert exit_code_of(source) == 5
+
+    def test_char_array_from_string_literal(self):
+        source = """
+        int main(void) {
+            char word[] = "abc";
+            return (int)(sizeof(word)) + word[1];
+        }
+        """
+        assert exit_code_of(source) == 4 + ord("b")
+
+
+class TestStructsAndUnions:
+    def test_struct_member_assignment(self):
+        source = """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point p;
+            p.x = 3; p.y = 4;
+            return p.x * p.x + p.y * p.y;
+        }
+        """
+        assert exit_code_of(source) == 25
+
+    def test_struct_initializer(self):
+        source = """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point p = { 7, 9 };
+            return p.x + p.y;
+        }
+        """
+        assert exit_code_of(source) == 16
+
+    def test_struct_assignment_copies(self):
+        source = """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point a = { 1, 2 };
+            struct point b;
+            b = a;
+            a.x = 100;
+            return b.x + b.y;
+        }
+        """
+        assert exit_code_of(source) == 3
+
+    def test_nested_struct(self):
+        source = """
+        struct inner { int value; };
+        struct outer { struct inner first; struct inner second; };
+        int main(void) {
+            struct outer o;
+            o.first.value = 5;
+            o.second.value = 6;
+            return o.first.value + o.second.value;
+        }
+        """
+        assert exit_code_of(source) == 11
+
+    def test_pointer_to_struct_arrow(self):
+        source = """
+        struct counter { int count; };
+        void bump(struct counter *c) { c->count++; }
+        int main(void) {
+            struct counter c = { 0 };
+            bump(&c); bump(&c);
+            return c.count;
+        }
+        """
+        assert exit_code_of(source) == 2
+
+    def test_array_of_structs(self):
+        source = """
+        struct item { int id; int qty; };
+        int main(void) {
+            struct item cart[3] = { {1, 2}, {2, 5}, {3, 1} };
+            int total = 0;
+            for (int i = 0; i < 3; i++) total += cart[i].qty;
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 8
+
+    def test_union_shares_storage_via_char_view(self):
+        source = """
+        union view { unsigned int word; unsigned char bytes[4]; };
+        int main(void) {
+            union view v;
+            v.word = 0x04030201u;
+            return v.bytes[0];
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_struct_with_mixed_field_sizes(self):
+        source = """
+        struct mixed { char tag; long value; char suffix; };
+        int main(void) {
+            struct mixed m;
+            m.tag = 1; m.value = 100; m.suffix = 2;
+            return (int)(m.tag + m.value + m.suffix);
+        }
+        """
+        assert exit_code_of(source) == 103
+
+    def test_linked_list_on_heap(self):
+        source = """
+        #include <stdlib.h>
+        struct node { int value; struct node *next; };
+        int main(void) {
+            struct node *head = NULL;
+            for (int i = 1; i <= 4; i++) {
+                struct node *n = malloc(sizeof(struct node));
+                if (!n) return 1;
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            int total = 0;
+            for (struct node *cur = head; cur != NULL; cur = cur->next) total += cur->value;
+            while (head) {
+                struct node *next = head->next;
+                free(head);
+                head = next;
+            }
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 10
+
+
+class TestHeap:
+    def test_malloc_write_read_free(self):
+        source = """
+        #include <stdlib.h>
+        int main(void) {
+            int *p = malloc(sizeof(int));
+            if (!p) return 1;
+            *p = 55;
+            int result = *p;
+            free(p);
+            return result;
+        }
+        """
+        assert exit_code_of(source) == 55
+
+    def test_calloc_zero_initializes(self):
+        source = """
+        #include <stdlib.h>
+        int main(void) {
+            int *p = calloc(4, sizeof(int));
+            if (!p) return 1;
+            int total = p[0] + p[1] + p[2] + p[3];
+            free(p);
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 0
+
+    def test_realloc_preserves_contents(self):
+        source = """
+        #include <stdlib.h>
+        int main(void) {
+            int *p = malloc(2 * sizeof(int));
+            if (!p) return 1;
+            p[0] = 3; p[1] = 4;
+            p = realloc(p, 4 * sizeof(int));
+            if (!p) return 1;
+            p[2] = 5;
+            int total = p[0] + p[1] + p[2];
+            free(p);
+            return total;
+        }
+        """
+        assert exit_code_of(source) == 12
+
+    def test_malloc_failure_returns_null(self):
+        source = """
+        #include <stdlib.h>
+        int main(void) {
+            void *p = malloc(1073741824);
+            return p == NULL ? 1 : 0;
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_heap_array_of_structs(self):
+        source = """
+        #include <stdlib.h>
+        struct slot { int key; int value; };
+        int main(void) {
+            struct slot *table = malloc(4 * sizeof(struct slot));
+            if (!table) return 1;
+            for (int i = 0; i < 4; i++) { table[i].key = i; table[i].value = i * i; }
+            int result = table[3].value;
+            free(table);
+            return result;
+        }
+        """
+        assert exit_code_of(source) == 9
+
+
+class TestStrings:
+    def test_strlen_strcpy_strcat(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            char buffer[16];
+            strcpy(buffer, "abc");
+            strcat(buffer, "de");
+            return (int)strlen(buffer);
+        }
+        """
+        assert exit_code_of(source) == 5
+
+    def test_strcmp(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            return strcmp("abc", "abc") == 0
+                && strcmp("abc", "abd") < 0
+                && strcmp("b", "a") > 0;
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_strchr_finds_character(self):
+        source = """
+        #include <string.h>
+        #include <stddef.h>
+        int main(void) {
+            char text[] = "hello world";
+            char *space = strchr(text, ' ');
+            if (space == NULL) return 1;
+            return (int)(space - text);
+        }
+        """
+        assert exit_code_of(source) == 5
+
+    def test_strncpy_and_strncmp(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            char buffer[8];
+            strncpy(buffer, "abcdef", 3);
+            buffer[3] = 0;
+            return strncmp(buffer, "abcx", 3) == 0 ? 1 : 0;
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_memcpy_and_memcmp(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            char source_buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+            char target[8];
+            memcpy(target, source_buf, 8);
+            return memcmp(target, source_buf, 8) == 0 ? 1 : 0;
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_memset(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            char buffer[4];
+            memset(buffer, 7, 4);
+            return buffer[0] + buffer[3];
+        }
+        """
+        assert exit_code_of(source) == 14
+
+    def test_memcpy_copies_uninitialized_struct_padding(self):
+        # The §4.3.3 requirement: copying a struct byte-by-byte, including
+        # uninitialized members, is defined as long as they are not used.
+        source = """
+        #include <string.h>
+        struct record { char tag; int value; };
+        int main(void) {
+            struct record original;
+            original.value = 5;
+            struct record copy;
+            memcpy(&copy, &original, sizeof(struct record));
+            return copy.value;
+        }
+        """
+        assert exit_code_of(source) == 5
+
+    def test_sprintf(self):
+        source = """
+        #include <stdio.h>
+        #include <string.h>
+        int main(void) {
+            char buffer[32];
+            sprintf(buffer, "%d-%s", 7, "ok");
+            return (int)strlen(buffer);
+        }
+        """
+        assert exit_code_of(source) == 4
+
+    def test_atoi(self):
+        source = """
+        #include <stdlib.h>
+        int main(void) { return atoi("  42abc"); }
+        """
+        assert exit_code_of(source) == 42
+
+    def test_argv_passed_to_main(self):
+        source = """
+        #include <string.h>
+        int main(int argc, char **argv) {
+            if (argc != 2) return 1;
+            return (int)strlen(argv[1]);
+        }
+        """
+        from tests.util import exit_code_of as run
+        assert run(source, argv=["prog", "hello"]) == 5
+
+    def test_scanf_reads_integers(self):
+        source = """
+        #include <stdio.h>
+        int main(void) {
+            int a, b;
+            if (scanf("%d %d", &a, &b) != 2) return 1;
+            return a + b;
+        }
+        """
+        assert exit_code_of(source, stdin="20 22") == 42

@@ -1,0 +1,411 @@
+"""The negative semantics: undefined programs must be reported, with the right kind."""
+
+from repro import UBKind
+from tests.util import exit_code_of, expect_undefined
+
+
+class TestArithmeticUndefinedness:
+    def test_division_by_zero(self):
+        expect_undefined("int main(void){ int d = 0; return 5 / d; }", UBKind.DIVISION_BY_ZERO)
+
+    def test_modulo_by_zero(self):
+        expect_undefined("int main(void){ int d = 0; return 5 % d; }", UBKind.DIVISION_BY_ZERO)
+
+    def test_int_min_divided_by_minus_one(self):
+        source = """
+        #include <limits.h>
+        int main(void){ int a = INT_MIN; int b = -1; return (a / b) != 0; }
+        """
+        expect_undefined(source, UBKind.SIGNED_OVERFLOW)
+
+    def test_signed_overflow_addition(self):
+        source = """
+        #include <limits.h>
+        int main(void){ int x = INT_MAX; return x + 1 < x; }
+        """
+        expect_undefined(source, UBKind.SIGNED_OVERFLOW)
+
+    def test_signed_overflow_multiplication(self):
+        expect_undefined("int main(void){ int x = 100000; return x * 100000 > 0; }",
+                         UBKind.SIGNED_OVERFLOW)
+
+    def test_signed_overflow_negation(self):
+        source = """
+        #include <limits.h>
+        int main(void){ int x = INT_MIN; return -x; }
+        """
+        expect_undefined(source, UBKind.SIGNED_OVERFLOW)
+
+    def test_shift_too_far(self):
+        expect_undefined("int main(void){ int n = 32; return 1 << n; }", UBKind.SHIFT_TOO_FAR)
+
+    def test_shift_negative_amount(self):
+        expect_undefined("int main(void){ int n = -1; return 4 >> n; }", UBKind.SHIFT_TOO_FAR)
+
+    def test_left_shift_of_negative_value(self):
+        expect_undefined("int main(void){ int x = -2; return x << 1; }", UBKind.SHIFT_NEGATIVE)
+
+    def test_left_shift_overflow(self):
+        expect_undefined("int main(void){ int x = 1; int n = 31; return x << n; }",
+                         UBKind.SHIFT_OVERFLOW)
+
+    def test_float_to_int_conversion_overflow(self):
+        expect_undefined("int main(void){ double d = 1e20; return (int)d; }",
+                         UBKind.CONVERSION_OVERFLOW)
+
+    def test_unsigned_overflow_is_defined(self):
+        assert exit_code_of(
+            "int main(void){ unsigned int x = 4294967295u; return (x + 1u) == 0u; }") == 1
+
+    def test_float_division_by_zero_is_not_flagged(self):
+        # IEEE-754 semantics (Annex F): inf, not undefined behavior.
+        assert exit_code_of(
+            "int main(void){ double x = 1.0; double y = x / 0.0; return y > 1e30; }") == 1
+
+
+class TestPointerUndefinedness:
+    def test_null_dereference(self):
+        expect_undefined("#include <stddef.h>\nint main(void){ int *p = NULL; return *p; }",
+                         UBKind.NULL_DEREFERENCE)
+
+    def test_write_through_null(self):
+        expect_undefined("#include <stddef.h>\nint main(void){ int *p = NULL; *p = 1; return 0; }",
+                         UBKind.NULL_DEREFERENCE)
+
+    def test_void_pointer_dereference(self):
+        expect_undefined("int main(void){ int x = 1; void *p = &x; *p; return 0; }",
+                         UBKind.VOID_DEREFERENCE)
+
+    def test_array_read_out_of_bounds(self):
+        expect_undefined("int main(void){ int a[3] = {1,2,3}; int i = 3; return a[i]; }",
+                         UBKind.OUT_OF_BOUNDS)
+
+    def test_array_write_out_of_bounds(self):
+        # One element past one-past-the-end: already the pointer arithmetic is
+        # undefined, before the store is even attempted.
+        expect_undefined("int main(void){ int a[3]; int i = 4; a[i] = 1; return 0; }",
+                         UBKind.INVALID_POINTER_ARITHMETIC)
+
+    def test_array_write_one_past_end(self):
+        expect_undefined("int main(void){ int a[3]; int i = 3; a[i] = 1; return 0; }",
+                         UBKind.BUFFER_OVERFLOW)
+
+    def test_pointer_arithmetic_beyond_one_past_end(self):
+        expect_undefined("int main(void){ int a[3]; int *p = a + 5; return p == a; }",
+                         UBKind.INVALID_POINTER_ARITHMETIC)
+
+    def test_one_past_end_is_allowed_but_not_dereferenceable(self):
+        assert exit_code_of("int main(void){ int a[3]; int *p = a + 3; return p != a; }") == 1
+        expect_undefined("int main(void){ int a[3]; int *p = a + 3; return *p; }",
+                         UBKind.OUT_OF_BOUNDS)
+
+    def test_negative_index(self):
+        expect_undefined("int main(void){ int a[3]; int i = -1; a[i] = 1; return 0; }")
+
+    def test_comparison_of_unrelated_pointers(self):
+        expect_undefined("int main(void){ int a; int b; a = b = 0; return &a < &b; }",
+                         UBKind.POINTER_COMPARE_UNRELATED)
+
+    def test_comparison_within_struct_is_defined(self):
+        source = """
+        int main(void) {
+            struct { int a; int b; } s;
+            s.a = 0; s.b = 0;
+            return &s.a < &s.b;
+        }
+        """
+        assert exit_code_of(source) == 1
+
+    def test_equality_of_unrelated_pointers_is_defined(self):
+        assert exit_code_of("int main(void){ int a; int b; return &a == &b; }") == 0
+
+    def test_subtraction_of_unrelated_pointers(self):
+        expect_undefined("int main(void){ int a[2]; int b[2]; return (int)(&a[0] - &b[0]); }",
+                         UBKind.POINTER_SUBTRACT_UNRELATED)
+
+    def test_null_pointer_arithmetic(self):
+        expect_undefined(
+            "#include <stddef.h>\nint main(void){ char *p = NULL; return (p + 1) != NULL; }",
+            UBKind.NULL_POINTER_ARITHMETIC)
+
+    def test_modifying_string_literal(self):
+        expect_undefined('int main(void){ char *s = "abc"; s[0] = 65; return 0; }',
+                         UBKind.MODIFY_STRING_LITERAL)
+
+    def test_misaligned_access(self):
+        source = """
+        int main(void) {
+            char buffer[16];
+            for (int i = 0; i < 16; i++) buffer[i] = (char)i;
+            int *p = (int *)(buffer + 1);
+            return *p;
+        }
+        """
+        expect_undefined(source, UBKind.UNALIGNED_ACCESS)
+
+    def test_strict_aliasing_violation(self):
+        source = """
+        int main(void) {
+            int value = 1;
+            short *p = (short *)&value;
+            return p[0];
+        }
+        """
+        expect_undefined(source, UBKind.EFFECTIVE_TYPE_VIOLATION)
+
+    def test_char_access_is_always_allowed(self):
+        source = """
+        int main(void) {
+            int value = 258;
+            unsigned char *p = (unsigned char *)&value;
+            return p[0] + p[1];
+        }
+        """
+        assert exit_code_of(source) == 3
+
+
+class TestLifetimeUndefinedness:
+    def test_use_after_free(self):
+        source = """
+        #include <stdlib.h>
+        int main(void){ int *p = malloc(4); if (!p) return 0; *p = 1; free(p); return *p; }
+        """
+        expect_undefined(source, UBKind.USE_AFTER_FREE)
+
+    def test_double_free(self):
+        source = """
+        #include <stdlib.h>
+        int main(void){ char *p = malloc(4); if (!p) return 0; free(p); free(p); return 0; }
+        """
+        expect_undefined(source, UBKind.DOUBLE_FREE)
+
+    def test_free_of_stack_object(self):
+        source = """
+        #include <stdlib.h>
+        int main(void){ int x = 1; free(&x); return 0; }
+        """
+        expect_undefined(source, UBKind.BAD_FREE)
+
+    def test_free_of_interior_pointer(self):
+        source = """
+        #include <stdlib.h>
+        int main(void){ char *p = malloc(8); if (!p) return 0; free(p + 1); return 0; }
+        """
+        expect_undefined(source, UBKind.BAD_FREE)
+
+    def test_returning_address_of_local(self):
+        source = """
+        int *leak(void) { int local = 3; return &local; }
+        int main(void){ return *leak(); }
+        """
+        expect_undefined(source, UBKind.DANGLING_DEREFERENCE)
+
+    def test_pointer_into_exited_block(self):
+        source = """
+        int main(void) {
+            int *p;
+            { int inner = 1; p = &inner; }
+            return *p;
+        }
+        """
+        expect_undefined(source, UBKind.DANGLING_DEREFERENCE)
+
+    def test_uninitialized_local_read(self):
+        expect_undefined("int main(void){ int x; return x + 1; }", UBKind.UNINITIALIZED_READ)
+
+    def test_uninitialized_heap_read(self):
+        source = """
+        #include <stdlib.h>
+        int main(void){ int *p = malloc(8); if (!p) return 0; int v = p[1]; free(p); return v; }
+        """
+        expect_undefined(source, UBKind.UNINITIALIZED_READ)
+
+    def test_uninitialized_pointer_dereference(self):
+        expect_undefined("int main(void){ int *p; return *p; }", UBKind.UNINITIALIZED_READ)
+
+    def test_uninitialized_branch_condition(self):
+        expect_undefined("int main(void){ int flag; if (flag) return 1; return 0; }",
+                         UBKind.UNINITIALIZED_READ)
+
+    def test_partial_pointer_copy_then_use(self):
+        source = """
+        int main(void) {
+            int x = 5, y = 6;
+            int *p = &x, *q = &y;
+            char *a = (char*)&p, *b = (char*)&q;
+            a[0] = b[0]; a[1] = b[1]; a[2] = b[2];
+            return *p;
+        }
+        """
+        expect_undefined(source, UBKind.UNINITIALIZED_READ)
+
+    def test_full_pointer_copy_is_defined(self):
+        source = """
+        int main(void) {
+            int x = 5, y = 6;
+            int *p = &x, *q = &y;
+            char *a = (char*)&p, *b = (char*)&q;
+            a[0]=b[0]; a[1]=b[1]; a[2]=b[2]; a[3]=b[3]; a[4]=b[4]; a[5]=b[5]; a[6]=b[6]; a[7]=b[7];
+            return *p;
+        }
+        """
+        assert exit_code_of(source) == 6
+
+
+class TestSequencingAndConst:
+    def test_unsequenced_assignments(self):
+        expect_undefined("int main(void){ int x = 0; return (x = 1) + (x = 2); }",
+                         UBKind.UNSEQUENCED_SIDE_EFFECT)
+
+    def test_assignment_then_read_unsequenced(self):
+        expect_undefined("int main(void){ int i = 1; return (i = 5) + i; }",
+                         UBKind.UNSEQUENCED_SIDE_EFFECT)
+
+    def test_i_equals_i_plus_plus(self):
+        expect_undefined("int main(void){ int i = 0; i = i++; return i; }",
+                         UBKind.UNSEQUENCED_SIDE_EFFECT)
+
+    def test_double_increment_in_arguments(self):
+        source = """
+        int combine(int a, int b) { return a + b; }
+        int main(void){ int i = 0; return combine(i++, i++); }
+        """
+        expect_undefined(source, UBKind.UNSEQUENCED_SIDE_EFFECT)
+
+    def test_sequenced_operators_are_fine(self):
+        assert exit_code_of(
+            "int main(void){ int x = 0; return (x = 1) && (x = 2) ? x : 9; }") == 2
+        assert exit_code_of(
+            "int main(void){ int x = 0; return ((x = 1), (x = 2)); }") == 2
+
+    def test_separate_statements_are_fine(self):
+        assert exit_code_of("int main(void){ int x; x = 1; x = 2; return x + x; }") == 4
+
+    def test_write_to_const_through_cast(self):
+        source = """
+        int main(void){ const int limit = 1; *(int*)&limit = 2; return limit; }
+        """
+        expect_undefined(source, UBKind.CONST_VIOLATION)
+
+    def test_write_to_const_via_strchr(self):
+        source = """
+        #include <string.h>
+        int main(void) {
+            const char p[] = "hello";
+            char *q = strchr(p, p[0]);
+            *q = 'H';
+            return 0;
+        }
+        """
+        expect_undefined(source, UBKind.CONST_VIOLATION)
+
+    def test_writing_nonconst_through_pointer_is_fine(self):
+        assert exit_code_of(
+            "int main(void){ int x = 1; *(int*)&x = 2; return x; }") == 2
+
+
+class TestFunctionUndefinedness:
+    def test_wrong_argument_count(self):
+        source = """
+        int add(int a, int b);
+        int add(int a, int b) { return a + b; }
+        int main(void){ return add(1); }
+        """
+        expect_undefined(source, UBKind.BAD_FUNCTION_CALL)
+
+    def test_pointer_argument_given_integer(self):
+        source = """
+        static int get(int *p) { return *p; }
+        int main(void){ return get(7); }
+        """
+        expect_undefined(source, UBKind.BAD_FUNCTION_CALL)
+
+    def test_call_through_incompatible_function_pointer(self):
+        source = """
+        static int add(int a, int b) { return a + b; }
+        int main(void){ int (*f)(int) = (int (*)(int))add; return f(1); }
+        """
+        expect_undefined(source, UBKind.BAD_FUNCTION_TYPE)
+
+    def test_call_through_null_function_pointer(self):
+        source = """
+        #include <stddef.h>
+        int main(void){ int (*f)(void) = NULL; return f(); }
+        """
+        expect_undefined(source, UBKind.NULL_DEREFERENCE)
+
+    def test_missing_return_value_used(self):
+        source = """
+        static int maybe(int flag) { if (flag) return 1; }
+        int main(void){ return maybe(0) + 1; }
+        """
+        expect_undefined(source, UBKind.UNINITIALIZED_READ)
+
+    def test_missing_return_value_unused_is_fine(self):
+        source = """
+        static int maybe(int flag) { if (flag) return 1; }
+        int main(void){ maybe(0); return 0; }
+        """
+        assert exit_code_of(source) == 0
+
+    def test_call_to_undeclared_function(self):
+        expect_undefined("int main(void){ return mystery(1); }", UBKind.BAD_FUNCTION_CALL)
+
+    def test_printf_format_mismatch(self):
+        source = """
+        #include <stdio.h>
+        int main(void){ printf("%s", 5); return 0; }
+        """
+        expect_undefined(source)
+
+    def test_printf_missing_argument(self):
+        source = """
+        #include <stdio.h>
+        int main(void){ printf("%d %d", 1); return 0; }
+        """
+        expect_undefined(source, UBKind.FORMAT_MISMATCH)
+
+
+class TestLibraryUndefinedness:
+    def test_strcpy_overflow(self):
+        source = """
+        #include <string.h>
+        int main(void){ char small[2]; strcpy(small, "much too long"); return 0; }
+        """
+        expect_undefined(source, UBKind.BUFFER_OVERFLOW)
+
+    def test_strlen_unterminated(self):
+        source = """
+        #include <string.h>
+        int main(void){ char b[3]; b[0]='a'; b[1]='b'; b[2]='c'; return (int)strlen(b); }
+        """
+        expect_undefined(source, UBKind.UNTERMINATED_STRING_OP)
+
+    def test_memcpy_overlap(self):
+        source = """
+        #include <string.h>
+        int main(void){ char b[8] = "abcdefg"; memcpy(b + 1, b, 4); return b[1]; }
+        """
+        expect_undefined(source, UBKind.OVERLAPPING_COPY)
+
+    def test_memmove_overlap_is_fine(self):
+        source = """
+        #include <string.h>
+        int main(void){ char b[8] = "abcdefg"; memmove(b + 1, b, 4); return b[1]; }
+        """
+        assert exit_code_of(source) == ord("a")
+
+    def test_memcpy_out_of_bounds(self):
+        source = """
+        #include <string.h>
+        int main(void){ char src[2] = {1, 2}; char dst[8]; memcpy(dst, src, 4); return dst[0]; }
+        """
+        expect_undefined(source, UBKind.OUT_OF_BOUNDS)
+
+    def test_abs_int_min(self):
+        source = """
+        #include <stdlib.h>
+        #include <limits.h>
+        int main(void){ int m = INT_MIN; return abs(m) < 0; }
+        """
+        expect_undefined(source, UBKind.SIGNED_OVERFLOW)

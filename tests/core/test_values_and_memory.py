@@ -1,0 +1,302 @@
+"""Unit tests for the symbolic value and memory models (§4.3 of the paper)."""
+
+import pytest
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.memory import ByteLocation, Memory, StorageKind
+from repro.core.values import (
+    ConcreteByte,
+    FloatValue,
+    IndeterminateValue,
+    IntValue,
+    PointerByte,
+    PointerValue,
+    StructValue,
+    UnknownByte,
+    decode_value,
+    encode_int,
+    decode_int,
+    encode_pointer,
+    decode_pointer,
+    encode_value,
+    unknown_bytes,
+)
+from repro.errors import UBKind, UndefinedBehaviorError
+
+
+OPTIONS = CheckerOptions()
+
+
+class TestIntegerEncoding:
+    def test_roundtrip_small_positive(self):
+        data = encode_int(42, 4, signed=True)
+        assert decode_int(data, signed=True) == 42
+
+    def test_roundtrip_negative(self):
+        data = encode_int(-1, 4, signed=True)
+        assert all(b.value == 0xFF for b in data)
+        assert decode_int(data, signed=True) == -1
+
+    def test_little_endian_layout(self):
+        data = encode_int(0x01020304, 4, signed=False)
+        assert [b.value for b in data] == [0x04, 0x03, 0x02, 0x01]
+
+    def test_unsigned_decode(self):
+        data = encode_int(0xFF, 1, signed=False)
+        assert decode_int(data, signed=False) == 255
+        assert decode_int(data, signed=True) == -1
+
+    def test_decode_with_unknown_byte_returns_none(self):
+        data = encode_int(5, 4, signed=True)
+        data[2] = UnknownByte.fresh()
+        assert decode_int(data, signed=True) is None
+
+
+class TestPointerEncoding:
+    def test_pointer_splits_into_symbolic_bytes(self):
+        pointer = PointerValue(base=7, offset=4, type=ct.PointerType(pointee=ct.INT))
+        data = encode_pointer(pointer, 8)
+        assert len(data) == 8
+        assert all(isinstance(b, PointerByte) for b in data)
+        assert [b.index for b in data] == list(range(8))
+
+    def test_pointer_reconstructs_from_all_bytes(self):
+        pointer = PointerValue(base=7, offset=4, type=ct.PointerType(pointee=ct.INT))
+        data = encode_pointer(pointer, 8)
+        decoded = decode_pointer(data, ct.PointerType(pointee=ct.INT))
+        assert decoded is not None
+        assert decoded.base == 7 and decoded.offset == 4
+
+    def test_partial_pointer_bytes_do_not_reconstruct(self):
+        p = PointerValue(base=7, offset=0, type=ct.PointerType(pointee=ct.INT))
+        q = PointerValue(base=9, offset=0, type=ct.PointerType(pointee=ct.INT))
+        data = encode_pointer(p, 8)
+        data[3:] = encode_pointer(q, 8)[3:]
+        assert decode_pointer(data, ct.PointerType(pointee=ct.INT)) is None
+
+    def test_null_pointer_encodes_as_zero_bytes(self):
+        data = encode_pointer(PointerValue(base=None, offset=0), 8)
+        assert all(isinstance(b, ConcreteByte) and b.value == 0 for b in data)
+        decoded = decode_pointer(data, ct.PointerType(pointee=ct.INT))
+        assert decoded is not None and decoded.is_null
+
+    def test_decode_value_of_uninitialized_region_is_indeterminate(self):
+        value = decode_value(unknown_bytes(4), ct.INT, ct.LP64)
+        assert isinstance(value, IndeterminateValue)
+
+    def test_encode_value_struct_pads_with_unknown(self):
+        struct_type = ct.StructType(tag="s", fields=(ct.StructField("a", ct.INT),
+                                                     ct.StructField("b", ct.INT)))
+        value = StructValue(data=tuple(encode_int(1, 4, True)), type=struct_type)
+        data = encode_value(value, struct_type, ct.LP64)
+        assert len(data) == 8
+
+    def test_float_roundtrip(self):
+        data = encode_value(FloatValue(2.5, ct.DOUBLE), ct.DOUBLE, ct.LP64)
+        value = decode_value(data, ct.DOUBLE, ct.LP64)
+        assert isinstance(value, FloatValue)
+        assert value.value == 2.5
+
+
+class TestMemoryObjects:
+    def make_memory(self, options=OPTIONS):
+        return Memory(options)
+
+    def test_allocation_returns_distinct_bases(self):
+        memory = self.make_memory()
+        first = memory.allocate(4, StorageKind.AUTO, name="a")
+        second = memory.allocate(4, StorageKind.AUTO, name="b")
+        assert first.base != second.base
+
+    def test_new_object_is_uninitialized(self):
+        memory = self.make_memory()
+        obj = memory.allocate(4, StorageKind.AUTO, name="a")
+        assert all(isinstance(b, UnknownByte) for b in obj.data)
+
+    def test_write_then_read(self):
+        memory = self.make_memory()
+        obj = memory.allocate(4, StorageKind.AUTO, name="a", declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(77, 4, True), lvalue_type=ct.INT)
+        memory.sequence_point()
+        data = memory.read_bytes(pointer, 4, lvalue_type=ct.INT)
+        assert decode_int(data, True) == 77
+
+    def test_out_of_bounds_read_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(4, StorageKind.AUTO, name="a")
+        pointer = PointerValue(base=obj.base, offset=2, type=ct.PointerType(pointee=ct.INT))
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.read_bytes(pointer, 4)
+        assert err.value.kind in (UBKind.OUT_OF_BOUNDS, UBKind.BUFFER_OVERFLOW)
+
+    def test_null_dereference_raises(self):
+        memory = self.make_memory()
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.read_bytes(PointerValue(base=None, offset=0), 1)
+        assert err.value.kind is UBKind.NULL_DEREFERENCE
+
+    def test_read_of_dead_object_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(4, StorageKind.AUTO, name="a")
+        memory.kill(obj.base)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.read_bytes(pointer, 4)
+        assert err.value.kind is UBKind.DANGLING_DEREFERENCE
+
+    def test_kill_frame_ends_only_that_frames_objects(self):
+        memory = self.make_memory()
+        kept = memory.allocate(4, StorageKind.AUTO, name="kept", frame=1)
+        dropped = memory.allocate(4, StorageKind.AUTO, name="dropped", frame=2)
+        memory.kill_frame(2)
+        assert memory.objects[kept.base].alive
+        assert not memory.objects[dropped.base].alive
+
+    def test_free_heap_object(self):
+        memory = self.make_memory()
+        obj = memory.allocate(16, StorageKind.HEAP)
+        pointer = PointerValue(base=obj.base, offset=0)
+        memory.free(pointer)
+        assert obj.freed and not obj.alive
+
+    def test_free_null_is_noop(self):
+        memory = self.make_memory()
+        memory.free(PointerValue(base=None, offset=0))
+
+    def test_double_free_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(16, StorageKind.HEAP)
+        pointer = PointerValue(base=obj.base, offset=0)
+        memory.free(pointer)
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.free(pointer)
+        assert err.value.kind is UBKind.DOUBLE_FREE
+
+    def test_free_of_non_heap_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(4, StorageKind.AUTO, name="local")
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.free(PointerValue(base=obj.base, offset=0))
+        assert err.value.kind is UBKind.BAD_FREE
+
+    def test_free_of_interior_pointer_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(16, StorageKind.HEAP)
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.free(PointerValue(base=obj.base, offset=4))
+        assert err.value.kind is UBKind.BAD_FREE
+
+    def test_use_after_free_raises(self):
+        memory = self.make_memory()
+        obj = memory.allocate(16, StorageKind.HEAP)
+        pointer = PointerValue(base=obj.base, offset=0)
+        memory.free(pointer)
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.read_bytes(pointer, 1)
+        assert err.value.kind is UBKind.USE_AFTER_FREE
+
+
+class TestSequencingCells:
+    def test_write_adds_to_locs_written(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.AUTO, declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        assert ByteLocation(obj.base, 0) in memory.locs_written
+
+    def test_second_unsequenced_write_raises(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.AUTO, declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.write_bytes(pointer, encode_int(2, 4, True), lvalue_type=ct.INT)
+        assert err.value.kind is UBKind.UNSEQUENCED_SIDE_EFFECT
+
+    def test_sequence_point_clears_the_set(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.AUTO, declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        memory.sequence_point()
+        memory.write_bytes(pointer, encode_int(2, 4, True), lvalue_type=ct.INT)
+        assert decode_int(memory.read_bytes(pointer, 4, track_sequencing=False), True) == 2
+
+    def test_read_after_unsequenced_write_raises(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.AUTO, declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        with pytest.raises(UndefinedBehaviorError):
+            memory.read_bytes(pointer, 4, lvalue_type=ct.INT)
+
+    def test_sequencing_disabled_by_options(self):
+        memory = Memory(CheckerOptions(check_sequencing=False))
+        obj = memory.allocate(4, StorageKind.AUTO, declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        memory.write_bytes(pointer, encode_int(2, 4, True), lvalue_type=ct.INT)
+
+
+class TestConstCell:
+    def test_const_object_registered_not_writable(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.STATIC, name="limit", declared_type=ct.INT,
+                              is_const=True)
+        assert obj.base in memory.not_writable
+
+    def test_write_to_const_object_raises(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.STATIC, name="limit", declared_type=ct.INT,
+                              is_const=True)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+        assert err.value.kind is UBKind.CONST_VIOLATION
+
+    def test_write_to_string_literal_raises_its_own_kind(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(6, StorageKind.STRING_LITERAL, name='"hello"')
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.CHAR))
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.write_bytes(pointer, [ConcreteByte(72)], lvalue_type=ct.CHAR)
+        assert err.value.kind is UBKind.MODIFY_STRING_LITERAL
+
+    def test_const_check_disabled_by_options(self):
+        memory = Memory(CheckerOptions(check_const=False))
+        obj = memory.allocate(4, StorageKind.STATIC, name="limit", declared_type=ct.INT,
+                              is_const=True)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        memory.write_bytes(pointer, encode_int(1, 4, True), lvalue_type=ct.INT)
+
+
+class TestEffectiveTypes:
+    def test_heap_type_punning_detected_on_read(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(8, StorageKind.HEAP)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.LONG))
+        memory.write_bytes(pointer, encode_int(1, 8, True), lvalue_type=ct.LONG)
+        memory.sequence_point()
+        with pytest.raises(UndefinedBehaviorError) as err:
+            memory.read_bytes(pointer, 8, lvalue_type=ct.DOUBLE)
+        assert err.value.kind is UBKind.EFFECTIVE_TYPE_VIOLATION
+
+    def test_character_access_always_allowed(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(8, StorageKind.HEAP)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.LONG))
+        memory.write_bytes(pointer, encode_int(1, 8, True), lvalue_type=ct.LONG)
+        memory.sequence_point()
+        memory.read_bytes(pointer, 1, lvalue_type=ct.UCHAR)
+
+    def test_declared_object_incompatible_access_raises(self):
+        memory = Memory(OPTIONS)
+        obj = memory.allocate(4, StorageKind.AUTO, name="x", declared_type=ct.INT)
+        pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ct.SHORT))
+        memory.write_bytes(pointer, encode_int(1, 2, True), lvalue_type=ct.INT,
+                           track_sequencing=False)
+        memory.sequence_point()
+        with pytest.raises(UndefinedBehaviorError):
+            memory.read_bytes(pointer, 2, lvalue_type=ct.SHORT)

@@ -1,0 +1,125 @@
+"""Unit tests for the K-style substrate: cells, strategies, and order search."""
+
+from repro.kframework.cells import Cell, Configuration, make_configuration
+from repro.kframework.search import PathOutcome, search_evaluation_orders
+from repro.kframework.strategy import (
+    LeftToRightStrategy,
+    RightToLeftStrategy,
+    ScriptedStrategy,
+    strategy_for,
+)
+
+
+class TestCells:
+    def test_find_nested_cell(self):
+        root = Cell("T")
+        local = root.add(Cell("local"))
+        local.add(Cell("env", {"x": "sym(1)"}))
+        config = Configuration(root=root)
+        assert config.cell("env") is not None
+        assert config.cell("missing") is None
+
+    def test_render_contains_labels_and_content(self):
+        cell = Cell("env", {"x": "sym(1)"})
+        text = cell.render()
+        assert "<env>" in text and "x |-> sym(1)" in text
+
+    def test_make_configuration_structure(self):
+        config = make_configuration(
+            k=["main()"], genv={"g": "sym(1)"}, mem_summary={"sym(1)": "obj(4, static)"},
+            locs_written={"sym(1)+0"}, not_writable=set(), call_stack=["main"],
+            local_env={"x": "sym(2)"}, local_types={"x": "int"})
+        assert config.cell("k").content == ["main()"]
+        assert config.cell("callStack").content == ["main"]
+        assert "sym(1)+0" in config.cell("locsWrittenTo").content
+        assert config.cell("env").content == {"x": "sym(2)"}
+
+    def test_render_empty_k_cell(self):
+        assert ".K" in Cell("k", []).render()
+
+
+class TestStrategies:
+    def test_left_to_right(self):
+        assert list(LeftToRightStrategy().order(3)) == [0, 1, 2]
+
+    def test_right_to_left(self):
+        assert list(RightToLeftStrategy().order(3)) == [2, 1, 0]
+
+    def test_scripted_defaults_to_left_to_right(self):
+        strategy = ScriptedStrategy()
+        assert tuple(strategy.order(2)) == (0, 1)
+        assert strategy.observed_arity == [2]
+
+    def test_scripted_follows_decisions(self):
+        strategy = ScriptedStrategy(decisions=[1])
+        assert tuple(strategy.order(2)) == (1, 0)
+        assert tuple(strategy.order(2)) == (0, 1)  # script exhausted
+
+    def test_scripted_permutations_for_three(self):
+        strategy = ScriptedStrategy(decisions=[5])
+        assert tuple(strategy.order(3)) == (2, 1, 0)
+
+    def test_strategy_for_names(self):
+        assert isinstance(strategy_for("left-to-right"), LeftToRightStrategy)
+        assert isinstance(strategy_for("right-to-left"), RightToLeftStrategy)
+        assert isinstance(strategy_for("search"), ScriptedStrategy)
+
+    def test_strategy_for_unknown_raises(self):
+        import pytest
+        with pytest.raises(ValueError):
+            strategy_for("random")
+
+
+class TestSearch:
+    def test_single_path_program(self):
+        def run(strategy):
+            return PathOutcome(script=(), undefined=False)
+
+        result = search_evaluation_orders(run)
+        assert result.explored == 1
+        assert not result.any_undefined
+        assert result.exhausted
+
+    def test_explores_both_orders_of_one_decision(self):
+        seen = []
+
+        def run(strategy):
+            order = tuple(strategy.order(2))
+            seen.append(order)
+            return PathOutcome(script=(), undefined=order == (1, 0))
+
+        result = search_evaluation_orders(run)
+        assert (0, 1) in seen and (1, 0) in seen
+        assert result.any_undefined
+        assert result.first_undefined is not None
+
+    def test_stop_at_first_undefined(self):
+        def run(strategy):
+            strategy.order(2)
+            return PathOutcome(script=(), undefined=True)
+
+        result = search_evaluation_orders(run, stop_at_first=True)
+        assert result.explored == 1
+
+    def test_max_paths_bound(self):
+        def run(strategy):
+            for _ in range(6):
+                strategy.order(2)
+            return PathOutcome(script=(), undefined=False)
+
+        result = search_evaluation_orders(run, max_paths=5)
+        assert result.explored == 5
+        assert not result.exhausted
+
+    def test_exhaustive_for_two_decisions(self):
+        observed = set()
+
+        def run(strategy):
+            first = tuple(strategy.order(2))
+            second = tuple(strategy.order(2))
+            observed.add((first, second))
+            return PathOutcome(script=(), undefined=False)
+
+        result = search_evaluation_orders(run, max_paths=16)
+        assert len(observed) == 4
+        assert result.exhausted

@@ -1,0 +1,169 @@
+"""Tests for the test-suite generators and the evaluation harness."""
+
+import pytest
+
+from repro.analyzers.base import KccAnalysisTool
+from repro.suites.harness import (
+    CaseRecord,
+    EvaluationHarness,
+    SuiteScore,
+    TestCase,
+    TestSuite,
+)
+from repro.suites.juliet import ALL_CLASSES, generate_juliet_suite
+from repro.suites.ubsuite import BEHAVIOR_TESTS, generate_undefinedness_suite
+from repro.analyzers.base import ToolResult
+
+
+@pytest.fixture(scope="module")
+def juliet():
+    return generate_juliet_suite()
+
+
+@pytest.fixture(scope="module")
+def ubsuite():
+    return generate_undefinedness_suite()
+
+
+class TestJulietSuiteStructure:
+    def test_covers_all_six_classes(self, juliet):
+        assert set(juliet.categories()) == set(ALL_CLASSES)
+
+    def test_every_bad_test_has_a_good_counterpart(self, juliet):
+        bad = {c.name.replace("_bad", "") for c in juliet.bad_cases()}
+        good = {c.name.replace("_good", "") for c in juliet.good_cases()}
+        assert bad == good
+
+    def test_each_class_has_several_behaviors(self, juliet):
+        for category in juliet.categories():
+            behaviors = {c.behavior for c in juliet.cases_in(category)}
+            assert len(behaviors) >= 3, category
+
+    def test_flow_variants_present(self, juliet):
+        names = [c.name for c in juliet.cases]
+        assert any("_direct_" in n for n in names)
+        assert any("_variable_" in n for n in names)
+        assert any("_helper_" in n for n in names)
+
+    def test_test_names_are_unique(self, juliet):
+        names = [c.name for c in juliet.cases]
+        assert len(names) == len(set(names))
+
+    def test_sources_are_one_flaw_per_file(self, juliet):
+        # Every test must contain a main function and be self-contained.
+        for case in juliet.cases:
+            assert "int main(void)" in case.source, case.name
+
+
+class TestJulietSuiteSemantics:
+    """kcc must flag every bad test and no good test (spot-checked per class)."""
+
+    @pytest.fixture(scope="class")
+    def kcc(self):
+        return KccAnalysisTool()
+
+    @pytest.mark.parametrize("category", ALL_CLASSES)
+    def test_first_bad_test_of_each_class_is_flagged(self, juliet, kcc, category):
+        case = next(c for c in juliet.cases_in(category) if c.is_bad)
+        assert kcc.analyze(case.source).flagged, case.name
+
+    @pytest.mark.parametrize("category", ALL_CLASSES)
+    def test_first_good_test_of_each_class_is_clean(self, juliet, kcc, category):
+        case = next(c for c in juliet.cases_in(category) if not c.is_bad)
+        assert not kcc.analyze(case.source).flagged, case.name
+
+
+class TestUndefinednessSuiteStructure:
+    def test_each_behavior_has_bad_and_good(self, ubsuite):
+        by_behavior = {}
+        for case in ubsuite.cases:
+            by_behavior.setdefault(case.behavior, set()).add(case.is_bad)
+        assert all(flags == {True, False} for flags in by_behavior.values())
+
+    def test_covers_both_static_and_dynamic_behaviors(self, ubsuite):
+        assert len(ubsuite.static_behaviors()) >= 10
+        assert len(ubsuite.dynamic_behaviors()) >= 40
+
+    def test_behavior_count_is_comparable_to_the_paper(self, ubsuite):
+        # The paper's suite covers 70 behaviors with 178 tests.
+        assert ubsuite.behavior_count() >= 60
+        assert len(ubsuite) >= 120
+
+    def test_entries_cite_a_c11_section(self):
+        assert all(entry.section for entry in BEHAVIOR_TESTS)
+
+    def test_includes_the_paper_highlighted_behaviors(self, ubsuite):
+        behaviors = set(b.behavior for b in BEHAVIOR_TESTS)
+        assert "modify-string-literal" in behaviors
+        assert "effective-type-violation" in behaviors
+        assert "subtraction-unrelated-pointers" in behaviors
+        assert "unsequenced-writes-to-scalar" in behaviors
+
+    def test_spot_check_bad_and_good_pairs(self, ubsuite):
+        kcc = KccAnalysisTool()
+        for behavior in ("division-by-zero", "null-pointer-dereference",
+                         "unsequenced-writes-to-scalar", "array-of-zero-length"):
+            bad = next(c for c in ubsuite.cases if c.behavior == behavior and c.is_bad)
+            good = next(c for c in ubsuite.cases if c.behavior == behavior and not c.is_bad)
+            assert kcc.analyze(bad.source).flagged, behavior
+            assert not kcc.analyze(good.source).flagged, behavior
+
+
+class TestHarnessScoring:
+    def _record(self, is_bad, flagged, category="cat", behavior="b", stage="dynamic"):
+        case = TestCase(name="t", source="", is_bad=is_bad, category=category,
+                        behavior=behavior, stage=stage)
+        return CaseRecord(case=case, result=ToolResult(tool="x", flagged=flagged))
+
+    def test_detection_rate(self):
+        score = SuiteScore(tool="x", records=[
+            self._record(True, True), self._record(True, False), self._record(False, False)])
+        assert score.detection_rate() == 0.5
+
+    def test_false_positive_rate(self):
+        score = SuiteScore(tool="x", records=[
+            self._record(False, True), self._record(False, False)])
+        assert score.false_positive_rate() == 0.5
+
+    def test_per_behavior_rate_weights_behaviors_equally(self):
+        records = [
+            self._record(True, True, behavior="a"),
+            self._record(True, True, behavior="a"),
+            self._record(True, True, behavior="a"),
+            self._record(True, False, behavior="b"),
+        ]
+        score = SuiteScore(tool="x", records=records)
+        # behavior a: 100%, behavior b: 0% -> average 50%, not 75%.
+        assert score.per_behavior_rate() == 0.5
+
+    def test_per_behavior_rate_filters_by_stage(self):
+        records = [
+            self._record(True, True, behavior="a", stage="static"),
+            self._record(True, False, behavior="b", stage="dynamic"),
+        ]
+        score = SuiteScore(tool="x", records=records)
+        assert score.per_behavior_rate("static") == 1.0
+        assert score.per_behavior_rate("dynamic") == 0.0
+
+    def test_harness_runs_tools_over_selected_cases(self):
+        suite = TestSuite(name="tiny")
+        suite.add(TestCase(name="bad", source="int main(void){ int d=0; return 1/d; }",
+                           is_bad=True, category="div", behavior="div"))
+        suite.add(TestCase(name="good", source="int main(void){ return 0; }",
+                           is_bad=False, category="div", behavior="div"))
+        harness = EvaluationHarness([KccAnalysisTool()])
+        comparison = harness.run_suite(suite)
+        score = comparison.score_for("kcc")
+        assert score.detection_rate() == 1.0
+        assert score.false_positive_rate() == 0.0
+        table = comparison.figure2_table()
+        assert "div" in table and "kcc" in table
+
+    def test_figure3_table_renders(self):
+        suite = TestSuite(name="tiny")
+        suite.add(TestCase(name="bad", source="int main(void){ int d=0; return 1/d; }",
+                           is_bad=True, category="div", behavior="div", stage="dynamic"))
+        harness = EvaluationHarness([KccAnalysisTool()])
+        comparison = harness.run_suite(suite)
+        table = comparison.figure3_table()
+        assert "Static" in table and "Dynamic" in table

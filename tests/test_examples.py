@@ -1,0 +1,58 @@
+"""Run every example script end-to-end (they must not raise and must report)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / name
+    completed = subprocess.run([sys.executable, str(path)], capture_output=True,
+                               text=True, timeout=600, check=False)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_examples_are_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "undefined_gallery.py", "evaluation_order_search.py",
+            "juliet_scan.py", "implementation_profiles.py"} <= names
+
+
+def test_quickstart_output():
+    output = run_example("quickstart.py")
+    assert "Hello world" in output
+    assert "Error: 00016" in output
+    assert "null pointer" in output.lower()
+
+
+def test_undefined_gallery_output():
+    output = run_example("undefined_gallery.py")
+    assert "defined control   -> defined" in output
+    assert "undefined version -> undefined" in output
+    assert "strchr" in output
+
+
+def test_evaluation_order_search_output():
+    output = run_example("evaluation_order_search.py")
+    assert "left-to-right" in output
+    assert "search (all orders)" in output
+    assert "DIVISION_BY_ZERO" in output
+
+
+def test_juliet_scan_output():
+    output = run_example("juliet_scan.py")
+    assert "Division by zero" in output
+    assert "FALSE POSITIVE" not in output
+
+
+def test_implementation_profiles_output():
+    output = run_example("implementation_profiles.py")
+    assert "lp64" in output
+    assert "wide-int" in output
+    assert "BUFFER_OVERFLOW" in output or "undefined" in output

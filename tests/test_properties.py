@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CheckerOptions, OutcomeKind, check_program
+from repro.analyzers.value_analysis import Interval
+from repro.cfront import ctypes as ct
+from repro.cfront.lexer import TokenKind, tokenize
+from repro.core.values import (
+    ConcreteByte,
+    PointerValue,
+    decode_int,
+    decode_pointer,
+    encode_int,
+    encode_pointer,
+)
+
+int_types = st.sampled_from([ct.SCHAR, ct.UCHAR, ct.SHORT, ct.USHORT, ct.INT, ct.UINT,
+                             ct.LONG, ct.ULONG, ct.LLONG, ct.ULLONG])
+profiles = st.sampled_from([ct.LP64, ct.ILP32, ct.WIDE_INT])
+
+
+class TestIntegerEncodingProperties:
+    @given(value=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           size=st.sampled_from([1, 2, 4, 8]))
+    def test_encode_decode_roundtrip_modulo_width(self, value, size):
+        data = encode_int(value, size, signed=True)
+        assert len(data) == size
+        decoded = decode_int(data, signed=True)
+        bits = size * 8
+        expected = value & ((1 << bits) - 1)
+        if expected >= 1 << (bits - 1):
+            expected -= 1 << bits
+        assert decoded == expected
+
+    @given(value=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_unsigned_roundtrip_exact(self, value):
+        assert decode_int(encode_int(value, 4, signed=False), signed=False) == value
+
+    @given(value=st.integers(), ctype=int_types, profile=profiles)
+    def test_wrap_unsigned_is_in_range(self, value, ctype, profile):
+        wrapped = ct.wrap_unsigned(value, ctype, profile)
+        assert 0 <= wrapped < (1 << ct.integer_bits(ctype, profile))
+
+    @given(ctype=int_types, profile=profiles)
+    def test_integer_range_bounds_are_consistent(self, ctype, profile):
+        low, high = ct.integer_range(ctype, profile)
+        assert low <= 0 <= high
+        assert ct.fits_in(low, ctype, profile)
+        assert ct.fits_in(high, ctype, profile)
+        assert not ct.fits_in(high + 1, ctype, profile)
+        assert not ct.fits_in(low - 1, ctype, profile)
+
+
+class TestPointerEncodingProperties:
+    @given(base=st.integers(min_value=1, max_value=10**6),
+           offset=st.integers(min_value=0, max_value=10**6),
+           size=st.sampled_from([4, 8]))
+    def test_pointer_byte_split_roundtrip(self, base, offset, size):
+        pointer = PointerValue(base=base, offset=offset,
+                               type=ct.PointerType(pointee=ct.INT))
+        data = encode_pointer(pointer, size)
+        decoded = decode_pointer(data, ct.PointerType(pointee=ct.INT))
+        assert decoded is not None
+        assert decoded.base == base and decoded.offset == offset
+
+    @given(base=st.integers(min_value=1, max_value=100),
+           corrupt_index=st.integers(min_value=0, max_value=7))
+    def test_corrupted_pointer_bytes_do_not_reconstruct(self, base, corrupt_index):
+        pointer = PointerValue(base=base, offset=0, type=ct.PointerType(pointee=ct.INT))
+        data = encode_pointer(pointer, 8)
+        data[corrupt_index] = ConcreteByte(0x41)
+        assert decode_pointer(data, ct.PointerType(pointee=ct.INT)) is None
+
+
+class TestTypeSystemProperties:
+    @given(ctype=int_types, profile=profiles)
+    def test_promotion_is_idempotent(self, ctype, profile):
+        once = ct.promote_integer(ctype, profile)
+        twice = ct.promote_integer(once, profile)
+        assert once == twice
+
+    @given(a=int_types, b=int_types, profile=profiles)
+    def test_usual_arithmetic_conversions_commute(self, a, b, profile):
+        assert (ct.usual_arithmetic_conversions(a, b, profile)
+                == ct.usual_arithmetic_conversions(b, a, profile))
+
+    @given(a=int_types, b=int_types, profile=profiles)
+    def test_common_type_can_hold_result_rank(self, a, b, profile):
+        common = ct.usual_arithmetic_conversions(a, b, profile)
+        assert ct.size_of(common, profile) >= min(ct.size_of(a, profile),
+                                                  ct.size_of(b, profile))
+
+    @given(length=st.integers(min_value=1, max_value=64), element=int_types, profile=profiles)
+    def test_array_size_is_length_times_element(self, length, element, profile):
+        array = ct.ArrayType(element=element, length=length)
+        assert ct.size_of(array, profile) == length * ct.size_of(element, profile)
+
+    @given(names=st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=6, unique=True),
+           types=st.data(), profile=profiles)
+    def test_struct_fields_are_ordered_and_do_not_overlap(self, names, types, profile):
+        fields = tuple(ct.StructField(name, types.draw(int_types)) for name in names)
+        record = ct.StructType(tag="generated", fields=fields)
+        layout = ct.struct_layout(record, profile)
+        previous_end = 0
+        for field_layout in layout.fields:
+            assert field_layout.offset >= previous_end
+            previous_end = field_layout.offset + field_layout.size
+        assert layout.size >= previous_end
+
+
+class TestIntervalProperties:
+    bounded = st.integers(min_value=-1000, max_value=1000)
+
+    @given(a=bounded, b=bounded)
+    def test_join_contains_both(self, a, b):
+        low, high = min(a, b), max(a, b)
+        joined = Interval.constant(a).join(Interval.constant(b))
+        assert joined.contains(a) and joined.contains(b)
+        assert joined == Interval.range(low, high)
+
+    @given(a=bounded, b=bounded, c=bounded)
+    def test_join_is_commutative_and_associative(self, a, b, c):
+        x, y, z = Interval.constant(a), Interval.constant(b), Interval.constant(c)
+        assert x.join(y) == y.join(x)
+        assert x.join(y).join(z) == x.join(y.join(z))
+
+    @given(a=bounded, b=bounded)
+    def test_addition_is_sound(self, a, b):
+        result = Interval.constant(a).add(Interval.constant(b))
+        assert result.contains(a + b)
+
+    @given(a=bounded, b=bounded, c=bounded, d=bounded)
+    def test_multiplication_is_sound(self, a, b, c, d):
+        left = Interval.constant(a).join(Interval.constant(b))
+        right = Interval.constant(c).join(Interval.constant(d))
+        product = left.multiply(right)
+        for x in (a, b):
+            for y in (c, d):
+                assert product.contains(x * y)
+
+    @given(a=bounded, b=bounded)
+    def test_widening_is_an_upper_bound(self, a, b):
+        x = Interval.constant(a)
+        y = Interval.constant(b)
+        widened = x.widen(x.join(y))
+        assert widened.contains(a)
+        assert widened.contains(b)
+
+
+class TestLexerProperties:
+    @given(value=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_decimal_constant_roundtrip(self, value):
+        token = tokenize(str(value))[0]
+        assert token.kind is TokenKind.INT_CONST
+        assert token.value.value == value
+
+    @given(text=st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu"),
+                                               max_codepoint=127),
+                        min_size=1, max_size=12))
+    def test_identifiers_lex_as_single_token(self, text):
+        tokens = tokenize(text)
+        assert len(tokens) == 2  # identifier/keyword + EOF
+        assert tokens[0].text == text
+
+
+class TestSemanticsProperties:
+    """End-to-end properties of the executable semantics."""
+
+    @given(value=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_returned_constant_is_exit_code(self, value):
+        report = check_program(f"int main(void) {{ return {value}; }}")
+        assert report.outcome.kind is OutcomeKind.DEFINED
+        assert report.outcome.exit_code == value
+
+    @given(a=st.integers(min_value=0, max_value=1000),
+           b=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_matches_python(self, a, b):
+        report = check_program(
+            f"int main(void) {{ int a = {a}; int b = {b}; return (a + b) % 251; }}")
+        assert report.outcome.exit_code == (a + b) % 251
+
+    @given(a=st.integers(min_value=-1000, max_value=1000),
+           b=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_division_truncates_toward_zero(self, a, b):
+        expected = abs(a) // b if a >= 0 else -(abs(a) // b)
+        report = check_program(
+            f"int main(void) {{ int a = {a}; int b = {b}; return (a / b) == {expected}; }}")
+        assert report.outcome.kind is OutcomeKind.DEFINED
+        assert report.outcome.exit_code == 1
+
+    @given(divisor=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=12, deadline=None)
+    def test_division_defined_iff_divisor_nonzero(self, divisor):
+        report = check_program(
+            f"int main(void) {{ int d = {divisor}; return (100 / d) >= 0; }}")
+        if divisor == 0:
+            assert report.outcome.flagged
+        else:
+            assert report.outcome.kind is OutcomeKind.DEFINED
+
+    @given(length=st.integers(min_value=1, max_value=8),
+           index=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_array_access_defined_iff_in_bounds(self, length, index):
+        source = f"""
+        int main(void) {{
+            int data[{length}];
+            for (int i = 0; i < {length}; i++) data[i] = i;
+            int j = {index};
+            return data[j] >= 0;
+        }}
+        """
+        report = check_program(source)
+        if index < length:
+            assert report.outcome.kind is OutcomeKind.DEFINED
+        else:
+            assert report.outcome.flagged

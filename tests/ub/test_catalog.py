@@ -1,0 +1,70 @@
+"""Tests for the undefined-behavior catalog (the §5.2.1 classification)."""
+
+from repro.errors import UBKind
+from repro.ub import UB_CATALOG, count_dynamic, count_static, entries_for_kind
+from repro.ub.catalog import (
+    PAPER_DYNAMIC_BEHAVIORS,
+    PAPER_STATIC_BEHAVIORS,
+    PAPER_TOTAL_BEHAVIORS,
+    coverage_summary,
+    entries_for_section,
+)
+
+
+class TestCatalogStructure:
+    def test_every_entry_has_section_and_description(self):
+        for entry in UB_CATALOG:
+            assert entry.section, entry.identifier
+            assert entry.description, entry.identifier
+
+    def test_every_entry_classified(self):
+        assert all(entry.stage in ("static", "dynamic") for entry in UB_CATALOG)
+
+    def test_identifiers_are_unique(self):
+        identifiers = [entry.identifier for entry in UB_CATALOG]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_counts_are_consistent(self):
+        assert count_static() + count_dynamic() == len(UB_CATALOG)
+
+    def test_dynamic_behaviors_are_the_majority(self):
+        # The paper: "the majority of the categories of undefined behavior in
+        # C are dynamic in nature" (129 of 221).
+        assert count_dynamic() > count_static()
+
+    def test_paper_constants(self):
+        assert PAPER_TOTAL_BEHAVIORS == 221
+        assert PAPER_STATIC_BEHAVIORS == 92
+        assert PAPER_DYNAMIC_BEHAVIORS == 129
+        assert PAPER_STATIC_BEHAVIORS + PAPER_DYNAMIC_BEHAVIORS == PAPER_TOTAL_BEHAVIORS
+
+    def test_catalog_is_substantial(self):
+        assert len(UB_CATALOG) >= 90
+
+
+class TestCatalogQueries:
+    def test_entries_for_kind(self):
+        division = entries_for_kind(UBKind.DIVISION_BY_ZERO)
+        assert division
+        assert all(e.kind is UBKind.DIVISION_BY_ZERO for e in division)
+
+    def test_entries_for_section(self):
+        expressions = entries_for_section("6.5")
+        assert len(expressions) >= 10
+
+    def test_coverage_summary_keys(self):
+        summary = coverage_summary()
+        assert summary["paper_total"] == 221
+        assert summary["catalog_total"] == len(UB_CATALOG)
+        assert 0 < summary["catalog_covered_by_checker"] <= summary["catalog_total"]
+
+    def test_checker_covers_a_majority_of_catalogued_memory_behaviors(self):
+        covered = [e for e in UB_CATALOG if e.covered]
+        assert len(covered) >= 40
+
+    def test_key_behaviors_present(self):
+        identifiers = {e.identifier for e in UB_CATALOG}
+        for expected in ("division-by-zero", "unsequenced-side-effects",
+                         "string-literal-modified", "free-invalid-pointer",
+                         "relational-comparison-unrelated-pointers", "data-race"):
+            assert expected in identifiers

@@ -1,0 +1,57 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import CheckerOptions, UBKind, check_program
+from repro.cfront.parser import parse
+from repro.core.interpreter import Interpreter
+from repro.errors import OutcomeKind
+
+
+def run_ok(source: str, options: Optional[CheckerOptions] = None, *,
+           stdin: str = "", argv=None):
+    """Check a program expected to be defined; return its Outcome."""
+    report = check_program(source, options or CheckerOptions(), stdin=stdin, argv=argv)
+    assert report.outcome.kind is OutcomeKind.DEFINED, (
+        f"expected a defined program, got: {report.outcome.describe()}")
+    return report.outcome
+
+
+def exit_code_of(source: str, options: Optional[CheckerOptions] = None, *,
+                 stdin: str = "", argv=None) -> int:
+    return run_ok(source, options, stdin=stdin, argv=argv).exit_code
+
+
+def stdout_of(source: str, options: Optional[CheckerOptions] = None, *, stdin: str = "") -> str:
+    return run_ok(source, options, stdin=stdin).stdout
+
+
+def expect_undefined(source: str, kind: Optional[UBKind] = None,
+                     options: Optional[CheckerOptions] = None, *,
+                     search: bool = False):
+    """Check a program expected to be undefined (dynamically or statically)."""
+    report = check_program(source, options or CheckerOptions(),
+                           search_evaluation_order=search)
+    assert report.outcome.flagged, (
+        f"expected undefined behavior, got: {report.outcome.describe()}")
+    if kind is not None:
+        assert kind in report.outcome.ub_kinds, (
+            f"expected {kind}, got {report.outcome.ub_kinds}: {report.outcome.describe()}")
+    return report.outcome
+
+
+def expect_static_error(source: str, kind: Optional[UBKind] = None):
+    report = check_program(source)
+    assert report.outcome.kind is OutcomeKind.STATIC_ERROR, (
+        f"expected a static error, got: {report.outcome.describe()}")
+    if kind is not None:
+        assert kind in report.outcome.ub_kinds
+    return report.outcome
+
+
+def make_interpreter(source: str, options: Optional[CheckerOptions] = None) -> Interpreter:
+    """Parse a program and build an interpreter without running it."""
+    unit = parse(source)
+    return Interpreter(unit, options or CheckerOptions())
