@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: check a few small C programs for undefined behavior.
+"""Quickstart: the staged session API — compile once, run many, batch check.
 
-This reproduces the workflow of Section 3.2 of the paper: the tool behaves
-like a C implementation — defined programs run to completion and produce
-their output, undefined programs produce a numbered kcc-style error report.
+This reproduces the workflow of Section 3.2 of the paper with the staged
+API: ``Checker.compile`` parses + statically checks a program into a
+reusable ``CompiledUnit`` (cached by content hash and implementation
+profile), ``Checker.run`` executes one — as many times as you like, with
+different inputs or evaluation-order search, without re-parsing — and
+``check_many`` fans a batch out over worker processes.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import check_program
+from repro import Checker
 
 HELLO_WORLD = r"""
 #include <stdio.h>
@@ -26,6 +29,15 @@ int main(void){
     int x = 0;
     return (x = 1) + (x = 2);
 }
+"""
+
+# The paper's Section 2.5.2 example: defined under left-to-right evaluation,
+# but a division by zero under right-to-left — only the evaluation-order
+# search sees it.
+SET_DENOM = r"""
+static int d = 5;
+static int setDenom(int x){ return d = x; }
+int main(void) { return (10/d) + setDenom(0); }
 """
 
 # The paper's Section 2.3 example: dereferencing NULL is undefined, and real
@@ -63,24 +75,47 @@ def banner(title: str) -> None:
 
 
 def main() -> None:
+    checker = Checker()
+
     banner("1. A defined program runs and produces its output")
-    report = check_program(HELLO_WORLD)
+    report = checker.check(HELLO_WORLD)
     print(report.render())
 
     banner("2. Unsequenced side effects (paper Section 3.2, error 00016)")
-    report = check_program(UNSEQUENCED)
+    report = checker.check(UNSEQUENCED)
+    print(report.render())
+    print()
+    print("The same report as structured diagnostics:")
+    print(report.to_json(indent=2))
+
+    banner("3. Compile once, search evaluation orders (paper Section 2.5.2)")
+    parses_before = checker.stats.parse_count
+    compiled = checker.compile(SET_DENOM)
+    plain = checker.run(compiled)
+    searched = checker.run(compiled, search_evaluation_order=True)
+    print("left-to-right run:   ", plain.outcome.describe())
+    print("evaluation search:   ", searched.outcome.describe())
+    print(f"(both runs shared one compile: "
+          f"{checker.stats.parse_count - parses_before} parse of this program, "
+          f"{checker.stats.run_count} runs this session)")
+
+    banner("4. Dereferencing a null pointer (paper Section 2.3)")
+    report = checker.check(NULL_DEREFERENCE)
     print(report.render())
 
-    banner("3. Dereferencing a null pointer (paper Section 2.3)")
-    report = check_program(NULL_DEREFERENCE)
-    print(report.render())
-
-    banner("4. Division by zero inside a loop (paper Section 2.4)")
-    report = check_program(LOOP_INVARIANT_DIVISION)
+    banner("5. Division by zero inside a loop (paper Section 2.4)")
+    report = checker.check(LOOP_INVARIANT_DIVISION)
     print(report.render())
     print()
     print("Output produced before the undefined operation:",
           repr(report.outcome.stdout))
+
+    banner("6. Batch checking with worker processes")
+    batch = [("hello.c", HELLO_WORLD), ("unsequenced.c", UNSEQUENCED),
+             ("setdenom.c", SET_DENOM), ("null.c", NULL_DEREFERENCE),
+             ("loop.c", LOOP_INVARIANT_DIVISION)]
+    for report in checker.check_many(batch, jobs=2):
+        print(f"{report.filename:16} {report.outcome.describe()}")
 
 
 if __name__ == "__main__":

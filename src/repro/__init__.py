@@ -5,27 +5,55 @@ Undefinedness of C*: an executable semantics of a large C subset extended
 with the checks needed to detect undefined behavior at run time, plus the
 test suites and baseline analyzers used in the paper's evaluation.
 
-Quickstart::
+Quickstart — the staged session API::
 
-    from repro import check_program
+    from repro import Checker
 
-    report = check_program('''
+    checker = Checker()
+
+    # Stage 1: compile (parse + static checks), cached by content + profile.
+    compiled = checker.compile('''
         int main(void) {
             int x = 0;
             return (x = 1) + (x = 2);
         }
     ''')
-    print(report.render())
+
+    # Stage 2: run the compiled unit — as many times as you like, with
+    # different inputs or evaluation-order search, without re-parsing.
+    report = checker.run(compiled)
+    print(report.render())                    # kcc-style error 00016 report
+    print(report.to_json(indent=2))           # structured diagnostics
+
+    # Batches fan out over a process pool; verdicts come back in order.
+    reports = checker.check_many([src1, src2, src3], jobs=4)
+
+One-shot helpers ``check_program(source)`` and ``run_program(source)`` are
+kept as thin wrappers over the same pipeline.  On the command line::
+
+    kcc-check check a.c b.c --jobs 4 --format json
+    python -m repro check prog.c
 
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 reproduction of the paper's Figure 2 and Figure 3.
 """
 
+from repro.api.batch import check_many, iter_check_many
+from repro.api.session import Checker, CheckerStats, CompileCache, compile_shared
 from repro.cfront.ctypes import ILP32, LP64, WIDE_INT, ImplementationProfile, PROFILES
 from repro.core.config import CheckerOptions
 from repro.core.interpreter import ExecutionResult, Interpreter
-from repro.core.kcc import CheckReport, KccTool, check_program, run_program
+from repro.core.kcc import (
+    CheckReport,
+    CompiledUnit,
+    KccTool,
+    check_program,
+    content_hash,
+    run_program,
+)
 from repro.errors import (
+    Diagnostic,
+    InconclusiveAnalysis,
     Outcome,
     OutcomeKind,
     StaticViolation,
@@ -33,14 +61,20 @@ from repro.errors import (
     UndefinedBehaviorError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Checker",
     "CheckerOptions",
+    "CheckerStats",
     "CheckReport",
+    "CompileCache",
+    "CompiledUnit",
+    "Diagnostic",
     "ExecutionResult",
     "ILP32",
     "ImplementationProfile",
+    "InconclusiveAnalysis",
     "Interpreter",
     "KccTool",
     "LP64",
@@ -51,7 +85,11 @@ __all__ = [
     "UBKind",
     "UndefinedBehaviorError",
     "WIDE_INT",
+    "check_many",
     "check_program",
+    "compile_shared",
+    "content_hash",
+    "iter_check_many",
     "run_program",
     "__version__",
 ]

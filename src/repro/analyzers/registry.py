@@ -26,7 +26,17 @@ def all_tools() -> list[AnalysisTool]:
 
 
 def tool_by_name(name: str) -> AnalysisTool:
-    for tool in default_tools():
-        if tool.name.lower() == name.lower():
-            return tool
-    raise KeyError(f"unknown analysis tool {name!r}")
+    return make_tools([name])[0]
+
+
+def make_tools(names: Optional[list[str]] = None,
+               kcc_options: Optional[CheckerOptions] = None) -> list[AnalysisTool]:
+    """Build a tool lineup by name; ``None`` means all default tools."""
+    if names is None:
+        return default_tools(kcc_options)
+    by_name = {tool.name.lower(): tool for tool in default_tools(kcc_options)}
+    missing = [name for name in names if name.lower() not in by_name]
+    if missing:
+        raise KeyError(f"unknown analysis tool {missing[0]!r} "
+                       f"(choose from {', '.join(sorted(by_name))})")
+    return [by_name[name.lower()] for name in names]

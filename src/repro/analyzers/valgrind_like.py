@@ -30,11 +30,10 @@ from typing import Optional
 from repro.cfront import ctypes as ct
 from repro.core.config import CheckerOptions
 from repro.core.interpreter import Interpreter
-from repro.core.kcc import KccTool
 from repro.core.memory import Memory, MemoryObject, StorageKind
 from repro.core.values import PointerValue
-from repro.analyzers.base import AnalysisTool, ToolResult
-from repro.errors import OutcomeKind, UBKind, UndefinedBehaviorError
+from repro.analyzers.base import SemanticsBasedTool, ToolResult
+from repro.errors import UBKind, UndefinedBehaviorError
 
 #: Number of bytes beyond an automatic/static object that a binary-level
 #: checker cannot distinguish from the object itself (they are part of the
@@ -99,22 +98,23 @@ VALGRIND_OPTIONS = CheckerOptions(
 )
 
 
-class ValgrindLikeTool(AnalysisTool):
+class ValgrindLikeTool(SemanticsBasedTool):
     """Dynamic binary-instrumentation memory checker (models Valgrind memcheck 3.5)."""
 
     name = "Valgrind"
     models = "Valgrind memcheck"
 
     def __init__(self, options: CheckerOptions = VALGRIND_OPTIONS) -> None:
-        self.options = options
-        self._tool = KccTool(options, run_static_checks=False)
+        super().__init__(options, run_static_checks=False)
 
-    def analyze(self, source: str, *, filename: str = "<input>") -> ToolResult:
-        unit, _violations, parse_error = self._tool.compile(source, filename=filename)
-        if parse_error is not None or unit is None:
+    def analyze_compiled(self, compiled) -> ToolResult:
+        # The inherited analyze() compiles through the shared cache (one
+        # parse per program across all semantics-based tools) and lands
+        # here; the run stage swaps in the binary-level memory model.
+        if not compiled.ok:
             return ToolResult(tool=self.name, flagged=False, inconclusive=True,
-                              detail=parse_error or "parse error")
-        interpreter = Interpreter(unit, self.options)
+                              detail=compiled.parse_error or "parse error")
+        interpreter = Interpreter(compiled.unit, self.options)
         interpreter.memory = BinaryLevelMemory(self.options)
         try:
             interpreter.run()

@@ -1,0 +1,34 @@
+"""The staged public API of the checker.
+
+* :class:`Checker` — session facade: ``compile`` → :class:`CompiledUnit`
+  (cached by content hash + profile), ``run`` → :class:`CheckReport`,
+  ``check`` for one-shot use, ``check_many``/``iter_check_many`` for batches.
+* :func:`check_many` — module-level batch entry point with a process pool.
+* :func:`compile_shared` — process-wide compile cache shared by the
+  semantics-based analysis tools.
+* :mod:`repro.api.cli` — the ``kcc-check`` subcommand CLI.
+"""
+
+from repro.api.batch import check_many, iter_check_many, resolve_jobs
+from repro.api.session import (
+    Checker,
+    CheckerStats,
+    CompileCache,
+    SHARED_COMPILE_CACHE,
+    compile_shared,
+)
+from repro.core.kcc import CheckReport, CompiledUnit, content_hash
+
+__all__ = [
+    "Checker",
+    "CheckerStats",
+    "CheckReport",
+    "CompileCache",
+    "CompiledUnit",
+    "SHARED_COMPILE_CACHE",
+    "check_many",
+    "compile_shared",
+    "content_hash",
+    "iter_check_many",
+    "resolve_jobs",
+]

@@ -1,0 +1,193 @@
+"""Batch checking: fan a list of programs out over a process pool.
+
+``check_many`` / ``iter_check_many`` take plain source strings or
+``(filename, source)`` pairs, run each through the same staged pipeline the
+serial API uses, and hand verdicts back **in input order**.  With ``jobs=1``
+(the default) everything runs in the calling process through the session's
+compile cache; with ``jobs>1`` the work fans out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and results stream back as
+they complete.
+
+Reports that cross a process boundary are identical to serial reports except
+that the parsed AST (``CheckReport.unit``) is dropped — shipping a full
+translation unit per program would dominate the IPC cost, and batch callers
+classify outcomes, they do not re-run units.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
+from repro.core.kcc import CheckReport, KccTool
+
+SourceSpec = Union[str, Tuple[str, str]]
+
+#: How many programs each pool task carries; larger chunks amortize pickling.
+DEFAULT_CHUNKSIZE = 4
+
+
+def _normalize(sources: Iterable[SourceSpec]) -> list[tuple[str, str]]:
+    """Normalize inputs to (filename, source) pairs."""
+    if isinstance(sources, str):
+        # The natural migration mistake from check_program(source): a bare
+        # string would iterate character-by-character into garbage reports.
+        raise TypeError("check_many expects a sequence of programs; "
+                        "wrap a single source in a list")
+    normalized = []
+    for index, spec in enumerate(sources):
+        if isinstance(spec, str):
+            normalized.append((f"<input:{index}>", spec))
+        else:
+            filename, source = spec
+            normalized.append((filename, source))
+    return normalized
+
+
+def _strip_for_ipc(report: CheckReport) -> CheckReport:
+    """Drop the AST before pickling a report back to the parent process."""
+    return CheckReport(outcome=report.outcome, result=report.result,
+                       search=report.search, unit=None, filename=report.filename)
+
+
+def _check_one(task: tuple) -> CheckReport:
+    """Pool worker: check one program.  Must stay module-level (picklable)."""
+    options, search_evaluation_order, run_static_checks, filename, source = task
+    tool = KccTool(options, search_evaluation_order=search_evaluation_order,
+                   run_static_checks=run_static_checks)
+    return _strip_for_ipc(tool.check(source, filename=filename))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None`` means one worker per CPU; values are clamped to >= 1."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _probe() -> bool:  # pragma: no cover - runs in the worker process
+    return True
+
+
+def _make_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """A process pool, or ``None`` where the host forbids subprocesses.
+
+    ``ProcessPoolExecutor`` spawns its workers lazily on first submit, so
+    constructing one proves nothing; submit a probe task and wait for it,
+    forcing the spawn here where the fallback can catch a refusal.
+    """
+    pool = None
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pool.submit(_probe).result()
+        return pool
+    except (OSError, PermissionError, BrokenExecutor):  # pragma: no cover
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        # The degradation must be observable: a caller who asked for jobs=N
+        # should not attribute a serial run's wall time to the tool.
+        warnings.warn("cannot spawn worker processes; running serially",
+                      RuntimeWarning, stacklevel=3)
+        return None
+
+
+def run_pooled(fn, tasks: Sequence, *, jobs: Optional[int],
+               chunksize: int = DEFAULT_CHUNKSIZE) -> list:
+    """Map ``fn`` over ``tasks`` on a process pool, preserving order.
+
+    Falls back to the calling process when ``jobs`` resolves to 1 or the
+    host cannot spawn workers.  ``fn`` and the tasks must be picklable.
+    """
+    worker_count = resolve_jobs(jobs)
+    if worker_count <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    pool = _make_pool(min(worker_count, len(tasks)))
+    if pool is None:  # pragma: no cover - sandboxed hosts
+        return [fn(task) for task in tasks]
+    with pool:
+        return list(pool.map(fn, tasks, chunksize=max(1, chunksize)))
+
+
+def iter_check_many(sources: Iterable[SourceSpec], *,
+                    options: CheckerOptions = DEFAULT_OPTIONS,
+                    search_evaluation_order: bool = False,
+                    run_static_checks: bool = True,
+                    jobs: Optional[int] = 1,
+                    checker=None) -> Iterator[CheckReport]:
+    """Yield one :class:`CheckReport` per input, in input order.
+
+    The parallel path streams: a verdict is yielded as soon as it (and all
+    verdicts before it) are ready, so a consumer can start reporting while
+    the pool is still working through the tail of the batch.
+    """
+    pairs = _normalize(sources)
+    worker_count = resolve_jobs(jobs)
+    if worker_count <= 1 or len(pairs) <= 1:
+        yield from _iter_serial(pairs, options=options,
+                                search_evaluation_order=search_evaluation_order,
+                                run_static_checks=run_static_checks,
+                                checker=checker)
+        return
+    tasks = [(options, search_evaluation_order, run_static_checks, filename, source)
+             for filename, source in pairs]
+    pool = _make_pool(min(worker_count, len(tasks)))
+    if pool is None:  # pragma: no cover - sandboxed hosts
+        yield from _iter_serial(pairs, options=options,
+                                search_evaluation_order=search_evaluation_order,
+                                run_static_checks=run_static_checks,
+                                checker=checker)
+        return
+    # Not `with pool:` — map() submits every task up front, and the context
+    # manager's shutdown(wait=True) would make an abandoned iterator (e.g.
+    # the consumer's `| head -1` closing the pipe) block until the whole
+    # remaining batch finished.  Cancel the queue instead when torn down early.
+    completed = False
+    try:
+        for report in pool.map(_check_one, tasks, chunksize=DEFAULT_CHUNKSIZE):
+            if checker is not None:
+                # The workers ran the programs, but the session owns the
+                # batch: keep run_count independent of the jobs value.
+                checker.stats.bump("run_count")
+            yield report
+        completed = True
+    finally:
+        # wait=True even on early teardown: with the queue cancelled the
+        # wait is bounded by the in-flight chunk, and skipping it races
+        # concurrent.futures' atexit hook into "Exception ignored" noise.
+        pool.shutdown(wait=True, cancel_futures=not completed)
+
+
+def _iter_serial(pairs: Sequence[tuple[str, str]], *, options: CheckerOptions,
+                 search_evaluation_order: bool, run_static_checks: bool,
+                 checker=None) -> Iterator[CheckReport]:
+    tool = KccTool(options, search_evaluation_order=search_evaluation_order,
+                   run_static_checks=run_static_checks)
+    if checker is not None and checker.options == options:
+        # Borrow the session's compile cache, but honor the explicit flags —
+        # the checker's own search/static configuration may differ, and the
+        # serial path must classify exactly like the worker-pool path.
+        for filename, source in pairs:
+            checker.stats.bump("run_count")
+            yield tool.run_unit(checker.compile(source, filename=filename))
+        return
+    for filename, source in pairs:
+        yield tool.check(source, filename=filename)
+
+
+def check_many(sources: Sequence[SourceSpec], *,
+               options: CheckerOptions = DEFAULT_OPTIONS,
+               search_evaluation_order: bool = False,
+               run_static_checks: bool = True,
+               jobs: Optional[int] = 1,
+               checker=None) -> list[CheckReport]:
+    """Check a batch of programs; the list is ordered like the input."""
+    return list(iter_check_many(sources, options=options,
+                                search_evaluation_order=search_evaluation_order,
+                                run_static_checks=run_static_checks,
+                                jobs=jobs, checker=checker))

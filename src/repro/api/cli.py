@@ -1,0 +1,238 @@
+"""The ``kcc-check`` command line interface, redesigned around subcommands.
+
+::
+
+    kcc-check check a.c b.c --jobs 4 --format json   # classify programs
+    kcc-check run prog.c -- arg1 arg2                # run a defined program
+    kcc-check search prog.c                          # evaluation-order search
+    kcc-check bench --smoke                          # evaluation tables
+
+    python -m repro check prog.c                     # same CLI, module form
+
+Exit codes follow the seed tool: ``0`` all programs defined, ``1`` at least
+one flagged (undefined or static error), ``2`` at least one inconclusive
+(and none flagged); ``64`` (EX_USAGE) for unreadable inputs or bad tool
+names, ``141`` when the consumer closes our pipe.  ``run`` exits with the
+program's own exit code when it is defined.  The seed's single-file
+invocation (``kcc-check prog.c``) still works: a first argument that is not
+a subcommand is treated as ``check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.cfront import ctypes as ct
+from repro.core.config import CheckerOptions
+from repro.core.kcc import CheckReport, KccTool
+from repro.errors import OutcomeKind
+from repro.api.batch import iter_check_many
+
+SUBCOMMANDS = ("check", "run", "search", "bench")
+
+EXIT_DEFINED = 0
+EXIT_FLAGGED = 1
+EXIT_INCONCLUSIVE = 2
+#: Bad invocation / unreadable input (BSD EX_USAGE) — distinct from
+#: EXIT_INCONCLUSIVE so scripts re-queueing inconclusive analyses do not
+#: re-queue typo'd paths.
+EXIT_USAGE = 64
+#: The consumer closed our stdout pipe; 128+SIGPIPE, as the shell reports it.
+EXIT_PIPE_CLOSED = 141
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="lp64", choices=sorted(ct.PROFILES),
+                        help="implementation profile (type sizes)")
+    parser.add_argument("--no-static", action="store_true",
+                        help="skip translation-time checks")
+    parser.add_argument("--format", default="text", choices=("text", "json"),
+                        help="report format")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kcc-check",
+        description="Semantics-based undefinedness checker for C "
+                    "(reproduction of Ellison & Rosu's kcc).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser(
+        "check", help="classify programs (defined / undefined / static error)")
+    check.add_argument("files", nargs="+", help="C source files to check")
+    check.add_argument("--search", action="store_true",
+                       help="search over evaluation orders")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="check N programs in parallel worker processes")
+    _add_common_options(check)
+
+    run = subparsers.add_parser(
+        "run", help="run a (presumed defined) program, like a compiler+execute")
+    run.add_argument("file", help="C source file to run")
+    run.add_argument("args", nargs="*", help="program arguments")
+    run.add_argument("--stdin", default="", help="text to feed the program's stdin")
+    _add_common_options(run)
+
+    search = subparsers.add_parser(
+        "search", help="check programs, exploring all evaluation orders (§2.5.2)")
+    search.add_argument("files", nargs="+", help="C source files to check")
+    search.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="check N programs in parallel worker processes")
+    _add_common_options(search)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the evaluation harness and print the paper's tables")
+    bench.add_argument("--suite", default="ubsuite", choices=("ubsuite", "juliet"),
+                       help="which test suite to evaluate")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny fast subset with kcc only (CI smoke test)")
+    bench.add_argument("--tools", default=None, metavar="NAME,NAME",
+                       help="comma-separated tool names (default: all four)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run the harness with N worker processes")
+    return parser
+
+
+class CliInputError(Exception):
+    """An input file could not be read; reported without a traceback."""
+
+
+def _read_source(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        raise CliInputError(f"cannot read {path}: {error.strerror or error}") from None
+
+
+def _options_for(arguments: argparse.Namespace) -> CheckerOptions:
+    return CheckerOptions(profile=ct.PROFILES[arguments.profile])
+
+
+def _batch_exit_code(reports: list[CheckReport]) -> int:
+    if any(report.flagged for report in reports):
+        return EXIT_FLAGGED
+    if any(report.outcome.kind is OutcomeKind.INCONCLUSIVE for report in reports):
+        return EXIT_INCONCLUSIVE
+    return EXIT_DEFINED
+
+
+def _emit_text(report: CheckReport, *, multiple: bool, out) -> None:
+    if multiple:
+        print(f"{report.filename}: {report.outcome.describe()}", file=out)
+        if report.outcome.kind is not OutcomeKind.INCONCLUSIVE:
+            # Inconclusive reports have a single note repeating the header
+            # verbatim; error diagnostics add the code/line/C11 section.
+            for diagnostic in report.diagnostics():
+                print(f"  {diagnostic.render()}", file=out)
+    else:
+        print(report.render(), file=out)
+
+
+def _cmd_check(arguments: argparse.Namespace, *, search: bool, out) -> int:
+    options = _options_for(arguments)
+    pairs = [(path, _read_source(path)) for path in arguments.files]
+    reports = []
+    json_docs = []
+    multiple = len(pairs) > 1
+    for report in iter_check_many(pairs, options=options,
+                                  search_evaluation_order=search,
+                                  run_static_checks=not arguments.no_static,
+                                  jobs=arguments.jobs):
+        reports.append(report)
+        if arguments.format == "json":
+            json_docs.append(report.to_dict())
+        else:
+            _emit_text(report, multiple=multiple, out=out)
+    if arguments.format == "json":
+        # Always a list, regardless of input count: consumers should not
+        # have to branch on how many files the invocation happened to name.
+        print(json.dumps(json_docs, indent=2), file=out)
+    return _batch_exit_code(reports)
+
+
+def _cmd_run(arguments: argparse.Namespace, *, out) -> int:
+    options = _options_for(arguments)
+    tool = KccTool(options, run_static_checks=not arguments.no_static)
+    report = tool.check(_read_source(arguments.file), filename=arguments.file,
+                        argv=list(arguments.args) or None, stdin=arguments.stdin)
+    if arguments.format == "json":
+        print(report.to_json(indent=2), file=out)
+    elif report.outcome.kind is OutcomeKind.DEFINED:
+        print(report.outcome.stdout, end="", file=out)
+    else:
+        print(report.render(), file=out)
+    if report.flagged:
+        return EXIT_FLAGGED
+    if report.outcome.kind is OutcomeKind.INCONCLUSIVE:
+        return EXIT_INCONCLUSIVE
+    return report.outcome.exit_code or 0
+
+
+def _cmd_bench(arguments: argparse.Namespace, *, out) -> int:
+    # Imported lazily: the suites are big modules the other subcommands
+    # never need.
+    from repro.analyzers.registry import make_tools
+    from repro.suites.harness import EvaluationHarness
+    from repro.suites.juliet import generate_juliet_suite
+    from repro.suites.ubsuite import generate_undefinedness_suite
+
+    suite = (generate_juliet_suite() if arguments.suite == "juliet"
+             else generate_undefinedness_suite())
+    names = None
+    if arguments.tools:
+        names = [name.strip() for name in arguments.tools.split(",") if name.strip()]
+    elif arguments.smoke:
+        names = ["kcc"]
+    try:
+        tools = make_tools(names)
+    except KeyError as error:
+        raise CliInputError(str(error.args[0])) from None
+    cases = suite.cases[:12] if arguments.smoke else None
+    harness = EvaluationHarness(tools)
+    comparison = harness.run_suite(suite, cases=cases, jobs=arguments.jobs)
+    print(comparison.figure2_table(), file=out)
+    print(file=out)
+    print(comparison.figure3_table(), file=out)
+    print(file=out)
+    print(comparison.runtime_table(), file=out)
+    return EXIT_DEFINED
+
+
+def main(argv: Optional[list[str]] = None, *, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat with the seed's single-file CLI: `kcc-check prog.c [...]`.
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv = ["check"] + argv
+    arguments = build_parser().parse_args(argv)
+    try:
+        if arguments.command == "check":
+            return _cmd_check(arguments, search=arguments.search, out=out)
+        if arguments.command == "search":
+            return _cmd_check(arguments, search=True, out=out)
+        if arguments.command == "run":
+            return _cmd_run(arguments, out=out)
+        assert arguments.command == "bench"
+        return _cmd_bench(arguments, out=out)
+    except CliInputError as error:
+        print(f"kcc-check: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:
+        # The consumer closed the pipe (e.g. `kcc-check ... | head`); die
+        # quietly the way Unix tools do instead of tracebacking.  Point the
+        # stdout fd at devnull so the interpreter's exit-time flush of the
+        # buffered stream cannot trip over the dead pipe.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return EXIT_PIPE_CLOSED
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

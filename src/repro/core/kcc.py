@@ -3,16 +3,23 @@
 This is the reproduction of the wrapper described in Section 3.2 of the paper:
 a tool that behaves like a C compiler/interpreter, runs defined programs to
 completion, and prints a numbered error report the moment an undefined
-behavior is reached.  It is also the programmatic entry point used by the
-evaluation harness (:mod:`repro.suites.harness`) and by the examples.
+behavior is reached.
+
+The work is staged the way the paper's own workflow is (compile once, then
+run or search many times over one translation unit): :meth:`KccTool.compile_unit`
+produces a reusable :class:`CompiledUnit`, and :meth:`KccTool.run_unit`
+executes one.  The higher-level session API (:mod:`repro.api`) builds
+content-addressed caching and batch checking on top of these stages;
+:func:`check_program` / :func:`run_program` remain as one-shot conveniences.
 """
 
 from __future__ import annotations
 
-import argparse
+import hashlib
+import json
 import sys
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cfront import ast as c_ast
 from repro.cfront import ctypes as ct
@@ -21,6 +28,8 @@ from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
 from repro.core.interpreter import ExecutionResult, Interpreter
 from repro.errors import (
     CParseError,
+    Diagnostic,
+    InconclusiveAnalysis,
     Outcome,
     OutcomeKind,
     ResourceLimitError,
@@ -33,6 +42,45 @@ from repro.kframework.strategy import ScriptedStrategy
 from repro.sema.static_checks import check_translation_unit
 
 
+def content_hash(source: str) -> str:
+    """Content address of a program: the cache key of the compile stage."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CompiledUnit:
+    """The reusable result of the compile stage (parse + static checks).
+
+    A compiled unit is immutable from the checker's point of view: running it
+    does not alter it, so one unit can back any number of runs, evaluation
+    order searches, or ablation comparisons without re-parsing.  Units are
+    identified by content hash + implementation profile, which is what the
+    session-level compile cache (:mod:`repro.api`) keys on.
+    """
+
+    source: str
+    filename: str
+    hash: str
+    profile_name: str
+    unit: Optional[c_ast.TranslationUnit] = None
+    static_violations: list[StaticViolation] = field(default_factory=list)
+    parse_error: Optional[str] = None
+    profile: Optional[ct.ImplementationProfile] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when parsing succeeded (static violations may still exist)."""
+        return self.unit is not None
+
+    def diagnostics(self) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        if self.parse_error is not None:
+            found.append(Diagnostic(severity="error", stage="parse",
+                                    message=self.parse_error))
+        found.extend(v.to_diagnostic() for v in self.static_violations)
+        return found
+
+
 @dataclass
 class CheckReport:
     """Everything kcc learned about one program."""
@@ -41,10 +89,32 @@ class CheckReport:
     result: Optional[ExecutionResult] = None
     search: Optional[SearchResult] = None
     unit: Optional[c_ast.TranslationUnit] = None
+    filename: str = "<input>"
 
     @property
     def flagged(self) -> bool:
         return self.outcome.flagged
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """The report's findings in structured form."""
+        return self.outcome.diagnostics()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict of the whole report (AST omitted)."""
+        data: dict[str, Any] = {
+            "filename": self.filename,
+            "outcome": self.outcome.to_dict(),
+        }
+        if self.search is not None:
+            data["search"] = {
+                "explored": self.search.explored,
+                "exhausted": self.search.exhausted,
+                "undefined_paths": len(self.search.undefined_paths),
+            }
+        return data
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def render(self) -> str:
         """Render a kcc-style textual report."""
@@ -75,40 +145,85 @@ class KccTool:
         self.run_static_checks = run_static_checks
 
     # ------------------------------------------------------------------
-    # Compilation (parsing + static checks)
+    # Stage 1: compilation (parsing + static checks)
     # ------------------------------------------------------------------
+    def compile_unit(self, source: str, *, filename: str = "<input>") -> CompiledUnit:
+        """Parse and statically check ``source`` into a reusable unit.
+
+        Static violations are always collected here (the checks depend only
+        on the implementation profile), so one compiled unit can be shared by
+        tools that honor them and tools that do not; :meth:`run_unit` decides
+        whether they count, according to ``run_static_checks``.
+        """
+        compiled = CompiledUnit(source=source, filename=filename,
+                                hash=content_hash(source),
+                                profile_name=self.options.profile.name,
+                                profile=self.options.profile)
+        try:
+            compiled.unit = parse(source, filename=filename, profile=self.options.profile)
+        except CParseError as error:
+            compiled.parse_error = str(error)
+            return compiled
+        except UnsupportedFeatureError as error:
+            compiled.parse_error = f"unsupported feature: {error}"
+            return compiled
+        compiled.static_violations = check_translation_unit(
+            compiled.unit, self.options.profile)
+        return compiled
+
     def compile(self, source: str, *, filename: str = "<input>") -> tuple[
             Optional[c_ast.TranslationUnit], list[StaticViolation], Optional[str]]:
-        """Parse and statically check; returns (unit, violations, parse_error)."""
-        try:
-            unit = parse(source, filename=filename, profile=self.options.profile)
-        except CParseError as error:
-            return None, [], str(error)
-        except UnsupportedFeatureError as error:
-            return None, [], f"unsupported feature: {error}"
-        violations: list[StaticViolation] = []
-        if self.run_static_checks:
-            violations = check_translation_unit(unit, self.options.profile)
-        return unit, violations, None
+        """Back-compat tuple view of the compile stage: (unit, violations, parse_error)."""
+        compiled = self.compile_unit(source, filename=filename)
+        violations = compiled.static_violations if self.run_static_checks else []
+        return compiled.unit, violations, compiled.parse_error
 
     # ------------------------------------------------------------------
-    # Checking a whole program
+    # Stage 2: running a compiled unit
+    # ------------------------------------------------------------------
+    def run_unit(self, compiled: CompiledUnit, *, argv: Optional[list[str]] = None,
+                 stdin: str = "") -> CheckReport:
+        """Execute a previously compiled unit, classifying the result.
+
+        This never re-parses: the same :class:`CompiledUnit` can back many
+        runs (different stdin/argv, evaluation-order search, ablations).
+        """
+        if compiled.profile is not None and compiled.profile != self.options.profile:
+            # A unit parsed under one profile has that profile's type sizes
+            # baked into its layout; silently running it under another would
+            # give profile-dependent verdicts that belong to neither.
+            raise ValueError(
+                f"CompiledUnit was compiled under profile "
+                f"{compiled.profile_name!r} but this checker runs "
+                f"{self.options.profile.name!r}; recompile the source with "
+                f"the matching options")
+        if compiled.parse_error is not None:
+            outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=compiled.parse_error,
+                              parse_failed=True)
+            return CheckReport(outcome=outcome, filename=compiled.filename)
+        assert compiled.unit is not None
+        if self.run_static_checks and compiled.static_violations:
+            outcome = Outcome(kind=OutcomeKind.STATIC_ERROR,
+                              static_violations=list(compiled.static_violations))
+            return CheckReport(outcome=outcome, unit=compiled.unit,
+                               filename=compiled.filename)
+        if self.search_evaluation_order:
+            report = self._check_with_search(compiled.unit, argv=argv, stdin=stdin)
+        else:
+            outcome, result = self._run_once(compiled.unit, strategy=None,
+                                             argv=argv, stdin=stdin)
+            report = CheckReport(outcome=outcome, result=result, unit=compiled.unit)
+        report.filename = compiled.filename
+        return report
+
+    # ------------------------------------------------------------------
+    # Checking a whole program (compile + run in one step)
     # ------------------------------------------------------------------
     def check(self, source: str, *, filename: str = "<input>",
               argv: Optional[list[str]] = None, stdin: str = "") -> CheckReport:
         """Compile and run ``source``, classifying the result."""
-        unit, violations, parse_error = self.compile(source, filename=filename)
-        if parse_error is not None:
-            outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=parse_error)
-            return CheckReport(outcome=outcome)
-        assert unit is not None
-        if violations:
-            outcome = Outcome(kind=OutcomeKind.STATIC_ERROR, static_violations=violations)
-            return CheckReport(outcome=outcome, unit=unit)
-        if self.search_evaluation_order:
-            return self._check_with_search(unit, argv=argv, stdin=stdin)
-        outcome, result = self._run_once(unit, strategy=None, argv=argv, stdin=stdin)
-        return CheckReport(outcome=outcome, result=result, unit=unit)
+        return self.run_unit(self.compile_unit(source, filename=filename),
+                             argv=argv, stdin=stdin)
 
     def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin) -> tuple[
             Outcome, Optional[ExecutionResult]]:
@@ -187,37 +302,19 @@ def run_program(source: str, options: CheckerOptions = DEFAULT_OPTIONS, *,
             report.outcome.static_violations[0].message,
             line=report.outcome.static_violations[0].line)
     if report.result is None:
-        return ExecutionResult(exit_code=report.outcome.exit_code or 0,
-                               stdout=report.outcome.stdout)
+        # The analysis could not classify the program (parse failure,
+        # resource limit, unsupported construct); fabricating a successful
+        # exit here would report silent success for a program that never ran.
+        raise InconclusiveAnalysis(report.outcome.detail or report.outcome.describe(),
+                                   outcome=report.outcome)
     return report.result
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """Command line interface: ``kcc-check program.c``."""
-    parser = argparse.ArgumentParser(
-        prog="kcc-check",
-        description="Semantics-based undefinedness checker for C "
-                    "(reproduction of Ellison & Rosu's kcc).")
-    parser.add_argument("file", help="C source file to check")
-    parser.add_argument("--profile", default="lp64", choices=sorted(ct.PROFILES),
-                        help="implementation profile (type sizes)")
-    parser.add_argument("--search", action="store_true",
-                        help="search over evaluation orders")
-    parser.add_argument("--no-static", action="store_true",
-                        help="skip translation-time checks")
-    arguments = parser.parse_args(argv)
-    with open(arguments.file, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    options = CheckerOptions(profile=ct.PROFILES[arguments.profile])
-    tool = KccTool(options, search_evaluation_order=arguments.search,
-                   run_static_checks=not arguments.no_static)
-    report = tool.check(source, filename=arguments.file)
-    print(report.render())
-    if report.flagged:
-        return 1
-    if report.outcome.kind is OutcomeKind.INCONCLUSIVE:
-        return 2
-    return 0
+    """Command line interface; see :mod:`repro.api.cli` for the subcommands."""
+    from repro.api.cli import main as cli_main
+
+    return cli_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

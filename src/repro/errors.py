@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any, Optional
 
 
 class UBKind(enum.Enum):
@@ -144,9 +145,33 @@ class UndefinedBehaviorError(Exception):
             lines.append(f"Line: {self.line}")
         return "\n".join(lines)
 
+    def __reduce__(self):
+        # Exception's default pickling calls ``cls(*self.args)``, which would
+        # drop the kind/location; batch checking ships these across process
+        # boundaries, so reconstruct explicitly.
+        return (_rebuild_ub_error,
+                (self.kind, self.message, self.function, self.line, self.column))
+
+    def to_diagnostic(self) -> "Diagnostic":
+        return Diagnostic(
+            severity="error",
+            stage="dynamic",
+            code=self.kind.error_code,
+            kind=self.kind.name,
+            message=self.message,
+            section=self.kind.section,
+            function=self.function,
+            line=self.line,
+            column=self.column,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = f" at line {self.line}" if self.line is not None else ""
         return f"UndefinedBehaviorError({self.kind.name}{where}: {self.message!r})"
+
+
+def _rebuild_ub_error(kind, message, function, line, column) -> "UndefinedBehaviorError":
+    return UndefinedBehaviorError(kind, message, function=function, line=line, column=column)
 
 
 @dataclass(frozen=True)
@@ -162,6 +187,74 @@ class StaticViolation:
     def report(self) -> str:
         loc = f" (line {self.line})" if self.line is not None else ""
         return f"static error {self.kind.error_code}: {self.message}{loc}"
+
+    def to_diagnostic(self) -> "Diagnostic":
+        return Diagnostic(
+            severity="error",
+            stage="static",
+            code=self.kind.error_code,
+            kind=self.kind.name,
+            message=self.message,
+            section=self.kind.section,
+            function=self.function,
+            line=self.line,
+            column=self.column,
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of the checker.
+
+    Every way the tool can complain — a dynamic undefined-behavior report, a
+    translation-time (static) violation, a parse failure, an inconclusive
+    analysis — normalizes to this shape, so downstream consumers (the JSON
+    CLI output, the batch API, dashboards) never have to parse the kcc-style
+    text reports.
+    """
+
+    severity: str                       # "error" | "warning" | "note"
+    stage: str                          # "parse" | "static" | "dynamic" | "analysis"
+    message: str
+    code: Optional[str] = None          # kcc-style zero-padded error number
+    kind: Optional[str] = None          # UBKind name, when one applies
+    section: Optional[str] = None       # the C11 section that applies
+    function: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict; ``None`` fields are omitted."""
+        data: dict[str, Any] = {"severity": self.severity, "stage": self.stage,
+                                "message": self.message}
+        for key in ("code", "kind", "section", "function", "line", "column"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Diagnostic":
+        missing = [key for key in ("severity", "stage", "message")
+                   if not data.get(key)]
+        if missing:
+            raise ValueError(
+                f"diagnostic missing required field(s): {', '.join(missing)}")
+        return cls(**{key: data.get(key) for key in
+                      ("severity", "stage", "message", "code", "kind",
+                       "section", "function", "line", "column")})
+
+    def render(self) -> str:
+        """One-line human-readable form (``error 00016: ... (line 3) [C11 6.5:2]``)."""
+        parts = [self.severity]
+        if self.code is not None:
+            parts.append(self.code)
+        text = " ".join(parts) + f": {self.message}"
+        if self.line is not None:
+            text += f" (line {self.line})"
+        if self.section is not None:
+            text += f" [C11 {self.section}]"
+        return text
 
 
 class OutcomeKind(enum.Enum):
@@ -183,6 +276,10 @@ class Outcome:
     error: UndefinedBehaviorError | None = None
     static_violations: list[StaticViolation] = field(default_factory=list)
     detail: str = ""
+    #: True when an INCONCLUSIVE outcome stems from a parse failure, so the
+    #: structured diagnostic keeps the same severity/stage labels the compile
+    #: stage (:meth:`CompiledUnit.diagnostics`) gives the identical error.
+    parse_failed: bool = False
 
     @property
     def flagged(self) -> bool:
@@ -206,6 +303,36 @@ class Outcome:
             return "static error: " + "; ".join(v.message for v in self.static_violations)
         return self.detail or self.kind.value
 
+    def diagnostics(self) -> list[Diagnostic]:
+        """Every finding of this outcome in structured form."""
+        found: list[Diagnostic] = []
+        if self.error is not None:
+            found.append(self.error.to_diagnostic())
+        found.extend(v.to_diagnostic() for v in self.static_violations)
+        if self.kind is OutcomeKind.INCONCLUSIVE:
+            if self.parse_failed:
+                found.append(Diagnostic(severity="error", stage="parse",
+                                        message=self.detail or "parse error"))
+            else:
+                found.append(Diagnostic(severity="note", stage="analysis",
+                                        message=self.detail or "analysis inconclusive"))
+        return found
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready summary of the outcome."""
+        data: dict[str, Any] = {
+            "kind": self.kind.value,
+            "flagged": self.flagged,
+            "diagnostics": [d.to_dict() for d in self.diagnostics()],
+        }
+        if self.exit_code is not None:
+            data["exit_code"] = self.exit_code
+        if self.stdout:
+            data["stdout"] = self.stdout
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
 
 class CParseError(Exception):
     """Raised by the front end for programs we cannot parse."""
@@ -223,3 +350,18 @@ class UnsupportedFeatureError(Exception):
 
 class ResourceLimitError(Exception):
     """Raised when an execution exceeds the configured step/memory limits."""
+
+
+class InconclusiveAnalysis(Exception):
+    """Raised by :func:`repro.run_program` when the analysis cannot classify
+    the program (parse failure, resource limits, unsupported construct).
+
+    Before this exception existed, ``run_program`` fabricated a successful
+    ``ExecutionResult(exit_code=0)`` for inconclusive analyses, silently
+    conflating "we could not tell" with "the program ran fine".
+    """
+
+    def __init__(self, detail: str = "", outcome: Optional["Outcome"] = None) -> None:
+        self.detail = detail or "analysis inconclusive"
+        self.outcome = outcome
+        super().__init__(self.detail)

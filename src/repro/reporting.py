@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
@@ -36,6 +36,12 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
     return "\n".join(lines)
 
 
-def format_percent(value: float) -> str:
-    """Format a 0..1 fraction the way the paper's tables do (one decimal)."""
+def format_percent(value: Optional[float]) -> str:
+    """Format a 0..1 fraction the way the paper's tables do (one decimal).
+
+    ``None`` — a rate whose denominator was empty (no matching tests) —
+    renders as ``—``, which is not the same thing as ``0.0``.
+    """
+    if value is None:
+        return "—"
     return f"{value * 100.0:.1f}"

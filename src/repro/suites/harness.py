@@ -112,22 +112,27 @@ class SuiteScore:
     records: list[CaseRecord] = field(default_factory=list)
 
     # -- aggregate scores -----------------------------------------------------
-    def detection_rate(self, category: Optional[str] = None) -> float:
+    #
+    # Rates over an empty denominator return ``None`` (rendered as ``—`` in
+    # the tables), keeping "there were no such tests" distinguishable from
+    # "the tool caught none of them".
+
+    def detection_rate(self, category: Optional[str] = None) -> Optional[float]:
         """Fraction of *bad* tests flagged (the paper's "% passed")."""
         bad = [r for r in self.records
                if r.case.is_bad and (category is None or r.case.category == category)]
         if not bad:
-            return 0.0
+            return None
         return sum(1 for r in bad if r.result.flagged) / len(bad)
 
-    def false_positive_rate(self, category: Optional[str] = None) -> float:
+    def false_positive_rate(self, category: Optional[str] = None) -> Optional[float]:
         good = [r for r in self.records
                 if not r.case.is_bad and (category is None or r.case.category == category)]
         if not good:
-            return 0.0
+            return None
         return sum(1 for r in good if r.result.flagged) / len(good)
 
-    def per_behavior_rate(self, stage: Optional[str] = None) -> float:
+    def per_behavior_rate(self, stage: Optional[str] = None) -> Optional[float]:
         """Average detection over behaviors, each behavior weighted equally
         (the Figure 3 metric)."""
         by_behavior: dict[str, list[CaseRecord]] = {}
@@ -138,7 +143,7 @@ class SuiteScore:
                 continue
             by_behavior.setdefault(record.case.behavior or record.case.name, []).append(record)
         if not by_behavior:
-            return 0.0
+            return None
         rates = []
         for records in by_behavior.values():
             rates.append(sum(1 for r in records if r.result.flagged) / len(records))
@@ -168,20 +173,32 @@ class ComparisonResult:
 
     # -- table rendering --------------------------------------------------------
     def figure2_table(self) -> str:
-        """Per-class detection table in the shape of the paper's Figure 2."""
+        """Per-class detection table in the shape of the paper's Figure 2.
+
+        Test counts come from the cases that actually ran (the scores'
+        records), not the whole suite, so a subset run — ``bench --smoke``,
+        or ``run_suite(cases=...)`` — never pairs a full-suite count with a
+        subset rate.
+        """
         headers = ["Undefined Behavior", "No. Tests"] + [s.tool for s in self.scores]
+        cases_run = [r.case for r in self.scores[0].records] if self.scores else []
+        categories: list[str] = []
+        for case in cases_run:
+            if case.category not in categories:
+                categories.append(case.category)
         rows = []
-        for category in self.suite.categories():
-            bad_count = sum(1 for c in self.suite.cases_in(category) if c.is_bad)
+        for category in categories:
+            bad_count = sum(1 for c in cases_run if c.category == category and c.is_bad)
             row = [category, bad_count]
             for score in self.scores:
                 row.append(format_percent(score.detection_rate(category)))
             rows.append(row)
-        total_row = ["all classes", len(self.suite.bad_cases())]
+        total_row = ["all classes", sum(1 for c in cases_run if c.is_bad)]
         for score in self.scores:
             total_row.append(format_percent(score.detection_rate()))
         rows.append(total_row)
-        fp_row = ["false positives (good tests)", len(self.suite.good_cases())]
+        fp_row = ["false positives (good tests)",
+                  sum(1 for c in cases_run if not c.is_bad)]
         for score in self.scores:
             fp_row.append(format_percent(score.false_positive_rate()))
         rows.append(fp_row)
@@ -202,10 +219,22 @@ class ComparisonResult:
                   "(averaged across behaviors)")
 
     def runtime_table(self) -> str:
-        headers = ["Tool", "mean s/test", "inconclusive"]
-        rows = [[score.tool, f"{score.mean_runtime():.3f}", score.inconclusive_count()]
+        # Milliseconds: with compiles warmed outside the timed window, the
+        # per-test dynamic times are sub-millisecond and a seconds column
+        # would round every tool to 0.000.
+        headers = ["Tool", "mean ms/test", "inconclusive"]
+        rows = [[score.tool, f"{score.mean_runtime() * 1000.0:.3f}",
+                 score.inconclusive_count()]
                 for score in self.scores]
-        return render_table(headers, rows, title="Mean analysis time per test")
+        return render_table(
+            headers, rows,
+            title="Mean analysis time per test (dynamic stage; compile cached)")
+
+
+def _analyze_task(task: tuple) -> ToolResult:
+    """Pool worker: one (tool, case) verdict.  Must stay module-level (picklable)."""
+    tool, source, filename = task
+    return tool.timed_analyze(source, filename=filename)
 
 
 class EvaluationHarness:
@@ -215,22 +244,48 @@ class EvaluationHarness:
         self.tools = list(tools)
 
     def run_suite(self, suite: TestSuite, *,
-                  cases: Optional[Iterable[TestCase]] = None) -> ComparisonResult:
+                  cases: Optional[Iterable[TestCase]] = None,
+                  jobs: Optional[int] = 1) -> ComparisonResult:
+        """Run every tool over every (selected) case.
+
+        With ``jobs > 1`` the (tool, case) grid fans out over a process pool;
+        record order — and therefore every score and table — is identical to
+        the serial path.
+        """
         selected = list(cases) if cases is not None else suite.cases
         comparison = ComparisonResult(suite=suite)
-        for tool in self.tools:
+        results = self._run_grid(selected, jobs=jobs)
+        for index, tool in enumerate(self.tools):
             score = SuiteScore(tool=tool.name)
-            for case in selected:
-                result = tool.timed_analyze(case.source, filename=case.name)
-                score.records.append(CaseRecord(case=case, result=result))
+            for case_index, case in enumerate(selected):
+                score.records.append(CaseRecord(
+                    case=case, result=results[index * len(selected) + case_index]))
             comparison.scores.append(score)
         return comparison
 
+    def _run_grid(self, selected: Sequence[TestCase], *,
+                  jobs: Optional[int]) -> list[ToolResult]:
+        from repro.api.batch import run_pooled
+
+        # Tasks go out case-major with one case's tools per chunk, so every
+        # worker that analyzes a program runs all tools on it and its
+        # per-process shared compile cache yields one parse per program.
+        tools = self.tools
+        tasks = [(tool, case.source, case.name)
+                 for case in selected for tool in tools]
+        results = run_pooled(_analyze_task, tasks, jobs=jobs,
+                             chunksize=len(tools))
+        # Reorder to the tool-major layout run_suite indexes into.
+        return [results[case_index * len(tools) + tool_index]
+                for tool_index in range(len(tools))
+                for case_index in range(len(selected))]
+
 
 def run_comparison(suite: TestSuite, tools: Optional[Sequence[AnalysisTool]] = None,
-                   *, cases: Optional[Iterable[TestCase]] = None) -> ComparisonResult:
+                   *, cases: Optional[Iterable[TestCase]] = None,
+                   jobs: Optional[int] = 1) -> ComparisonResult:
     """Convenience wrapper: run the default tools over ``suite``."""
     from repro.analyzers.registry import default_tools
 
     harness = EvaluationHarness(tools if tools is not None else default_tools())
-    return harness.run_suite(suite, cases=cases)
+    return harness.run_suite(suite, cases=cases, jobs=jobs)

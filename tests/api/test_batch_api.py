@@ -1,0 +1,94 @@
+"""Tests for batch checking: parallel verdicts must match the serial path."""
+
+import pytest
+
+from repro import Checker, check_many, iter_check_many
+from repro.errors import OutcomeKind
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+
+def verdict(report):
+    """Everything observable about one verdict (AST excluded by design)."""
+    return (
+        report.filename,
+        report.outcome.kind,
+        report.outcome.flagged,
+        report.outcome.exit_code,
+        [k.name for k in report.outcome.ub_kinds],
+        [v.message for v in report.outcome.static_violations],
+    )
+
+
+@pytest.fixture(scope="module")
+def ubsuite_pairs():
+    suite = generate_undefinedness_suite()
+    return [(case.name, case.source) for case in suite.cases]
+
+
+class TestCheckMany:
+    def test_parallel_matches_serial_on_full_ubsuite(self, ubsuite_pairs):
+        serial = check_many(ubsuite_pairs, jobs=1)
+        parallel = check_many(ubsuite_pairs, jobs=2)
+        assert len(serial) == len(parallel) == len(ubsuite_pairs)
+        for s, p in zip(serial, parallel):
+            assert verdict(s) == verdict(p)
+
+    def test_reports_come_back_in_input_order(self):
+        sources = [
+            ("good.c", "int main(void){ return 0; }"),
+            ("bad.c", "int main(void){ int d = 0; return 1 / d; }"),
+            ("broken.c", "int main(void) { return ; "),
+        ]
+        reports = check_many(sources, jobs=2)
+        assert [r.filename for r in reports] == ["good.c", "bad.c", "broken.c"]
+        assert [r.outcome.kind for r in reports] == [
+            OutcomeKind.DEFINED, OutcomeKind.UNDEFINED, OutcomeKind.INCONCLUSIVE]
+
+    def test_plain_strings_get_indexed_filenames(self):
+        reports = check_many(["int main(void){ return 1; }",
+                              "int main(void){ return 2; }"])
+        assert [r.filename for r in reports] == ["<input:0>", "<input:1>"]
+        assert [r.outcome.exit_code for r in reports] == [1, 2]
+
+    def test_streaming_iterator_preserves_order(self):
+        sources = [f"int main(void){{ return {n}; }}" for n in range(8)]
+        seen = [r.outcome.exit_code for r in iter_check_many(sources, jobs=2)]
+        assert seen == list(range(8))
+
+    def test_parallel_reports_drop_the_ast_only(self):
+        source = "int main(void){ int x = 0; return (x = 1) + (x = 2); }"
+        [serial] = check_many([source], jobs=1)
+        [parallel] = check_many([source, source], jobs=2)[:1]
+        assert serial.unit is not None
+        assert parallel.unit is None
+        assert parallel.outcome.error is not None
+        assert parallel.outcome.error.kind == serial.outcome.error.kind
+        assert parallel.outcome.error.line == serial.outcome.error.line
+
+    def test_empty_batch(self):
+        assert check_many([], jobs=4) == []
+
+    def test_bare_string_is_rejected_not_iterated(self):
+        with pytest.raises(TypeError, match="sequence of programs"):
+            check_many("int main(void){ return 0; }")
+
+    def test_serial_path_honors_explicit_flags_over_checker_config(self):
+        # A cache-lending checker with search off must not override the
+        # call's explicit search flag — jobs=1 and jobs>1 classify alike.
+        order_dependent = """
+        static int d = 5;
+        static int setDenom(int x){ return d = x; }
+        int main(void) { return (10/d) + setDenom(0); }
+        """
+        checker = Checker()
+        [report] = check_many([order_dependent], search_evaluation_order=True,
+                              jobs=1, checker=checker)
+        assert report.outcome.flagged
+        assert checker.stats.parse_count == 1  # cache still used
+
+    def test_checker_method_uses_its_cache_serially(self):
+        checker = Checker()
+        sources = ["int main(void){ return 3; }"] * 3
+        reports = checker.check_many(sources, jobs=1)
+        assert [r.outcome.exit_code for r in reports] == [3, 3, 3]
+        assert checker.stats.parse_count == 1

@@ -1,0 +1,148 @@
+"""Tests for the kcc-check subcommand CLI (and ``python -m repro``)."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.cli import main
+
+DEFINED = "int main(void){ return 0; }\n"
+EXITS_3 = "int main(void){ return 3; }\n"
+UNDEFINED = "int main(void){ int d = 0; return 5 / d; }\n"
+STATIC_BAD = "int main(void){ int a[0]; return 0; }\n"
+UNPARSABLE = "int main(void) { return ; \n"
+ORDER_DEPENDENT = """
+static int d = 5;
+static int setDenom(int x){ return d = x; }
+int main(void) { return (10/d) + setDenom(0); }
+"""
+
+
+@pytest.fixture
+def cfile(tmp_path):
+    def write(name, source):
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+    return write
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheckSubcommand:
+    def test_defined_program_exits_zero(self, cfile):
+        code, text = run_cli("check", cfile("ok.c", DEFINED))
+        assert code == 0
+        assert "exit code 0" in text
+
+    def test_undefined_program_exits_one(self, cfile):
+        code, text = run_cli("check", cfile("bad.c", UNDEFINED))
+        assert code == 1
+        assert "Error: 00001" in text
+
+    def test_static_error_exits_one(self, cfile):
+        code, _ = run_cli("check", cfile("static.c", STATIC_BAD))
+        assert code == 1
+
+    def test_unparsable_program_exits_two(self, cfile):
+        code, _ = run_cli("check", cfile("broken.c", UNPARSABLE))
+        assert code == 2
+
+    def test_multiple_files_worst_verdict_wins(self, cfile):
+        code, text = run_cli("check", cfile("ok.c", DEFINED),
+                             cfile("bad.c", UNDEFINED), "--jobs", "2")
+        assert code == 1
+        assert "ok.c" in text and "bad.c" in text
+
+    def test_json_format_is_machine_readable(self, cfile):
+        code, text = run_cli("check", cfile("ok.c", DEFINED),
+                             cfile("bad.c", UNDEFINED), "--format", "json")
+        assert code == 1
+        docs = json.loads(text)
+        assert [doc["outcome"]["kind"] for doc in docs] == ["defined", "undefined"]
+        assert docs[1]["outcome"]["diagnostics"][0]["code"] == "00001"
+
+    def test_json_shape_is_a_list_even_for_one_file(self, cfile):
+        _, text = run_cli("check", cfile("ok.c", DEFINED), "--format", "json")
+        docs = json.loads(text)
+        assert isinstance(docs, list) and len(docs) == 1
+
+    def test_seed_style_invocation_still_works(self, cfile):
+        # The seed CLI was `kcc-check prog.c [--search]`; no subcommand.
+        code, text = run_cli(cfile("bad.c", UNDEFINED))
+        assert code == 1
+        assert "ERROR! KCC encountered an error." in text
+
+    def test_no_static_flag(self, cfile):
+        code, _ = run_cli("check", cfile("static.c", STATIC_BAD), "--no-static")
+        assert code == 0  # runs dynamically; int a[0] is never touched
+
+    def test_missing_file_is_a_clean_usage_error(self, capsys):
+        code, _ = run_cli("check", "/no/such/file.c")
+        assert code == 64  # EX_USAGE: distinct from the inconclusive verdict
+        assert "cannot read /no/such/file.c" in capsys.readouterr().err
+
+
+class TestRunSubcommand:
+    def test_run_propagates_program_exit_code(self, cfile):
+        code, _ = run_cli("run", cfile("three.c", EXITS_3))
+        assert code == 3
+
+    def test_run_prints_program_output(self, cfile):
+        source = '#include <stdio.h>\nint main(void){ puts("hi"); return 0; }\n'
+        code, text = run_cli("run", cfile("hello.c", source))
+        assert code == 0
+        assert text == "hi\n"
+
+    def test_run_on_undefined_exits_one_with_report(self, cfile):
+        code, text = run_cli("run", cfile("bad.c", UNDEFINED))
+        assert code == 1
+        assert "ERROR! KCC" in text
+
+
+class TestSearchSubcommand:
+    def test_search_finds_order_dependent_ub(self, cfile):
+        path = cfile("order.c", ORDER_DEPENDENT)
+        assert run_cli("check", path)[0] == 0          # default order: defined
+        code, text = run_cli("search", path)
+        assert code == 1
+        assert "00001" in text                          # division by zero found
+
+
+class TestBenchSubcommand:
+    def test_bench_smoke_renders_tables(self):
+        code, text = run_cli("bench", "--smoke")
+        assert code == 0
+        assert "Comparison of analysis tools" in text
+        assert "kcc" in text
+
+    def test_bench_tools_selects_the_lineup(self):
+        code, text = run_cli("bench", "--smoke", "--tools", "kcc,Valgrind")
+        assert code == 0
+        assert "Valgrind" in text
+
+    def test_bench_unknown_tool_is_a_clean_error(self, capsys):
+        code, _ = run_cli("bench", "--smoke", "--tools", "lint9000")
+        assert code == 64
+        assert "lint9000" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, cfile, tmp_path):
+        env = dict(os.environ)
+        src_dir = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", cfile("ok.c", DEFINED)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "exit code 0" in proc.stdout

@@ -1,0 +1,143 @@
+"""Tests for structured diagnostics, JSON round-trips, and the new errors."""
+
+import json
+import pickle
+
+import pytest
+
+from repro import (
+    Diagnostic,
+    InconclusiveAnalysis,
+    OutcomeKind,
+    UBKind,
+    check_program,
+    run_program,
+)
+from repro.errors import UndefinedBehaviorError
+from repro.reporting import format_percent
+from repro.suites.harness import CaseRecord, SuiteScore, TestCase
+from repro.analyzers.base import ToolResult
+
+SOURCES_BY_KIND = {
+    OutcomeKind.DEFINED: "int main(void){ return 4; }",
+    OutcomeKind.UNDEFINED: "int main(void){ int d = 0; return 5 / d; }",
+    OutcomeKind.STATIC_ERROR: "int main(void){ int a[0]; return 0; }",
+    OutcomeKind.INCONCLUSIVE: "int main(void) { return ; ",
+}
+
+
+class TestReportJson:
+    @pytest.mark.parametrize("kind", list(OutcomeKind))
+    def test_to_json_round_trips_every_outcome_kind(self, kind):
+        report = check_program(SOURCES_BY_KIND[kind])
+        assert report.outcome.kind is kind
+        data = json.loads(report.to_json())
+        assert data["outcome"]["kind"] == kind.value
+        assert data["outcome"]["flagged"] == report.flagged
+        rebuilt = [Diagnostic.from_dict(d) for d in data["outcome"]["diagnostics"]]
+        assert rebuilt == report.diagnostics()
+
+    def test_undefined_diagnostic_carries_code_and_section(self):
+        report = check_program(SOURCES_BY_KIND[OutcomeKind.UNDEFINED])
+        [diagnostic] = report.diagnostics()
+        assert diagnostic.code == UBKind.DIVISION_BY_ZERO.error_code
+        assert diagnostic.section == "6.5.5:5"
+        assert diagnostic.stage == "dynamic"
+        assert diagnostic.line is not None
+
+    def test_static_diagnostic_stage(self):
+        report = check_program(SOURCES_BY_KIND[OutcomeKind.STATIC_ERROR])
+        assert all(d.stage == "static" for d in report.diagnostics())
+
+    def test_parse_failure_diagnostic_is_an_error_in_the_parse_stage(self):
+        # The same labels the compile stage gives the identical failure.
+        report = check_program(SOURCES_BY_KIND[OutcomeKind.INCONCLUSIVE])
+        [diagnostic] = report.diagnostics()
+        assert diagnostic.severity == "error"
+        assert diagnostic.stage == "parse"
+
+    def test_non_parse_inconclusive_stays_a_note(self):
+        from repro import CheckerOptions
+        looping = "int main(void){ while (1) { } return 0; }"
+        report = check_program(looping, CheckerOptions(max_steps=500))
+        assert report.outcome.kind is OutcomeKind.INCONCLUSIVE
+        [diagnostic] = report.diagnostics()
+        assert diagnostic.severity == "note"
+        assert diagnostic.stage == "analysis"
+
+    def test_from_dict_rejects_documents_missing_required_fields(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic.from_dict({"message": "x", "stage": "parse"})
+        with pytest.raises(ValueError, match="message"):
+            Diagnostic.from_dict({"severity": "error", "stage": "parse"})
+
+    def test_diagnostic_render_is_one_line(self):
+        report = check_program(SOURCES_BY_KIND[OutcomeKind.UNDEFINED])
+        [diagnostic] = report.diagnostics()
+        text = diagnostic.render()
+        assert "\n" not in text
+        assert diagnostic.code in text and "C11" in text
+
+    def test_search_summary_in_json(self):
+        report = check_program(
+            "int main(void){ int i = 1; return i + (i = 2); }",
+            search_evaluation_order=True)
+        data = json.loads(report.to_json())
+        assert data["search"]["explored"] >= 2
+        assert data["search"]["undefined_paths"] >= 1
+
+
+class TestRunProgramInconclusive:
+    def test_run_program_raises_instead_of_fabricating_success(self):
+        with pytest.raises(InconclusiveAnalysis) as excinfo:
+            run_program("int main(void) { return ; ")
+        assert "unterminated" in str(excinfo.value)
+
+    def test_inconclusive_carries_the_outcome(self):
+        try:
+            run_program("int main(void) { return ; ")
+        except InconclusiveAnalysis as error:
+            assert error.outcome is not None
+            assert error.outcome.kind is OutcomeKind.INCONCLUSIVE
+
+
+class TestErrorPickling:
+    def test_undefined_behavior_error_survives_pickling(self):
+        error = UndefinedBehaviorError(UBKind.SIGNED_OVERFLOW, "overflow!",
+                                       function="main", line=12, column=3)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.kind is UBKind.SIGNED_OVERFLOW
+        assert clone.message == "overflow!"
+        assert (clone.function, clone.line, clone.column) == ("main", 12, 3)
+
+
+class TestEmptyDenominatorRates:
+    def _score(self):
+        case = TestCase(name="t", source="", is_bad=True, category="arith",
+                        behavior="b", stage="dynamic")
+        record = CaseRecord(case=case, result=ToolResult(tool="x", flagged=True))
+        return SuiteScore(tool="x", records=[record])
+
+    def test_rates_for_missing_categories_are_none_not_zero(self):
+        score = self._score()
+        assert score.detection_rate("no-such-category") is None
+        assert score.false_positive_rate() is None          # no good tests at all
+        assert score.per_behavior_rate("static") is None    # no static behaviors
+        assert score.detection_rate("arith") == 1.0
+
+    def test_format_percent_renders_none_as_dash(self):
+        assert format_percent(None) == "—"
+        assert format_percent(0.0) == "0.0"
+        assert format_percent(1.0) == "100.0"
+
+    def test_figure3_table_shows_dash_for_absent_stage(self):
+        from repro.analyzers.base import KccAnalysisTool
+        from repro.suites.harness import EvaluationHarness, TestSuite
+
+        suite = TestSuite(name="tiny")
+        suite.add(TestCase(name="bad", source="int main(void){ int d=0; return 1/d; }",
+                           is_bad=True, category="div", behavior="div", stage="dynamic"))
+        comparison = EvaluationHarness([KccAnalysisTool()]).run_suite(suite)
+        table = comparison.figure3_table()
+        assert "—" in table      # the static column: no static tests existed
+        assert "100.0" in table  # the dynamic column: the one bad test, caught

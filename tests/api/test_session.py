@@ -1,0 +1,170 @@
+"""Tests for the staged session API: compile caching and unit reuse."""
+
+from repro import Checker, CheckerOptions, CompiledUnit, ILP32, OutcomeKind, UBKind
+from repro.api.session import SHARED_COMPILE_CACHE
+from repro.analyzers.base import KccAnalysisTool
+from repro.analyzers.value_analysis import ValueAnalysisTool
+
+UNSEQUENCED = "int main(void){ int x = 0; return (x = 1) + (x = 2); }"
+DEFINED = "int main(void){ return 7; }"
+
+
+def outcome_key(report):
+    """The observable verdict of a report, for equality checks."""
+    return (report.outcome.kind,
+            report.outcome.flagged,
+            report.outcome.exit_code,
+            [k.name for k in report.outcome.ub_kinds])
+
+
+class TestCompiledUnitReuse:
+    def test_compile_returns_unit_with_content_hash(self):
+        checker = Checker()
+        compiled = checker.compile(DEFINED)
+        assert isinstance(compiled, CompiledUnit)
+        assert compiled.ok
+        assert len(compiled.hash) == 64
+        assert compiled.profile_name == "lp64"
+
+    def test_rerunning_a_unit_skips_the_parse_stage(self):
+        checker = Checker()
+        compiled = checker.compile(UNSEQUENCED)
+        assert checker.stats.parse_count == 1
+        first = checker.run(compiled)
+        second = checker.run(compiled)
+        third = checker.run(compiled)
+        # Three runs, still exactly one parse: the parse-count hook is the
+        # observable guarantee that the compile stage is reused.
+        assert checker.stats.parse_count == 1
+        assert checker.stats.run_count == 3
+        assert outcome_key(first) == outcome_key(second) == outcome_key(third)
+        assert first.outcome.kind is OutcomeKind.UNDEFINED
+
+    def test_recompiling_same_source_hits_the_cache(self):
+        checker = Checker()
+        a = checker.compile(DEFINED)
+        b = checker.compile(DEFINED)
+        assert a is b
+        assert checker.stats.parse_count == 1
+        assert checker.stats.cache_hits == 1
+
+    def test_check_twice_parses_once(self):
+        checker = Checker()
+        first = checker.check(DEFINED)
+        second = checker.check(DEFINED)
+        assert checker.stats.parse_count == 1
+        assert outcome_key(first) == outcome_key(second)
+
+    def test_cache_hit_keeps_the_callers_filename(self):
+        checker = Checker()
+        first = checker.check(DEFINED, filename="a.c")
+        second = checker.check(DEFINED, filename="b.c")
+        assert checker.stats.parse_count == 1       # parse shared
+        assert first.filename == "a.c"
+        assert second.filename == "b.c"             # not mislabeled "a.c"
+
+    def test_running_a_unit_under_the_wrong_profile_is_rejected(self):
+        import pytest
+
+        ilp32 = Checker(CheckerOptions(profile=ILP32))
+        compiled = ilp32.compile(DEFINED)
+        lp64 = Checker()
+        with pytest.raises(ValueError, match="profile"):
+            lp64.run(compiled)
+
+    def test_different_profiles_get_different_units(self):
+        lp64 = Checker()
+        ilp32 = Checker(CheckerOptions(profile=ILP32))
+        source = "int main(void){ return (int)sizeof(long); }"
+        assert lp64.check(source).outcome.exit_code == 8
+        assert ilp32.check(source).outcome.exit_code == 4
+
+    def test_one_unit_backs_plain_run_and_search(self):
+        source = """
+        static int d = 5;
+        static int setDenom(int x){ return d = x; }
+        int main(void) { return (10/d) + setDenom(0); }
+        """
+        checker = Checker()
+        compiled = checker.compile(source)
+        plain = checker.run(compiled)
+        searched = checker.run(compiled, search_evaluation_order=True)
+        assert checker.stats.parse_count == 1
+        assert plain.outcome.kind is OutcomeKind.DEFINED
+        assert searched.outcome.flagged
+        assert UBKind.DIVISION_BY_ZERO in searched.outcome.ub_kinds
+
+    def test_static_violations_live_on_the_compiled_unit(self):
+        checker = Checker()
+        compiled = checker.compile("int main(void){ int a[0]; return 0; }")
+        assert compiled.ok
+        assert compiled.static_violations
+        report = checker.run(compiled)
+        assert report.outcome.kind is OutcomeKind.STATIC_ERROR
+
+    def test_parse_failure_is_a_compiled_unit_too(self):
+        checker = Checker()
+        compiled = checker.compile("int main(void) { return ; ")
+        assert not compiled.ok
+        assert compiled.parse_error
+        report = checker.run(compiled)
+        assert report.outcome.kind is OutcomeKind.INCONCLUSIVE
+        # Cached like any other unit: no re-parse on a second attempt.
+        checker.compile("int main(void) { return ; ")
+        assert checker.stats.parse_count == 1
+
+
+class TestSingleFlightCompilation:
+    def test_concurrent_misses_compile_once(self):
+        import threading
+        import time
+
+        from repro.api.session import CompileCache
+        from repro.cfront.ctypes import LP64
+        from repro.core.kcc import CompiledUnit
+
+        cache = CompileCache()
+        calls = []
+        barrier = threading.Barrier(4)
+
+        def compile_fn():
+            calls.append(1)
+            time.sleep(0.05)    # hold the in-flight window open
+            return CompiledUnit(source="s", filename="f", hash="h",
+                                profile_name="lp64")
+
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_compile(
+                "s", filename="f", profile=LP64, compile_fn=compile_fn))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1          # one parse, three waiters
+        assert len(results) == 4
+        assert all(r is results[0] for r in results)
+
+
+class TestSharedCompileCache:
+    def test_semantics_based_tools_share_one_parse(self):
+        SHARED_COMPILE_CACHE.clear()
+        source = "int main(void){ int q = 3; return 12 / q; }"
+        kcc = KccAnalysisTool()
+        value = ValueAnalysisTool()
+        kcc.analyze(source)
+        value.analyze(source)
+        assert len(SHARED_COMPILE_CACHE) == 1
+
+    def test_shared_units_give_each_tool_its_own_verdict(self):
+        SHARED_COMPILE_CACHE.clear()
+        source = "int main(void){ int x = 0; return (x = 1) + (x = 2); }"
+        kcc = KccAnalysisTool()
+        value = ValueAnalysisTool()
+        assert kcc.analyze(source).flagged          # sequencing checks on
+        assert not value.analyze(source).flagged    # sequencing checks off
+        assert len(SHARED_COMPILE_CACHE) == 1
