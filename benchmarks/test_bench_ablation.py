@@ -20,6 +20,9 @@ from benchmarks.conftest import publish
 #: The ablations: (label, paper section, option overrides).
 ABLATIONS = [
     ("full checker", "-", {}),
+    # Not a specification technique: disables the lowered closure-tree fast
+    # path (PR 2), which must cost only speed, never detection.
+    ("no lowered fast path (legacy walker)", "-", {"enable_lowering": False}),
     ("no arithmetic side conditions", "4.1.1", {"check_arithmetic": False}),
     ("no memory access checks", "4.1.2", {"check_memory": False}),
     ("no locsWrittenTo cell", "4.2.1", {"check_sequencing": False}),
@@ -75,6 +78,10 @@ def test_ablation_table(ablation_scores, undefinedness_suite, capsys, benchmark)
     for label, _section, score in ablation_scores[1:]:
         assert score.detection_rate() <= full, label
     assert by_label["positive semantics only"].detection_rate() < 0.5
+
+    # The lowered fast path is a performance representation, not a checking
+    # technique: turning it off must not change detection at all.
+    assert by_label["no lowered fast path (legacy walker)"].detection_rate() == full
 
     # Each technique is responsible for specific behaviors: spot-check that
     # the ablation actually loses the behaviors its section introduced.

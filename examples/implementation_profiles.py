@@ -7,10 +7,20 @@ an ``int`` into them: fine when ints are 4 bytes, an out-of-bounds write when
 they are 8.  This example checks the same program under three implementation
 profiles.
 
-Run with:  python examples/implementation_profiles.py
+It uses the staged session API: one :class:`repro.Checker` per profile (a
+compiled unit is tied to the profile it was parsed under — type sizes are
+baked into its layout), each compiling the two programs once and running
+them from the cache.
+
+Run with:  python examples/implementation_profiles.py [--no-lowering]
+
+``--no-lowering`` runs the dynamic stage on the legacy AST walker instead of
+the lowered fast path; the verdicts are identical either way.
 """
 
-from repro import CheckerOptions, PROFILES, check_program
+import sys
+
+from repro import Checker, CheckerOptions, PROFILES
 
 MALLOC_FOUR = r"""
 #include <stdlib.h>
@@ -35,13 +45,15 @@ int main(void){
 
 
 def main() -> None:
+    lowering = "--no-lowering" not in sys.argv
     for name, profile in sorted(PROFILES.items()):
-        options = CheckerOptions(profile=profile)
+        checker = Checker(CheckerOptions(profile=profile,
+                                         enable_lowering=lowering))
         print("=" * 72)
         print(f"Implementation profile: {name}")
-        sizes = check_program(SIZE_REPORT, options)
+        sizes = checker.run(checker.compile(SIZE_REPORT))
         print("  " + sizes.outcome.stdout.strip())
-        verdict = check_program(MALLOC_FOUR, options)
+        verdict = checker.run(checker.compile(MALLOC_FOUR))
         print(f"  malloc(4); *p = 1000;  ->  {verdict.outcome.describe()}")
         print()
 

@@ -50,6 +50,10 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="implementation profile (type sizes)")
     parser.add_argument("--no-static", action="store_true",
                         help="skip translation-time checks")
+    parser.add_argument("--no-lowering", action="store_true",
+                        help="run the dynamic stage on the legacy AST walker "
+                             "instead of the lowered fast path (escape hatch; "
+                             "verdicts are identical)")
     parser.add_argument("--format", default="text", choices=("text", "json"),
                         help="report format")
 
@@ -110,7 +114,8 @@ def _read_source(path: str) -> str:
 
 
 def _options_for(arguments: argparse.Namespace) -> CheckerOptions:
-    return CheckerOptions(profile=ct.PROFILES[arguments.profile])
+    return CheckerOptions(profile=ct.PROFILES[arguments.profile],
+                          enable_lowering=not getattr(arguments, "no_lowering", False))
 
 
 def _batch_exit_code(reports: list[CheckReport]) -> int:

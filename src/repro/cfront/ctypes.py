@@ -47,24 +47,32 @@ class ImplementationProfile:
 
     def sizeof_kind(self, kind: str) -> int:
         """Size in bytes of a basic integer/float kind name."""
-        table = {
-            "_Bool": self.sizeof_bool,
-            "char": 1,
-            "signed char": 1,
-            "unsigned char": 1,
-            "short": self.sizeof_short,
-            "unsigned short": self.sizeof_short,
-            "int": self.sizeof_int,
-            "unsigned int": self.sizeof_int,
-            "long": self.sizeof_long,
-            "unsigned long": self.sizeof_long,
-            "long long": self.sizeof_long_long,
-            "unsigned long long": self.sizeof_long_long,
-            "float": self.sizeof_float,
-            "double": self.sizeof_double,
-            "long double": self.sizeof_long_double,
-        }
-        return table[kind]
+        return self._kind_sizes()[kind]
+
+    def _kind_sizes(self) -> dict:
+        # Built once per profile: sizeof_kind sits on the interpreter's
+        # hottest paths (every load, store, and arithmetic conversion).
+        table = self.__dict__.get("_kind_size_table")
+        if table is None:
+            table = {
+                "_Bool": self.sizeof_bool,
+                "char": 1,
+                "signed char": 1,
+                "unsigned char": 1,
+                "short": self.sizeof_short,
+                "unsigned short": self.sizeof_short,
+                "int": self.sizeof_int,
+                "unsigned int": self.sizeof_int,
+                "long": self.sizeof_long,
+                "unsigned long": self.sizeof_long,
+                "long long": self.sizeof_long_long,
+                "unsigned long long": self.sizeof_long_long,
+                "float": self.sizeof_float,
+                "double": self.sizeof_double,
+                "long double": self.sizeof_long_double,
+            }
+            object.__setattr__(self, "_kind_size_table", table)
+        return table
 
 
 LP64 = ImplementationProfile(name="lp64")
@@ -414,6 +422,12 @@ class LayoutError(Exception):
 
 def size_of(ctype: CType, profile: ImplementationProfile) -> int:
     """Size of ``ctype`` in bytes under ``profile``."""
+    # Fast path for the flat scalar kinds that dominate interpreter traffic.
+    tp = type(ctype)
+    if tp is IntType or tp is FloatType:
+        return profile._kind_sizes()[ctype.kind]
+    if tp is PointerType:
+        return profile.sizeof_pointer
     if isinstance(ctype, VoidType):
         raise LayoutError("void type has no size")
     if isinstance(ctype, BoolType):
@@ -538,18 +552,34 @@ def is_signed_type(ctype: CType, profile: ImplementationProfile) -> bool:
     raise TypeError(f"{ctype} is not an integer type")
 
 
+#: Memoized (type, profile) -> (min, max).  Only flat scalar types are used
+#: as keys: record types hash by *tag* (nominal typing), so two units' same-
+#: named structs would collide in a process-wide cache — IntType/BoolType
+#: hash structurally and are collision-free.
+_INTEGER_RANGE_CACHE: dict = {}
+
+
 def integer_range(ctype: CType, profile: ImplementationProfile) -> tuple[int, int]:
     """Return ``(min, max)`` representable values of an integer type."""
+    key = (ctype, profile)
+    cached = _INTEGER_RANGE_CACHE.get(key)
+    if cached is not None:
+        return cached
     if isinstance(ctype, BoolType):
-        return (0, 1)
-    if isinstance(ctype, EnumType):
-        ctype = INT
-    if not isinstance(ctype, IntType):
-        raise TypeError(f"{ctype} is not an integer type")
-    bits = size_of(ctype, profile) * profile.char_bits
-    if is_signed_type(ctype, profile):
-        return (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
-    return (0, (1 << bits) - 1)
+        result = (0, 1)
+    else:
+        if isinstance(ctype, EnumType):
+            ctype = INT
+        if not isinstance(ctype, IntType):
+            raise TypeError(f"{ctype} is not an integer type")
+        bits = size_of(ctype, profile) * profile.char_bits
+        if is_signed_type(ctype, profile):
+            result = (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+        else:
+            result = (0, (1 << bits) - 1)
+    if len(_INTEGER_RANGE_CACHE) < 65536:
+        _INTEGER_RANGE_CACHE[key] = result
+    return result
 
 
 def integer_bits(ctype: CType, profile: ImplementationProfile) -> int:
@@ -567,22 +597,56 @@ def fits_in(value: int, ctype: CType, profile: ImplementationProfile) -> bool:
     return lo <= value <= hi
 
 
+_PROMOTE_CACHE: dict = {}
+
+
 def promote_integer(ctype: CType, profile: ImplementationProfile) -> CType:
     """Integer promotion (§6.3.1.1:2): small integer types promote to int."""
+    key = (ctype, profile)
+    cached = _PROMOTE_CACHE.get(key)
+    if cached is not None:
+        return cached
     if isinstance(ctype, (BoolType, EnumType)):
-        return INT
-    if isinstance(ctype, IntType) and ctype.rank < _RANK["int"]:
+        result = INT
+    elif isinstance(ctype, IntType) and ctype.rank < _RANK["int"]:
         lo, hi = integer_range(ctype, profile)
         ilo, ihi = integer_range(INT, profile)
         if ilo <= lo and hi <= ihi:
-            return INT
-        return UINT
-    return ctype.unqualified() if isinstance(ctype, IntType) else ctype
+            result = INT
+        else:
+            result = UINT
+    else:
+        result = ctype.unqualified() if isinstance(ctype, IntType) else ctype
+    if isinstance(ctype, (IntType, BoolType, EnumType)) and len(_PROMOTE_CACHE) < 65536:
+        _PROMOTE_CACHE[key] = result
+    return result
+
+
+#: Types whose dataclass equality/hash is purely structural (no nominal tag),
+#: hence safe as process-wide cache keys.
+_FLAT_ARITH_TYPES = (IntType, BoolType, FloatType)
+
+_UAC_CACHE: dict = {}
 
 
 def usual_arithmetic_conversions(
         left: CType, right: CType, profile: ImplementationProfile) -> CType:
     """The usual arithmetic conversions (§6.3.1.8) for two arithmetic types."""
+    # Flat scalar types hash structurally, so the pair is a collision-free
+    # process-wide cache key (unlike nominal record types, never seen here).
+    if type(left) in _FLAT_ARITH_TYPES and type(right) in _FLAT_ARITH_TYPES:
+        key = (left, right, profile)
+        cached = _UAC_CACHE.get(key)
+        if cached is None:
+            cached = _usual_arithmetic_conversions(left, right, profile)
+            if len(_UAC_CACHE) < 65536:
+                _UAC_CACHE[key] = cached
+        return cached
+    return _usual_arithmetic_conversions(left, right, profile)
+
+
+def _usual_arithmetic_conversions(
+        left: CType, right: CType, profile: ImplementationProfile) -> CType:
     if isinstance(left, FloatType) or isinstance(right, FloatType):
         order = {"float": 0, "double": 1, "long double": 2}
         lk = left.kind if isinstance(left, FloatType) else None

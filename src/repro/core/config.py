@@ -51,6 +51,12 @@ class CheckerOptions:
     max_call_depth: int = 400
     max_heap_objects: int = 100_000
 
+    #: Use the lowered closure-tree fast path for the dynamic stage
+    #: (:mod:`repro.core.lowering`).  Verdicts are identical either way (held
+    #: to by the differential tests); turning it off (``--no-lowering`` on
+    #: the CLI) falls back to the legacy recursive AST walker.
+    enable_lowering: bool = True
+
     #: Evaluation-order strategy: "left-to-right", "right-to-left" or
     #: "search" (explore orders of unsequenced subexpressions, §2.5.2).
     evaluation_order: str = "left-to-right"

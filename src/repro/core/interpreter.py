@@ -50,7 +50,22 @@ from repro.errors import (
     UnsupportedFeatureError,
 )
 from repro.kframework.cells import Configuration, make_configuration
-from repro.kframework.strategy import EvaluationStrategy, strategy_for
+from repro.kframework.strategy import (
+    EvaluationStrategy,
+    LeftToRightStrategy,
+    RightToLeftStrategy,
+    strategy_for,
+)
+
+
+_BUILTIN_FALLBACK_BINDINGS: dict[str, FunctionBinding] = {
+    name: FunctionBinding(
+        name=name,
+        type=ct.FunctionType(return_type=ct.INT, parameters=(), variadic=True,
+                             has_prototype=False),
+        has_definition=True, is_builtin=True)
+    for name in BUILTIN_FUNCTIONS
+}
 
 
 @dataclass
@@ -70,12 +85,24 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
     def __init__(self, unit: c_ast.TranslationUnit,
                  options: CheckerOptions = DEFAULT_OPTIONS, *,
                  strategy: Optional[EvaluationStrategy] = None,
-                 stdin: str = "") -> None:
+                 stdin: str = "", lowered=None) -> None:
         self.unit = unit
         self.options = options
         self.profile = options.profile
         self.memory = Memory(options)
         self.strategy = strategy or strategy_for(options.evaluation_order)
+        #: Lowered IR of the unit (:class:`repro.core.lowering.LoweredUnit`),
+        #: or None to interpret raw AST nodes (the legacy walker).
+        self.lowered = lowered
+        #: Pre-resolved evaluation order for the lowered fast path: 0 for
+        #: left-to-right, 1 for right-to-left, None to consult the strategy
+        #: at every unsequenced group (scripted strategies / search).
+        if type(self.strategy) is LeftToRightStrategy:
+            self.order_mode: Optional[int] = 0
+        elif type(self.strategy) is RightToLeftStrategy:
+            self.order_mode = 1
+        else:
+            self.order_mode = None
         self.functions: dict[str, c_ast.FunctionDef] = {}
         self.function_bindings: dict[str, FunctionBinding] = {}
         self.global_bindings: dict[str, ObjectBinding] = {}
@@ -98,12 +125,10 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
     # Program setup
     # ------------------------------------------------------------------
     def _register_builtins(self) -> None:
-        for name in BUILTIN_FUNCTIONS:
-            self.function_bindings[name] = FunctionBinding(
-                name=name,
-                type=ct.FunctionType(return_type=ct.INT, parameters=(), variadic=True,
-                                     has_prototype=False),
-                has_definition=True, is_builtin=True)
+        # The fallback bindings are identical for every run and are only ever
+        # *replaced* (never mutated) when the program or the builtin headers
+        # declare a real signature, so one shared set serves all interpreters.
+        self.function_bindings.update(_BUILTIN_FALLBACK_BINDINGS)
 
     def _register_translation_unit(self) -> None:
         # First pass: function definitions and prototypes, so that globals can
@@ -571,6 +596,17 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                             callee_type: Optional[ct.FunctionType],
                             line: int) -> list[CValue]:
         values = self._eval_unsequenced(argument_exprs, line) if argument_exprs else []
+        return self._convert_arguments(values, callee_name, callee_type, line)
+
+    def _convert_arguments(self, values: list[CValue],
+                           callee_name: Optional[str],
+                           callee_type: Optional[ct.FunctionType],
+                           line: int) -> list[CValue]:
+        """Check and convert already-evaluated argument values (§6.5.2.2).
+
+        Shared by the legacy walker (via :meth:`_evaluate_arguments`) and the
+        lowered fast path, which evaluates the argument closures itself.
+        """
         if callee_type is None or not callee_type.has_prototype:
             return [self._default_promote(v, line) for v in values]
         params = callee_type.parameters
@@ -714,8 +750,12 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                 obj.data = data
             binding = ObjectBinding(name=param_name, base=obj.base, type=param_type)
             frame.declare(binding)
+        lowered_body = (self.lowered.functions.get(definition.name)
+                        if self.lowered is not None else None)
         try:
-            if definition.body is not None:
+            if lowered_body is not None:
+                lowered_body.run_body(self)
+            elif definition.body is not None:
                 self.exec_compound(definition.body, new_scope=False)
             return_value: Optional[CValue] = None
             fell_off_end = True

@@ -66,11 +66,33 @@ class CompiledUnit:
     static_violations: list[StaticViolation] = field(default_factory=list)
     parse_error: Optional[str] = None
     profile: Optional[ct.ImplementationProfile] = None
+    #: Lazily computed lowered IRs, keyed by (options, fold).  Constant
+    #: folding honors the check flags, so one unit may carry one lowered
+    #: form per checker configuration that runs it.
+    _lowered: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
         """True when parsing succeeded (static violations may still exist)."""
         return self.unit is not None
+
+    def lowered_for(self, options: CheckerOptions, *, fold: bool = True):
+        """The lowered IR of this unit for ``options`` (memoized).
+
+        Returns None when there is nothing to lower (parse failure) or when
+        lowering itself fails — the caller then falls back to the legacy
+        walker, so a lowering defect can cost speed but never a verdict.
+        """
+        if self.unit is None:
+            return None
+        key = (options, fold)
+        if key not in self._lowered:
+            from repro.core.lowering import lower_unit
+            try:
+                self._lowered[key] = lower_unit(self.unit, options, fold=fold)
+            except Exception:  # pragma: no cover - safety net, not expected
+                self._lowered[key] = None
+        return self._lowered[key]
 
     def diagnostics(self) -> list[Diagnostic]:
         found: list[Diagnostic] = []
@@ -208,10 +230,17 @@ class KccTool:
             return CheckReport(outcome=outcome, unit=compiled.unit,
                                filename=compiled.filename)
         if self.search_evaluation_order:
-            report = self._check_with_search(compiled.unit, argv=argv, stdin=stdin)
+            # The search runs over a fold-free lowering so scripted
+            # strategies meet exactly the legacy walker's decision points.
+            lowered = (compiled.lowered_for(self.options, fold=False)
+                       if self.options.enable_lowering else None)
+            report = self._check_with_search(compiled.unit, argv=argv, stdin=stdin,
+                                             lowered=lowered)
         else:
+            lowered = (compiled.lowered_for(self.options)
+                       if self.options.enable_lowering else None)
             outcome, result = self._run_once(compiled.unit, strategy=None,
-                                             argv=argv, stdin=stdin)
+                                             argv=argv, stdin=stdin, lowered=lowered)
             report = CheckReport(outcome=outcome, result=result, unit=compiled.unit)
         report.filename = compiled.filename
         return report
@@ -225,9 +254,10 @@ class KccTool:
         return self.run_unit(self.compile_unit(source, filename=filename),
                              argv=argv, stdin=stdin)
 
-    def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin) -> tuple[
-            Outcome, Optional[ExecutionResult]]:
-        interpreter = Interpreter(unit, self.options, strategy=strategy, stdin=stdin)
+    def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin,
+                  lowered=None) -> tuple[Outcome, Optional[ExecutionResult]]:
+        interpreter = Interpreter(unit, self.options, strategy=strategy, stdin=stdin,
+                                  lowered=lowered)
         try:
             result = interpreter.run(argv)
         except UndefinedBehaviorError as error:
@@ -246,12 +276,14 @@ class KccTool:
                           stdout=result.stdout)
         return outcome, result
 
-    def _check_with_search(self, unit: c_ast.TranslationUnit, *, argv, stdin) -> CheckReport:
+    def _check_with_search(self, unit: c_ast.TranslationUnit, *, argv, stdin,
+                           lowered=None) -> CheckReport:
         """Explore evaluation orders; undefined if any order is undefined (§2.5.2)."""
         last_defined: dict[str, object] = {}
 
         def run(strategy: ScriptedStrategy) -> PathOutcome:
-            outcome, result = self._run_once(unit, strategy=strategy, argv=argv, stdin=stdin)
+            outcome, result = self._run_once(unit, strategy=strategy, argv=argv,
+                                             stdin=stdin, lowered=lowered)
             if not outcome.flagged:
                 last_defined["outcome"] = outcome
                 last_defined["result"] = result

@@ -19,6 +19,7 @@ The memory also carries the two auxiliary cells of Section 4.2:
 from __future__ import annotations
 
 import enum
+import typing
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -66,9 +67,14 @@ class MemoryObject:
             self.data = unknown_bytes(self.size)
 
 
-@dataclass(frozen=True)
-class ByteLocation:
-    """A single byte address ``sym(base) + offset``."""
+class ByteLocation(typing.NamedTuple):
+    """A single byte address ``sym(base) + offset``.
+
+    A named tuple rather than a dataclass: one is created per byte touched
+    while sequencing checks are on, and tuple construction/hash is what makes
+    the ``locsWrittenTo`` bookkeeping affordable on the hot path (membership
+    tests may equivalently use plain ``(base, offset)`` tuples).
+    """
 
     base: int
     offset: int
@@ -87,6 +93,13 @@ class Memory:
         # §4.2.2: locations that must never be written (const, string literals).
         self.not_writable: set[int] = set()     # object bases
         self.heap_allocations = 0
+        # Index of AUTO object bases per stack frame, so returning from a
+        # call ends lifetimes in O(frame objects) instead of a scan of every
+        # object ever allocated.
+        self._frame_objects: dict[int, list[int]] = {}
+        # Memoized strict-aliasing verdicts for declared-type accesses,
+        # keyed (lvalue type, declared type); see check_effective_type.
+        self._aliasing_ok: dict = {}
 
     # ------------------------------------------------------------------
     # Allocation and lifetime
@@ -106,6 +119,8 @@ class Memory:
             effective_type=declared_type.unqualified() if declared_type is not None else None,
             frame=frame, is_const=is_const)
         self.objects[base] = obj
+        if frame is not None and kind is StorageKind.AUTO:
+            self._frame_objects.setdefault(frame, []).append(base)
         if is_const or kind is StorageKind.STRING_LITERAL:
             self.not_writable.add(base)
         if kind is StorageKind.HEAP:
@@ -125,8 +140,13 @@ class Memory:
 
     def kill_frame(self, frame: int) -> None:
         """End the lifetime of every automatic object owned by ``frame``."""
-        for obj in self.objects.values():
-            if obj.frame == frame and obj.kind is StorageKind.AUTO:
+        bases = self._frame_objects.pop(frame, None)
+        if not bases:
+            return
+        objects = self.objects
+        for base in bases:
+            obj = objects.get(base)
+            if obj is not None:
                 obj.alive = False
 
     def free(self, pointer: PointerValue, *, line: Optional[int] = None) -> None:
@@ -223,7 +243,8 @@ class Memory:
             return
         if ct.is_character_type(lvalue_type):
             return
-        if obj.declared_type is None or obj.declared_type.is_void:
+        declared = obj.declared_type
+        if declared is None or declared.is_void:
             # Allocated storage: the store determines the effective type.
             if write:
                 obj.effective_types[offset] = lvalue_type.unqualified()
@@ -237,15 +258,23 @@ class Memory:
                             f"read through an lvalue of incompatible type '{lvalue_type}'.",
                             line)
             return
-        effective = obj.declared_type.unqualified()
-        if isinstance(effective, ct.ArrayType):
-            effective_elem = effective.element
-        else:
-            effective_elem = effective
-        if not ct.aliasing_compatible(lvalue_type, effective, self.profile) and \
-                not ct.aliasing_compatible(lvalue_type, effective_elem, self.profile):
+        # Declared objects: the verdict is a pure function of (lvalue type,
+        # declared type); memoized per run so repeated accesses skip the
+        # recursive compatibility walk.  (Per-Memory, not process-wide:
+        # record types compare by tag, only unambiguous within a run.)
+        key = (lvalue_type, declared)
+        ok = self._aliasing_ok.get(key)
+        if ok is None:
+            effective = declared.unqualified()
+            elem = effective.element if isinstance(effective, ct.ArrayType) \
+                else effective
+            ok = (ct.aliasing_compatible(lvalue_type, effective, self.profile)
+                  or ct.aliasing_compatible(lvalue_type, elem, self.profile))
+            self._aliasing_ok[key] = ok
+        if not ok:
             self._stuck(UBKind.EFFECTIVE_TYPE_VIOLATION,
-                        f"Object with effective type '{effective}' accessed through an lvalue "
+                        f"Object with effective type '{declared.unqualified()}' "
+                        f"accessed through an lvalue "
                         f"of incompatible type '{lvalue_type}'.", line)
 
     # ------------------------------------------------------------------
@@ -266,10 +295,14 @@ class Memory:
         if lvalue_type is not None:
             self.check_effective_type(obj, lvalue_type, write=False,
                                       offset=pointer.offset, line=line)
-        if track_sequencing and self.options.check_sequencing:
+        if track_sequencing and self.options.check_sequencing and self.locs_written:
+            base = pointer.base
+            start = pointer.offset
+            locs = self.locs_written
             for index in range(size):
-                loc = ByteLocation(pointer.base, pointer.offset + index)
-                if loc in self.locs_written:
+                # Plain tuples compare equal to the ByteLocation named tuples
+                # stored in the set; no per-byte object construction needed.
+                if (base, start + index) in locs:
                     self._stuck(
                         UBKind.UNSEQUENCED_SIDE_EFFECT,
                         "Unsequenced side effect on scalar object with value computation "
@@ -306,14 +339,17 @@ class Memory:
                                       offset=pointer.offset, line=line)
         # §4.2.1: unsequenced-write detection against locsWrittenTo.
         if track_sequencing and self.options.check_sequencing:
+            base = pointer.base
+            offset = pointer.offset
+            locs = self.locs_written
             for index in range(size):
-                loc = ByteLocation(pointer.base, pointer.offset + index)
-                if loc in self.locs_written:
+                loc = ByteLocation(base, offset + index)
+                if loc in locs:
                     self._stuck(
                         UBKind.UNSEQUENCED_SIDE_EFFECT,
                         "Unsequenced side effect on scalar object with side effect "
                         "of same object.", line)
-                self.locs_written.add(loc)
+                locs.add(loc)
         start = pointer.offset
         obj.data[start:start + size] = data
 

@@ -1,6 +1,7 @@
 """Run every example script end-to-end (they must not raise and must report)."""
 
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -10,10 +11,11 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
-def run_example(name: str) -> str:
+def run_example(name: str, *args: str) -> str:
     path = EXAMPLES_DIR / name
-    completed = subprocess.run([sys.executable, str(path)], capture_output=True,
-                               text=True, timeout=600, check=False)
+    completed = subprocess.run([sys.executable, str(path), *args],
+                               capture_output=True, text=True, timeout=600,
+                               check=False)
     assert completed.returncode == 0, completed.stderr
     return completed.stdout
 
@@ -31,11 +33,22 @@ def test_quickstart_output():
     assert "null pointer" in output.lower()
 
 
-def test_undefined_gallery_output():
-    output = run_example("undefined_gallery.py")
+@pytest.mark.parametrize("extra", [(), ("--no-lowering",)],
+                         ids=["lowered", "legacy-walker"])
+def test_undefined_gallery_output(extra):
+    # The staged-API example must run clean on both dynamic-stage engines.
+    output = run_example("undefined_gallery.py", *extra)
     assert "defined control   -> defined" in output
     assert "undefined version -> undefined" in output
     assert "strchr" in output
+    # The stats line pins the compile-cache behavior without hardcoding the
+    # gallery size: every program is parsed exactly once (checks == parses,
+    # all distinct), and the re-compiles of the bad programs all hit.
+    match = re.search(r"\((\d+) staged checks, (\d+) parses, "
+                      r"(\d+) compile-cache hits\)", output)
+    assert match is not None, output
+    checks, parses, hits = (int(group) for group in match.groups())
+    assert checks == parses and checks == 2 * hits and hits > 0
 
 
 def test_evaluation_order_search_output():
@@ -51,8 +64,15 @@ def test_juliet_scan_output():
     assert "FALSE POSITIVE" not in output
 
 
-def test_implementation_profiles_output():
-    output = run_example("implementation_profiles.py")
+@pytest.mark.parametrize("extra", [(), ("--no-lowering",)],
+                         ids=["lowered", "legacy-walker"])
+def test_implementation_profiles_output(extra):
+    output = run_example("implementation_profiles.py", *extra)
     assert "lp64" in output
     assert "wide-int" in output
     assert "BUFFER_OVERFLOW" in output or "undefined" in output
+
+
+def test_examples_report_identically_with_and_without_lowering():
+    for name in ("undefined_gallery.py", "implementation_profiles.py"):
+        assert run_example(name) == run_example(name, "--no-lowering"), name
