@@ -20,6 +20,10 @@ import time
 
 import pytest
 
+from repro.analyzers.base import merge_options
+from repro.analyzers.checkpointer_like import CheckPointerLikeTool
+from repro.analyzers.valgrind_like import ValgrindLikeTool
+from repro.analyzers.value_analysis import ValueAnalysisTool
 from repro.core.config import CheckerOptions
 from repro.core.kcc import KccTool
 from repro.reporting import render_table
@@ -75,43 +79,76 @@ int main(void){
 #: of the fast path.
 MIN_GEOMEAN_SPEEDUP = 1.3
 
+#: Maximum acceptable overhead of the probe-capable entry point when no
+#: probe is attached (``run_unit(compiled, probes=[])``), on the arith-loop
+#: program.  The null-probe case is compile-time specialized — the plain
+#: lowered IR carries no instrumentation code — so this gates the dispatch
+#: plumbing, not emission.
+MAX_NULL_PROBE_OVERHEAD = 0.05
+
 WINDOW_SECONDS = 0.5
 REPEATS = 4
 
 
-def _timed_window(tool: KccTool, compiled) -> float:
+def _timed_window(run) -> float:
     """Throughput of one measurement window (runs/sec)."""
     runs = 0
     start = time.perf_counter()
     while time.perf_counter() - start < WINDOW_SECONDS:
-        tool.run_unit(compiled)
+        run()
         runs += 1
     return runs / (time.perf_counter() - start)
+
+
+def _three_probe_runner(source: str, name: str):
+    """One shared observed execution feeding the three baseline-tool probes."""
+    tools = [ValgrindLikeTool(), CheckPointerLikeTool(), ValueAnalysisTool()]
+    union = merge_options([tool.options for tool in tools])
+    engine = KccTool(union, run_static_checks=False)
+    compiled = engine.compile_unit(source, filename=name)
+    assert compiled.ok, name
+    compiled.lowered_for(union, instrument=True)  # warm the instrumented IR
+
+    def run():
+        probes = [tool.make_probe() for tool in tools]
+        engine.run_unit(compiled, probes=probes)
+    return run
 
 
 @pytest.fixture(scope="module")
 def speed_results():
     results = {}
     for name, source in PROGRAMS.items():
-        tools = {}
-        for lowering in (True, False):
+        runners = {}
+        for key, lowering in (("lowered", True), ("legacy", False)):
             tool = KccTool(CheckerOptions(enable_lowering=lowering))
             compiled = tool.compile_unit(source, filename=name)
             assert compiled.ok, name
-            tool.run_unit(compiled)  # warm: lowering, caches, allocator paths
-            tools[lowering] = (tool, compiled)
-        # Interleave the two configurations' windows so machine-load drift
-        # during the measurement hits both sides equally; take best-of-N
+            runners[key] = (lambda t, c: (lambda: t.run_unit(c)))(tool, compiled)
+        # Null-probe: the probe-capable entry point with zero probes attached
+        # must compile down to the plain fast path (the specialization claim).
+        null_tool = KccTool(CheckerOptions())
+        null_compiled = null_tool.compile_unit(source, filename=name)
+        runners["null_probe"] = lambda: null_tool.run_unit(null_compiled, probes=[])
+        # Three probes: one observed execution feeding all baseline tools.
+        runners["three_probe"] = _three_probe_runner(source, name)
+        for run in runners.values():
+            run()  # warm: lowering, caches, allocator paths
+        # Interleave the configurations' windows so machine-load drift
+        # during the measurement hits all sides equally; take best-of-N
         # (steady state is the *fastest* the box allowed, noise only slows).
-        best = {True: 0.0, False: 0.0}
+        best = dict.fromkeys(runners, 0.0)
         for _ in range(REPEATS):
-            for lowering in (True, False):
-                rate = _timed_window(*tools[lowering])
-                best[lowering] = max(best[lowering], rate)
+            for key, run in runners.items():
+                best[key] = max(best[key], _timed_window(run))
         results[name] = {
-            "lowered_runs_per_sec": best[True],
-            "legacy_runs_per_sec": best[False],
-            "speedup": best[True] / best[False],
+            "lowered_runs_per_sec": best["lowered"],
+            "legacy_runs_per_sec": best["legacy"],
+            "null_probe_runs_per_sec": best["null_probe"],
+            "three_probe_runs_per_sec": best["three_probe"],
+            "speedup": best["lowered"] / best["legacy"],
+            "null_probe_overhead": max(
+                0.0, 1.0 - best["null_probe"] / best["lowered"]),
         }
     return results
 
@@ -143,17 +180,22 @@ def test_interp_speed_table(speed_results, ubsuite_aggregate, capsys, benchmark)
     for name, data in speed_results.items():
         rows.append([name, f"{data['lowered_runs_per_sec']:.2f}",
                      f"{data['legacy_runs_per_sec']:.2f}",
+                     f"{data['null_probe_runs_per_sec']:.2f}",
+                     f"{data['three_probe_runs_per_sec']:.2f}",
                      f"{data['speedup']:.2f}x"])
     rows.append(["ubsuite (all 150, setup-dominated)",
                  f"{ubsuite_aggregate['lowered_runs_per_sec']:.1f}",
                  f"{ubsuite_aggregate['legacy_runs_per_sec']:.1f}",
+                 "—", "—",
                  f"{ubsuite_aggregate['speedup']:.2f}x"])
 
     def build_table() -> str:
         return render_table(
-            ["program", "lowered runs/s", "legacy runs/s", "speedup"],
+            ["program", "lowered runs/s", "legacy runs/s",
+             "null-probe runs/s", "3-probe runs/s", "speedup"],
             rows,
-            title="Dynamic-stage throughput: lowered fast path vs --no-lowering")
+            title="Dynamic-stage throughput: lowered fast path vs --no-lowering "
+                  "vs probe instrumentation")
 
     table = benchmark(build_table)
     publish("interp_speed.txt", table, capsys)
@@ -162,6 +204,14 @@ def test_interp_speed_table(speed_results, ubsuite_aggregate, capsys, benchmark)
     payload["ubsuite-aggregate"] = ubsuite_aggregate
     (RESULTS_DIR / "interp_speed.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def test_null_probe_overhead_within_budget(speed_results):
+    # CI gate: the probe-capable entry point with no probes attached must
+    # stay within 5% of the plain lowered fast path on the arith-loop
+    # benchmark — the compile-time null-probe specialization at work.
+    data = speed_results["arith-loop"]
+    assert data["null_probe_overhead"] <= MAX_NULL_PROBE_OVERHEAD, data
 
 
 def test_lowering_meets_speedup_target(speed_results):

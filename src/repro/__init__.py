@@ -60,8 +60,9 @@ from repro.errors import (
     UBKind,
     UndefinedBehaviorError,
 )
+from repro.events import ExecutionTrace, Probe, TraceRecorderProbe
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Checker",
@@ -72,6 +73,7 @@ __all__ = [
     "CompiledUnit",
     "Diagnostic",
     "ExecutionResult",
+    "ExecutionTrace",
     "ILP32",
     "ImplementationProfile",
     "InconclusiveAnalysis",
@@ -81,7 +83,9 @@ __all__ = [
     "Outcome",
     "OutcomeKind",
     "PROFILES",
+    "Probe",
     "StaticViolation",
+    "TraceRecorderProbe",
     "UBKind",
     "UndefinedBehaviorError",
     "WIDE_INT",

@@ -6,19 +6,42 @@ own substrate, so that the Figure 2 / Figure 3 comparisons arise from genuine
 capability differences rather than hard-coded scores.
 """
 
-from repro.analyzers.base import AnalysisTool, ToolResult
+from repro.analyzers.base import (
+    AnalysisTool,
+    KccAnalysisTool,
+    SemanticsBasedTool,
+    ToolResult,
+    UBVerdictProbe,
+    run_probe_group,
+)
 from repro.analyzers.valgrind_like import ValgrindLikeTool
 from repro.analyzers.checkpointer_like import CheckPointerLikeTool
 from repro.analyzers.value_analysis import ValueAnalysisTool
-from repro.analyzers.registry import all_tools, default_tools, tool_by_name
+from repro.analyzers.registry import (
+    all_tools,
+    available_tool_names,
+    default_tools,
+    make_tools,
+    register_tool,
+    registered_tools,
+    tool_by_name,
+)
 
 __all__ = [
     "AnalysisTool",
+    "KccAnalysisTool",
+    "SemanticsBasedTool",
     "ToolResult",
+    "UBVerdictProbe",
     "ValgrindLikeTool",
     "CheckPointerLikeTool",
     "ValueAnalysisTool",
     "all_tools",
+    "available_tool_names",
     "default_tools",
+    "make_tools",
+    "register_tool",
+    "registered_tools",
+    "run_probe_group",
     "tool_by_name",
 ]

@@ -1,0 +1,13 @@
+"""Registration of the paper's four analysis tools.
+
+Importing this module runs the :func:`repro.analyzers.registry.register_tool`
+decorators for the three baseline tools (each registers in its own module)
+and registers kcc itself — which lives in :mod:`repro.analyzers.base` and
+cannot self-register there without a circular import.
+"""
+
+from repro.analyzers import checkpointer_like, valgrind_like, value_analysis  # noqa: F401
+from repro.analyzers.base import KccAnalysisTool
+from repro.analyzers.registry import register_tool
+
+register_tool("kcc", figure_order=3, takes_options=True)(KccAnalysisTool)

@@ -19,6 +19,7 @@ checker only:
 from __future__ import annotations
 
 from repro.analyzers.base import SemanticsBasedTool
+from repro.analyzers.registry import register_tool
 from repro.core.config import CheckerOptions
 
 #: Detection profile of a fat-pointer bounds checker.
@@ -37,6 +38,7 @@ CHECKPOINTER_OPTIONS = CheckerOptions(
 )
 
 
+@register_tool("checkpointer", aliases=("check-pointer",), figure_order=1)
 class CheckPointerLikeTool(SemanticsBasedTool):
     """Source-level pointer-safety checker (models CheckPointer 1.1.5)."""
 

@@ -1,28 +1,134 @@
-"""Registry of the analysis tools used in the paper's evaluation."""
+"""Registry of analysis tools: decorator-based registration, CLI discovery.
+
+The seed hard-coded the four-tool lineup of the paper's evaluation; the
+registry now discovers tools through the :func:`register_tool` decorator, so
+adding an analyzer is writing a probe class and decorating its tool::
+
+    from repro.analyzers.registry import register_tool
+    from repro.analyzers.base import SemanticsBasedTool
+
+    @register_tool("my-checker", aliases=("mc",))
+    class MyCheckerTool(SemanticsBasedTool):
+        name = "MyChecker"
+        ...
+
+Registered tools are discoverable from the CLI (``kcc-check tools``,
+``kcc-check bench --tools NAME,NAME``) and through :func:`make_tools`.  The
+paper's four tools register themselves on import with explicit ``figure_order``
+values so :func:`default_tools` reproduces the Figure 2/3 column order.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.analyzers.base import AnalysisTool, KccAnalysisTool
-from repro.analyzers.checkpointer_like import CheckPointerLikeTool
-from repro.analyzers.valgrind_like import ValgrindLikeTool
-from repro.analyzers.value_analysis import ValueAnalysisTool
+from repro.analyzers.base import AnalysisTool
 from repro.core.config import CheckerOptions
+
+
+@dataclass(frozen=True)
+class ToolEntry:
+    """One registered tool: its factory plus discovery metadata."""
+
+    key: str                       # canonical registry key (lowercase slug)
+    factory: Callable[..., AnalysisTool]
+    aliases: tuple[str, ...] = ()
+    #: Position in the default lineup (the paper's column order); None keeps
+    #: the tool out of ``default_tools()`` but resolvable by name.
+    figure_order: Optional[int] = None
+    #: Whether the factory accepts a ``CheckerOptions`` positional argument.
+    takes_options: bool = False
+
+    def build(self, options: Optional[CheckerOptions] = None) -> AnalysisTool:
+        if self.takes_options:
+            return self.factory(options) if options is not None else self.factory()
+        return self.factory()
+
+    def describe(self) -> dict:
+        probe = self.factory.__doc__ or ""
+        instance = self.build()
+        return {
+            "key": self.key,
+            "name": instance.name,
+            "models": instance.models,
+            "aliases": list(self.aliases),
+            "default_lineup": self.figure_order is not None,
+            "summary": probe.strip().splitlines()[0] if probe.strip() else "",
+        }
+
+
+_REGISTRY: dict[str, ToolEntry] = {}
+_ALIASES: dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def register_tool(key: str, *, aliases: tuple[str, ...] = (),
+                  figure_order: Optional[int] = None,
+                  takes_options: bool = False):
+    """Class decorator: make a tool constructible by name.
+
+    ``key`` is the canonical (lowercase) registry name; ``aliases`` add
+    alternate spellings.  The decorated class's ``name`` attribute (the
+    display name used in the tables) is registered as an alias too, so
+    ``--tools "V. Analysis"`` and ``--tools value-analysis`` both resolve.
+    """
+
+    def decorate(cls):
+        entry = ToolEntry(key=key.lower(), factory=cls, aliases=tuple(aliases),
+                          figure_order=figure_order, takes_options=takes_options)
+        _REGISTRY[entry.key] = entry
+        for alias in entry.aliases:
+            _ALIASES[alias.lower()] = entry.key
+        display = getattr(cls, "name", None)
+        if isinstance(display, str) and display.lower() != entry.key:
+            _ALIASES[display.lower()] = entry.key
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_tools() -> None:
+    """Import the built-in tool modules so their decorators run."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.analyzers.builtin_tools  # noqa: F401  (registers on import)
+
+    _BUILTINS_LOADED = True
+
+
+def registered_tools() -> list[ToolEntry]:
+    """Every registered tool, default lineup first (in figure order)."""
+    _ensure_builtin_tools()
+    entries = list(_REGISTRY.values())
+    entries.sort(key=lambda e: (e.figure_order is None,
+                                e.figure_order if e.figure_order is not None else 0,
+                                e.key))
+    return entries
+
+
+def available_tool_names() -> list[str]:
+    """Canonical names accepted by ``make_tools`` / the CLI ``--tools`` flag."""
+    return [entry.key for entry in registered_tools()]
 
 
 def default_tools(kcc_options: Optional[CheckerOptions] = None) -> list[AnalysisTool]:
     """The four tools compared in Figures 2 and 3, in the paper's column order."""
-    return [
-        ValgrindLikeTool(),
-        CheckPointerLikeTool(),
-        ValueAnalysisTool(),
-        KccAnalysisTool(kcc_options),
-    ]
+    _ensure_builtin_tools()
+    lineup = [entry for entry in registered_tools() if entry.figure_order is not None]
+    return [entry.build(kcc_options) for entry in lineup]
 
 
 def all_tools() -> list[AnalysisTool]:
     return default_tools()
+
+
+def resolve_entry(name: str) -> Optional[ToolEntry]:
+    _ensure_builtin_tools()
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    return _REGISTRY.get(key)
 
 
 def tool_by_name(name: str) -> AnalysisTool:
@@ -31,12 +137,19 @@ def tool_by_name(name: str) -> AnalysisTool:
 
 def make_tools(names: Optional[list[str]] = None,
                kcc_options: Optional[CheckerOptions] = None) -> list[AnalysisTool]:
-    """Build a tool lineup by name; ``None`` means all default tools."""
+    """Build a tool lineup by name; ``None`` means all default tools.
+
+    Unknown names are reported **all at once** — a batch invocation with two
+    typos should not fail twice.
+    """
     if names is None:
         return default_tools(kcc_options)
-    by_name = {tool.name.lower(): tool for tool in default_tools(kcc_options)}
-    missing = [name for name in names if name.lower() not in by_name]
+    _ensure_builtin_tools()
+    entries = [(name, resolve_entry(name)) for name in names]
+    missing = [name for name, entry in entries if entry is None]
     if missing:
-        raise KeyError(f"unknown analysis tool {missing[0]!r} "
-                       f"(choose from {', '.join(sorted(by_name))})")
-    return [by_name[name.lower()] for name in names]
+        known = ", ".join(sorted(set(available_tool_names())))
+        raise KeyError(f"unknown analysis tool{'s' if len(missing) > 1 else ''} "
+                       f"{', '.join(repr(name) for name in missing)} "
+                       f"(choose from {known})")
+    return [entry.build(kcc_options) for _name, entry in entries]

@@ -32,8 +32,10 @@ from repro.core.config import CheckerOptions
 from repro.core.interpreter import Interpreter
 from repro.core.memory import Memory, MemoryObject, StorageKind
 from repro.core.values import PointerValue
-from repro.analyzers.base import SemanticsBasedTool, ToolResult
+from repro.analyzers.base import SemanticsBasedTool, ToolResult, UBVerdictProbe
+from repro.analyzers.registry import register_tool
 from repro.errors import UBKind, UndefinedBehaviorError
+from repro.events import UBEvent
 
 #: Number of bytes beyond an automatic/static object that a binary-level
 #: checker cannot distinguish from the object itself (they are part of the
@@ -98,6 +100,64 @@ VALGRIND_OPTIONS = CheckerOptions(
 )
 
 
+class ValgrindProbe(UBVerdictProbe):
+    """The binary-level detection model as an event filter.
+
+    Most of the profile is plain family filtering (``VALGRIND_OPTIONS``);
+    what needs a custom judgment is exactly what :class:`BinaryLevelMemory`
+    customizes on the isolated path:
+
+    * **access checks** are re-decided from the event payload with the same
+      rules — heap blocks are exact (redzones, freed-marking), while
+      automatic/static/string-literal objects carry an addressable
+      ``STACK_SLACK_BYTES`` halo, so in-frame overflows and accesses to
+      out-of-scope (but not reused) stack objects go unreported;
+    * **alignment checks** never fire at the binary level (x86 allows
+      unaligned access);
+
+    and every reported access rewrites the kind/message to the memcheck-style
+    wording the isolated model raises, keeping the two paths verdict- and
+    message-equivalent.
+    """
+
+    def judge(self, event: UBEvent):
+        if event.family == "memory" and event.check == "alignment":
+            return None                      # no alignment faults at binary level
+        if event.family == "memory" and event.check == "access":
+            return self._judge_access(event.data or {})
+        return super().judge(event)
+
+    @staticmethod
+    def _judge_access(data: dict):
+        reason = data.get("reason")
+        if reason == "null":
+            return (UBKind.NULL_DEREFERENCE, "Invalid read/write at address 0x0.")
+        if reason in ("no-object", "function"):
+            return (UBKind.DANGLING_DEREFERENCE,
+                    "Invalid read/write of unaddressable memory.")
+        write = bool(data.get("write"))
+        size = data.get("size", 0)
+        offset = data.get("offset", 0)
+        object_size = data.get("object_size", 0)
+        if data.get("storage") == StorageKind.HEAP.value:
+            if data.get("freed") or not data.get("alive", True):
+                return (UBKind.USE_AFTER_FREE,
+                        "Invalid read/write of freed heap memory.")
+            if offset < 0 or offset + size > object_size:
+                return (UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS,
+                        f"Invalid {'write' if write else 'read'} of size {size} "
+                        f"just past a heap block of size {object_size}.")
+            return None
+        # Automatic / static / string-literal storage: the surrounding frame
+        # or data segment is addressable, so small overflows and accesses to
+        # dead (but not reused) stack objects are not reported.
+        if offset < -STACK_SLACK_BYTES or offset + size > object_size + STACK_SLACK_BYTES:
+            return (UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS,
+                    "Invalid read/write far outside any object.")
+        return None
+
+
+@register_tool("valgrind", aliases=("memcheck",), figure_order=0)
 class ValgrindLikeTool(SemanticsBasedTool):
     """Dynamic binary-instrumentation memory checker (models Valgrind memcheck 3.5)."""
 
@@ -107,10 +167,22 @@ class ValgrindLikeTool(SemanticsBasedTool):
     def __init__(self, options: CheckerOptions = VALGRIND_OPTIONS) -> None:
         super().__init__(options, run_static_checks=False)
 
+    def make_probe(self) -> ValgrindProbe:
+        return ValgrindProbe(self.name, self.options)
+
+    def result_from_probe(self, probe, compiled) -> ToolResult:
+        # memcheck-style verdict wording: the message alone, and a plain
+        # "no errors detected" for clean runs (as the isolated path reports).
+        result = super().result_from_probe(probe, compiled)
+        if result.flagged and probe.matched is not None:
+            result.detail = probe.matched[1]
+        elif not result.flagged and not result.inconclusive:
+            result.detail = "no errors detected"
+        return result
+
     def analyze_compiled(self, compiled) -> ToolResult:
-        # The inherited analyze() compiles through the shared cache (one
-        # parse per program across all semantics-based tools) and lands
-        # here; the run stage swaps in the binary-level memory model.
+        # The isolated (pre-probe) path: a dedicated run with the
+        # binary-level memory model swapped in.
         if not compiled.ok:
             return ToolResult(tool=self.name, flagged=False, inconclusive=True,
                               detail=compiled.parse_error or "parse error")

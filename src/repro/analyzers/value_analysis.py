@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analyzers.base import SemanticsBasedTool
+from repro.analyzers.registry import register_tool
 from repro.core.config import CheckerOptions
 
 #: Alarm profile of the value analysis in C-interpreter mode.
@@ -42,6 +43,7 @@ VALUE_ANALYSIS_OPTIONS = CheckerOptions(
 )
 
 
+@register_tool("value-analysis", aliases=("va", "frama-c"), figure_order=2)
 class ValueAnalysisTool(SemanticsBasedTool):
     """Abstract-interpretation value analysis (models Frama-C Value, Nitrogen)."""
 

@@ -119,20 +119,27 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
                     search_evaluation_order: bool = False,
                     run_static_checks: bool = True,
                     jobs: Optional[int] = 1,
-                    checker=None) -> Iterator[CheckReport]:
+                    checker=None,
+                    probe_factory=None) -> Iterator[CheckReport]:
     """Yield one :class:`CheckReport` per input, in input order.
 
     The parallel path streams: a verdict is yielded as soon as it (and all
     verdicts before it) are ready, so a consumer can start reporting while
     the pool is still working through the tail of the batch.
+
+    ``probe_factory(filename) -> [Probe, ...]`` attaches fresh execution
+    probes (:mod:`repro.events`) to each program's run.  Probes are
+    in-process observers — the caller holds the references its factory
+    created — so a batch with probes always runs serially in the calling
+    process, whatever ``jobs`` says.
     """
     pairs = _normalize(sources)
     worker_count = resolve_jobs(jobs)
-    if worker_count <= 1 or len(pairs) <= 1:
+    if probe_factory is not None or worker_count <= 1 or len(pairs) <= 1:
         yield from _iter_serial(pairs, options=options,
                                 search_evaluation_order=search_evaluation_order,
                                 run_static_checks=run_static_checks,
-                                checker=checker)
+                                checker=checker, probe_factory=probe_factory)
         return
     tasks = [(options, search_evaluation_order, run_static_checks, filename, source)
              for filename, source in pairs]
@@ -165,7 +172,7 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
 
 def _iter_serial(pairs: Sequence[tuple[str, str]], *, options: CheckerOptions,
                  search_evaluation_order: bool, run_static_checks: bool,
-                 checker=None) -> Iterator[CheckReport]:
+                 checker=None, probe_factory=None) -> Iterator[CheckReport]:
     tool = KccTool(options, search_evaluation_order=search_evaluation_order,
                    run_static_checks=run_static_checks)
     if checker is not None and checker.options == options:
@@ -174,10 +181,14 @@ def _iter_serial(pairs: Sequence[tuple[str, str]], *, options: CheckerOptions,
         # serial path must classify exactly like the worker-pool path.
         for filename, source in pairs:
             checker.stats.bump("run_count")
-            yield tool.run_unit(checker.compile(source, filename=filename))
+            probes = probe_factory(filename) if probe_factory is not None else None
+            yield tool.run_unit(checker.compile(source, filename=filename),
+                                probes=probes)
         return
     for filename, source in pairs:
-        yield tool.check(source, filename=filename)
+        probes = probe_factory(filename) if probe_factory is not None else None
+        yield tool.run_unit(tool.compile_unit(source, filename=filename),
+                            probes=probes)
 
 
 def check_many(sources: Sequence[SourceSpec], *,
@@ -185,9 +196,11 @@ def check_many(sources: Sequence[SourceSpec], *,
                search_evaluation_order: bool = False,
                run_static_checks: bool = True,
                jobs: Optional[int] = 1,
-               checker=None) -> list[CheckReport]:
+               checker=None,
+               probe_factory=None) -> list[CheckReport]:
     """Check a batch of programs; the list is ordered like the input."""
     return list(iter_check_many(sources, options=options,
                                 search_evaluation_order=search_evaluation_order,
                                 run_static_checks=run_static_checks,
-                                jobs=jobs, checker=checker))
+                                jobs=jobs, checker=checker,
+                                probe_factory=probe_factory))

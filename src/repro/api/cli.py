@@ -6,6 +6,8 @@
     kcc-check run prog.c -- arg1 arg2                # run a defined program
     kcc-check search prog.c                          # evaluation-order search
     kcc-check bench --smoke                          # evaluation tables
+    kcc-check bench --tools valgrind,kcc             # a custom tool lineup
+    kcc-check tools                                  # registered analyzers
 
     python -m repro check prog.c                     # same CLI, module form
 
@@ -32,7 +34,7 @@ from repro.core.kcc import CheckReport, KccTool
 from repro.errors import OutcomeKind
 from repro.api.batch import iter_check_many
 
-SUBCOMMANDS = ("check", "run", "search", "bench")
+SUBCOMMANDS = ("check", "run", "search", "bench", "tools")
 
 EXIT_DEFINED = 0
 EXIT_FLAGGED = 1
@@ -98,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated tool names (default: all four)")
     bench.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run the harness with N worker processes")
+
+    tools = subparsers.add_parser(
+        "tools", help="list the registered analysis tools (@register_tool)")
+    tools.add_argument("--format", default="text", choices=("text", "json"),
+                       help="report format")
     return parser
 
 
@@ -208,6 +215,24 @@ def _cmd_bench(arguments: argparse.Namespace, *, out) -> int:
     return EXIT_DEFINED
 
 
+def _cmd_tools(arguments: argparse.Namespace, *, out) -> int:
+    from repro.analyzers.registry import registered_tools
+    from repro.reporting import render_table
+
+    entries = [entry.describe() for entry in registered_tools()]
+    if arguments.format == "json":
+        print(json.dumps(entries, indent=2), file=out)
+        return EXIT_DEFINED
+    rows = [[entry["key"], entry["name"], entry["models"],
+             ", ".join(entry["aliases"]) or "—",
+             "yes" if entry["default_lineup"] else "no"]
+            for entry in entries]
+    print(render_table(["tool", "table name", "models", "aliases", "default lineup"],
+                       rows, title="Registered analysis tools (@register_tool)"),
+          file=out)
+    return EXIT_DEFINED
+
+
 def main(argv: Optional[list[str]] = None, *, out=None) -> int:
     out = out if out is not None else sys.stdout
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -222,6 +247,8 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
             return _cmd_check(arguments, search=True, out=out)
         if arguments.command == "run":
             return _cmd_run(arguments, out=out)
+        if arguments.command == "tools":
+            return _cmd_tools(arguments, out=out)
         assert arguments.command == "bench"
         return _cmd_bench(arguments, out=out)
     except CliInputError as error:

@@ -181,15 +181,22 @@ class Checker:
     # -- stage 2 ------------------------------------------------------------
     def run(self, compiled: CompiledUnit, *, argv: Optional[list[str]] = None,
             stdin: str = "",
-            search_evaluation_order: Optional[bool] = None) -> CheckReport:
-        """Execute a compiled unit; never re-parses."""
+            search_evaluation_order: Optional[bool] = None,
+            probes: Optional[Sequence] = None) -> CheckReport:
+        """Execute a compiled unit; never re-parses.
+
+        ``probes`` subscribes :class:`repro.events.Probe` instances to the
+        run's execution-event stream (see ``docs/api.md`` "Instrumentation
+        & probes").  One run feeds every probe — ``stats.run_count`` moves
+        by exactly one however many probes are attached.
+        """
         if search_evaluation_order is None or \
                 search_evaluation_order == self.search_evaluation_order:
             tool = self._tool
         else:
             tool = KccTool(self.options, search_evaluation_order=search_evaluation_order,
                            run_static_checks=self.run_static_checks)
-        report = tool.run_unit(compiled, argv=argv, stdin=stdin)
+        report = tool.run_unit(compiled, argv=argv, stdin=stdin, probes=probes)
         self.stats.bump("run_count")  # counted only when a run actually happened
         return report
 
@@ -201,19 +208,22 @@ class Checker:
                         argv=argv, stdin=stdin)
 
     def check_many(self, sources: Sequence[str | tuple[str, str]], *,
-                   jobs: Optional[int] = 1) -> list[CheckReport]:
+                   jobs: Optional[int] = 1,
+                   probe_factory=None) -> list[CheckReport]:
         """Check a batch of programs, fanning out over ``jobs`` processes.
 
         ``sources`` may be plain source strings or ``(filename, source)``
         pairs.  Verdicts come back in input order and are identical to the
-        serial path; see :mod:`repro.api.batch`.
+        serial path; see :mod:`repro.api.batch`.  ``probe_factory(filename)``
+        attaches fresh probes per program (forces the serial path — probes
+        are in-process observers).
         """
         from repro.api.batch import check_many
 
         return check_many(sources, options=self.options,
                           search_evaluation_order=self.search_evaluation_order,
                           run_static_checks=self.run_static_checks,
-                          jobs=jobs, checker=self)
+                          jobs=jobs, checker=self, probe_factory=probe_factory)
 
     def iter_check_many(self, sources: Iterable[str | tuple[str, str]], *,
                         jobs: Optional[int] = 1):

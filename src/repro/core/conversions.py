@@ -24,6 +24,7 @@ from repro.core.values import (
     VoidValue,
 )
 from repro.errors import UBKind, UndefinedBehaviorError
+from repro.events import FAMILY_ARITHMETIC, FAMILY_UNINITIALIZED, report_undefined
 
 
 #: Synthetic integer addresses handed out for pointer-to-integer casts.  The
@@ -167,18 +168,20 @@ def _float_to_int(value: float, target: ct.CType, profile: ct.ImplementationProf
     """Float-to-integer conversion; out-of-range results are undefined (§6.3.1.4)."""
     if math.isnan(value) or math.isinf(value):
         if options.check_arithmetic:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.CONVERSION_OVERFLOW,
-                "Conversion of NaN/infinity to an integer type.", line=line)
+                "Conversion of NaN/infinity to an integer type.", line=line),
+                FAMILY_ARITHMETIC)
         return IntValue(0, target.unqualified() if isinstance(target, ct.IntType) else ct.INT)
     truncated = int(value)
     if isinstance(target, ct.BoolType):
         return IntValue(1 if value != 0.0 else 0, ct.BOOL)
     if not ct.fits_in(truncated, target, profile):
         if options.check_arithmetic:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.CONVERSION_OVERFLOW,
-                f"Conversion of out-of-range value {value!r} to {target}.", line=line)
+                f"Conversion of out-of-range value {value!r} to {target}.", line=line),
+                FAMILY_ARITHMETIC)
         return _int_to_int(truncated, target, profile)
     return IntValue(truncated, target.unqualified() if isinstance(target, ct.IntType) else ct.INT)
 
@@ -197,9 +200,10 @@ def to_boolean(value: CValue, options: CheckerOptions, *,
     """Interpret a scalar value as a branch condition."""
     if isinstance(value, IndeterminateValue):
         if options.check_uninitialized:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.UNINITIALIZED_READ,
-                "Branch condition depends on an indeterminate value.", line=line)
+                "Branch condition depends on an indeterminate value.", line=line),
+                FAMILY_UNINITIALIZED)
         return False
     if isinstance(value, IntValue):
         return value.value != 0

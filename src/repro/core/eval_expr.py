@@ -29,6 +29,17 @@ from repro.core.values import (
     encode_value,
 )
 from repro.errors import UBKind, UndefinedBehaviorError, UnsupportedFeatureError
+from repro.events import (
+    FAMILY_ARITHMETIC,
+    FAMILY_CONST,
+    FAMILY_MEMORY,
+    FAMILY_PROVENANCE,
+    FAMILY_UNINITIALIZED,
+    ArithCheckEvent,
+    BranchEvent,
+    LvalueConvertEvent,
+    report_undefined,
+)
 
 
 class ExpressionEvaluatorMixin:
@@ -87,6 +98,8 @@ class ExpressionEvaluatorMixin:
     def read_lvalue(self, lvalue: LValue, line: int) -> CValue:
         """Lvalue conversion: read the designated object (§6.3.2.1:2)."""
         ltype = lvalue.type
+        if self.events is not None:
+            self.events.emit(LvalueConvertEvent(ltype, line))
         if isinstance(ltype, ct.ArrayType):
             # Arrays convert to a pointer to their first element.
             return PointerValue(base=lvalue.base, offset=lvalue.offset,
@@ -101,9 +114,10 @@ class ExpressionEvaluatorMixin:
         if (isinstance(value, IndeterminateValue) and self.options.check_uninitialized
                 and ltype.is_scalar and not ct.is_character_type(ltype)
                 and any(type(b).__name__ == "UnknownByte" for b in data)):
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.UNINITIALIZED_READ,
-                f"Read of an uninitialized (indeterminate) value of type {ltype}.", line=line)
+                f"Read of an uninitialized (indeterminate) value of type {ltype}.", line=line),
+                FAMILY_UNINITIALIZED)
         return value
 
     def write_lvalue(self, lvalue: LValue, value: CValue, line: int) -> None:
@@ -114,9 +128,10 @@ class ExpressionEvaluatorMixin:
                 UBKind.BAD_FUNCTION_CALL, f"Cannot assign to an expression of type {ltype}.",
                 line=line)
         if self.options.check_const and ltype.const:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.CONST_VIOLATION,
-                "Assignment to an lvalue with const-qualified type.", line=line)
+                "Assignment to an lvalue with const-qualified type.", line=line),
+                FAMILY_CONST)
         self.memory.check_alignment(lvalue.pointer, ltype, line)
         data = encode_value(value, ltype, self.profile)
         self.memory.write_bytes(lvalue.pointer, data, line=line, lvalue_type=ltype)
@@ -294,14 +309,20 @@ class ExpressionEvaluatorMixin:
         if op == "&&":
             left = self.eval_expr(expr.left)
             self.memory.sequence_point()
-            if not to_boolean(left, self.options, line=line):
+            left_true = to_boolean(left, self.options, line=line)
+            if self.events is not None:
+                self.events.emit(BranchEvent(left_true, line))
+            if not left_true:
                 return IntValue(0, ct.INT)
             right = self.eval_expr(expr.right)
             return IntValue(1 if to_boolean(right, self.options, line=line) else 0, ct.INT)
         if op == "||":
             left = self.eval_expr(expr.left)
             self.memory.sequence_point()
-            if to_boolean(left, self.options, line=line):
+            left_true = to_boolean(left, self.options, line=line)
+            if self.events is not None:
+                self.events.emit(BranchEvent(left_true, line))
+            if left_true:
                 return IntValue(1, ct.INT)
             right = self.eval_expr(expr.right)
             return IntValue(1 if to_boolean(right, self.options, line=line) else 0, ct.INT)
@@ -376,8 +397,9 @@ class ExpressionEvaluatorMixin:
         if op in ("/", "%"):
             if b == 0:
                 if self.options.check_arithmetic:
-                    raise UndefinedBehaviorError(
-                        UBKind.DIVISION_BY_ZERO, "Division or modulus by zero.", line=line)
+                    report_undefined(UndefinedBehaviorError(
+                        UBKind.DIVISION_BY_ZERO, "Division or modulus by zero.", line=line),
+                        FAMILY_ARITHMETIC)
                 return IntValue(0, common)
             quotient = abs(a) // abs(b)
             if (a < 0) != (b < 0):
@@ -404,20 +426,23 @@ class ExpressionEvaluatorMixin:
     def _shift(self, op: str, a: int, b: int, common: ct.CType, line: int) -> CValue:
         bits = ct.integer_bits(common, self.profile)
         if self.options.check_arithmetic and (b < 0 or b >= bits):
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.SHIFT_TOO_FAR,
-                f"Shift amount {b} is negative or >= width of the type ({bits} bits).", line=line)
+                f"Shift amount {b} is negative or >= width of the type ({bits} bits).",
+                line=line), FAMILY_ARITHMETIC)
         b = max(0, min(b, bits - 1))
         signed = ct.is_signed_type(common, self.profile)
         if op == "<<":
             if self.options.check_arithmetic and signed and a < 0:
-                raise UndefinedBehaviorError(
-                    UBKind.SHIFT_NEGATIVE, "Left shift of a negative value.", line=line)
+                report_undefined(UndefinedBehaviorError(
+                    UBKind.SHIFT_NEGATIVE, "Left shift of a negative value.", line=line),
+                    FAMILY_ARITHMETIC)
             result = a << b
             if signed and self.options.check_arithmetic and not ct.fits_in(result, common, self.profile):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.SHIFT_OVERFLOW,
-                    f"Left shift of {a} by {b} overflows {common}.", line=line)
+                    f"Left shift of {a} by {b} overflows {common}.", line=line),
+                    FAMILY_ARITHMETIC)
             return self._arith_result(result, common, line, overflow_possible=not signed)
         # Right shift of a negative value is implementation-defined (not UB);
         # we use arithmetic shift like every mainstream compiler.
@@ -426,14 +451,16 @@ class ExpressionEvaluatorMixin:
     def _arith_result(self, value: int, result_type: ct.CType, line: int, *,
                       overflow_possible: bool = True) -> IntValue:
         """Wrap or flag an integer arithmetic result (§6.5:5)."""
+        if self.events is not None:
+            self.events.emit(ArithCheckEvent(value, result_type, line))
         if ct.fits_in(value, result_type, self.profile):
             return IntValue(value, result_type)
         if ct.is_signed_type(result_type, self.profile):
             if self.options.check_arithmetic and overflow_possible:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.SIGNED_OVERFLOW,
                     f"Signed integer overflow: result {value} does not fit in {result_type}.",
-                    line=line)
+                    line=line), FAMILY_ARITHMETIC)
             bits = ct.integer_bits(result_type, self.profile)
             wrapped = value & ((1 << bits) - 1)
             if wrapped >= 1 << (bits - 1):
@@ -446,8 +473,10 @@ class ExpressionEvaluatorMixin:
         if pointer.is_null:
             if index == 0 or not self.options.check_memory:
                 return pointer
-            raise UndefinedBehaviorError(
-                UBKind.NULL_POINTER_ARITHMETIC, "Arithmetic on a null pointer.", line=line)
+            report_undefined(UndefinedBehaviorError(
+                UBKind.NULL_POINTER_ARITHMETIC, "Arithmetic on a null pointer.", line=line),
+                FAMILY_MEMORY, check="pointer-arith")
+            return pointer
         if pointer.is_function:
             raise UndefinedBehaviorError(
                 UBKind.INVALID_POINTER_ARITHMETIC, "Arithmetic on a function pointer.", line=line)
@@ -461,25 +490,28 @@ class ExpressionEvaluatorMixin:
         if self.options.check_memory and obj is not None:
             if not obj.alive:
                 kind = UBKind.USE_AFTER_FREE if obj.freed else UBKind.DANGLING_DEREFERENCE
-                raise UndefinedBehaviorError(
-                    kind, "Pointer arithmetic on an object whose lifetime has ended.", line=line)
-            if new_offset < 0 or new_offset > obj.size:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
+                    kind, "Pointer arithmetic on an object whose lifetime has ended.",
+                    line=line), FAMILY_MEMORY, check="pointer-arith")
+            elif new_offset < 0 or new_offset > obj.size:
+                report_undefined(UndefinedBehaviorError(
                     UBKind.INVALID_POINTER_ARITHMETIC,
                     f"Pointer arithmetic produces offset {new_offset}, outside object "
                     f"'{obj.name or obj.base}' of size {obj.size} (one past the end is allowed).",
-                    line=line)
+                    line=line), FAMILY_MEMORY, check="pointer-arith")
         if self.options.check_memory and obj is None:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.DANGLING_DEREFERENCE,
-                "Pointer arithmetic on an invalid pointer.", line=line)
+                "Pointer arithmetic on an invalid pointer.", line=line),
+                FAMILY_MEMORY, check="pointer-arith")
         return pointer.with_offset(new_offset)
 
     def _pointer_difference(self, left: PointerValue, right: PointerValue, line: int) -> IntValue:
         if self.options.check_pointer_provenance and left.base != right.base:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.POINTER_SUBTRACT_UNRELATED,
-                "Subtraction of pointers that do not point into the same object.", line=line)
+                "Subtraction of pointers that do not point into the same object.", line=line),
+                FAMILY_PROVENANCE)
         pointee = left.pointee_type
         try:
             element_size = ct.size_of(pointee, self.profile) if not pointee.is_void else 1
@@ -491,10 +523,10 @@ class ExpressionEvaluatorMixin:
         if isinstance(left, PointerValue) and isinstance(right, PointerValue):
             if self.options.check_pointer_provenance and (
                     left.base != right.base or left.base is None):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.POINTER_COMPARE_UNRELATED,
                     "Relational comparison of pointers that do not point into the same object.",
-                    line=line)
+                    line=line), FAMILY_PROVENANCE)
             a, b = left.offset, right.offset
         else:
             left_num = self._require_arithmetic(left, line, f"operand of '{op}'")
@@ -575,7 +607,10 @@ class ExpressionEvaluatorMixin:
     def _eval_Conditional(self, expr: c_ast.Conditional) -> CValue:
         condition = self.eval_expr(expr.condition)
         self.memory.sequence_point()
-        if to_boolean(condition, self.options, line=expr.line):
+        taken = to_boolean(condition, self.options, line=expr.line)
+        if self.events is not None:
+            self.events.emit(BranchEvent(taken, expr.line))
+        if taken:
             return self.eval_expr(expr.then)
         return self.eval_expr(expr.otherwise)
 
@@ -613,8 +648,9 @@ class ExpressionEvaluatorMixin:
         pointer = self._require_pointer(value, line, "operand of unary '*'")
         pointee = pointer.pointee_type
         if self.options.check_memory and pointee.is_void:
-            raise UndefinedBehaviorError(
-                UBKind.VOID_DEREFERENCE, "Dereference of a void pointer.", line=line)
+            report_undefined(UndefinedBehaviorError(
+                UBKind.VOID_DEREFERENCE, "Dereference of a void pointer.", line=line),
+                FAMILY_MEMORY, check="pointer-arith")
         if pointer.is_function:
             return LValue(pointer=pointer, type=pointee)
         return LValue(pointer=pointer, type=pointee)
@@ -662,9 +698,10 @@ class ExpressionEvaluatorMixin:
                 line=line)
         if isinstance(value, IndeterminateValue):
             if self.options.check_uninitialized:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.UNINITIALIZED_READ,
-                    f"Indeterminate value used as {what}.", line=line)
+                    f"Indeterminate value used as {what}.", line=line),
+                    FAMILY_UNINITIALIZED)
             return IntValue(0, value.type if value.type.is_integer else ct.INT)
         return value
 

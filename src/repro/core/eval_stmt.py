@@ -22,6 +22,7 @@ from repro.core.environment import (
 )
 from repro.core.values import CValue, IntValue, StructValue
 from repro.errors import UBKind, UndefinedBehaviorError, UnsupportedFeatureError
+from repro.events import BranchEvent
 
 
 class StatementExecutorMixin:
@@ -143,7 +144,10 @@ class StatementExecutorMixin:
     def _exec_If(self, stmt: c_ast.If) -> None:
         condition = self.eval_expr(stmt.condition)
         self.memory.sequence_point()
-        if to_boolean(condition, self.options, line=stmt.line):
+        taken = to_boolean(condition, self.options, line=stmt.line)
+        if self.events is not None:
+            self.events.emit(BranchEvent(taken, stmt.line))
+        if taken:
             if stmt.then is not None:
                 self.exec_stmt(stmt.then)
         elif stmt.otherwise is not None:
@@ -209,7 +213,10 @@ class StatementExecutorMixin:
             self.step(stmt.line)
             condition = self.eval_expr(stmt.condition)
             self.memory.sequence_point()
-            if not to_boolean(condition, self.options, line=stmt.line):
+            taken = to_boolean(condition, self.options, line=stmt.line)
+            if self.events is not None:
+                self.events.emit(BranchEvent(taken, stmt.line))
+            if not taken:
                 return
             try:
                 if stmt.body is not None:
@@ -231,7 +238,10 @@ class StatementExecutorMixin:
                 pass
             condition = self.eval_expr(stmt.condition)
             self.memory.sequence_point()
-            if not to_boolean(condition, self.options, line=stmt.line):
+            taken = to_boolean(condition, self.options, line=stmt.line)
+            if self.events is not None:
+                self.events.emit(BranchEvent(taken, stmt.line))
+            if not taken:
                 return
 
     def _exec_For(self, stmt: c_ast.For) -> None:
@@ -252,7 +262,10 @@ class StatementExecutorMixin:
                 if stmt.condition is not None:
                     condition = self.eval_expr(stmt.condition)
                     self.memory.sequence_point()
-                    if not to_boolean(condition, self.options, line=stmt.line):
+                    taken = to_boolean(condition, self.options, line=stmt.line)
+                    if self.events is not None:
+                        self.events.emit(BranchEvent(taken, stmt.line))
+                    if not taken:
                         return
                 try:
                     if stmt.body is not None:

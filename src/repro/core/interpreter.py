@@ -49,6 +49,14 @@ from repro.errors import (
     UndefinedBehaviorError,
     UnsupportedFeatureError,
 )
+from repro.events import (
+    FAMILY_FUNCTIONS,
+    CallEvent,
+    ChoiceEvent,
+    ProbeSet,
+    ReturnEvent,
+    report_undefined,
+)
 from repro.kframework.cells import Configuration, make_configuration
 from repro.kframework.strategy import (
     EvaluationStrategy,
@@ -90,6 +98,9 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         self.options = options
         self.profile = options.profile
         self.memory = Memory(options)
+        #: Attached :class:`repro.events.ProbeSet`, or None (the common case).
+        #: Set via :meth:`attach_probes`; every emission site is guarded on it.
+        self.events: Optional[ProbeSet] = None
         self.strategy = strategy or strategy_for(options.evaluation_order)
         #: Lowered IR of the unit (:class:`repro.core.lowering.LoweredUnit`),
         #: or None to interpret raw AST nodes (the legacy walker).
@@ -302,10 +313,19 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
     def encode_scalar(self, value: int, ctype: ct.CType) -> list[Byte]:
         return encode_value(IntValue(value, ctype), ctype, self.profile)
 
+    def attach_probes(self, events: ProbeSet) -> None:
+        """Subscribe a probe set to this run's execution events."""
+        self.events = events
+        self.memory.events = events
+
     def operand_order(self, count: int, site: object = None):
         if count <= 1:
             return range(count)
-        return self.strategy.order(count, site)
+        order = self.strategy.order(count, site)
+        if self.events is not None:
+            order = tuple(order)
+            self.events.emit(ChoiceEvent(count, order, self.current_line))
+        return order
 
     # ------------------------------------------------------------------
     # Name lookup and object creation
@@ -612,11 +632,11 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         params = callee_type.parameters
         if self.options.check_functions:
             if len(values) < len(params) or (len(values) > len(params) and not callee_type.variadic):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.BAD_FUNCTION_CALL,
                     f"Function '{callee_name}' called with {len(values)} argument(s) but its "
                     f"prototype has {len(params)}{' or more' if callee_type.variadic else ''}.",
-                    line=line)
+                    line=line), FAMILY_FUNCTIONS)
         converted: list[CValue] = []
         for index, value in enumerate(values):
             if index < len(params):
@@ -640,25 +660,26 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                 return
             if isinstance(value, IntValue) and value.value == 0:
                 return
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.BAD_FUNCTION_CALL,
                 f"Argument {index + 1} to '{callee_name}' has a non-pointer value but the "
-                f"parameter has pointer type {param}.", line=line)
+                f"parameter has pointer type {param}.", line=line), FAMILY_FUNCTIONS)
+            return
         if param.is_arithmetic:
             if isinstance(value, (IntValue,)) or isinstance(value, (IndeterminateValue,)):
                 return
             if isinstance(value, PointerValue):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.BAD_FUNCTION_CALL,
                     f"Argument {index + 1} to '{callee_name}' is a pointer but the parameter "
-                    f"has arithmetic type {param}.", line=line)
+                    f"has arithmetic type {param}.", line=line), FAMILY_FUNCTIONS)
             return
         if param.is_record:
             if not isinstance(value, StructValue):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.BAD_FUNCTION_CALL,
                     f"Argument {index + 1} to '{callee_name}' is not a structure value.",
-                    line=line)
+                    line=line), FAMILY_FUNCTIONS)
 
     def _default_promote(self, value: CValue, line: int) -> CValue:
         """Default argument promotions for variadic / unprototyped calls."""
@@ -673,6 +694,16 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
 
     def call_function(self, name: Optional[str], arguments: list[CValue], line: int, *,
                       declared_type: Optional[ct.FunctionType] = None) -> CValue:
+        events = self.events
+        if events is None:
+            return self._dispatch_call(name, arguments, line, declared_type=declared_type)
+        events.emit(CallEvent(name or "<unresolved>", line))
+        value = self._dispatch_call(name, arguments, line, declared_type=declared_type)
+        events.emit(ReturnEvent(name or "<unresolved>", line))
+        return value
+
+    def _dispatch_call(self, name: Optional[str], arguments: list[CValue], line: int, *,
+                       declared_type: Optional[ct.FunctionType] = None) -> CValue:
         if name is None:
             raise UndefinedBehaviorError(
                 UBKind.BAD_FUNCTION_TYPE, "Call target could not be resolved.", line=line)
@@ -687,9 +718,10 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         if (self.options.check_functions and declared_type is not None
                 and declared_type.has_prototype and definition.type.has_prototype
                 and not ct.types_compatible(declared_type, definition.type)):
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.BAD_FUNCTION_TYPE,
-                f"Function '{name}' called through an incompatible function type.", line=line)
+                f"Function '{name}' called through an incompatible function type.", line=line),
+                FAMILY_FUNCTIONS)
         if len(self.frames) >= self.options.max_call_depth:
             raise ResourceLimitError("call depth limit exceeded")
         return self._call_user_function(definition, arguments, line)
@@ -707,10 +739,10 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         params = ftype.parameters
         if self.options.check_functions and ftype.has_prototype:
             if len(arguments) < len(params) or (len(arguments) > len(params) and not ftype.variadic):
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.BAD_FUNCTION_CALL,
                     f"Function '{definition.name}' called with {len(arguments)} argument(s) "
-                    f"but defined with {len(params)}.", line=line)
+                    f"but defined with {len(params)}.", line=line), FAMILY_FUNCTIONS)
         frame = Frame(frame_id=self._next_frame_id(), function_name=definition.name,
                       return_type=ftype.return_type, call_line=line)
         frame.push_scope()

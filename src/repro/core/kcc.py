@@ -19,7 +19,7 @@ import hashlib
 import json
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.cfront import ast as c_ast
 from repro.cfront import ctypes as ct
@@ -37,6 +37,7 @@ from repro.errors import (
     UndefinedBehaviorError,
     UnsupportedFeatureError,
 )
+from repro.events import ProbeSet, RunEnd, UBEvent, UBRecorder, observed_execution
 from repro.kframework.search import PathOutcome, SearchResult, search_evaluation_orders
 from repro.kframework.strategy import ScriptedStrategy
 from repro.sema.static_checks import check_translation_unit
@@ -76,8 +77,14 @@ class CompiledUnit:
         """True when parsing succeeded (static violations may still exist)."""
         return self.unit is not None
 
-    def lowered_for(self, options: CheckerOptions, *, fold: bool = True):
+    def lowered_for(self, options: CheckerOptions, *, fold: bool = True,
+                    instrument: bool = False):
         """The lowered IR of this unit for ``options`` (memoized).
+
+        ``instrument=True`` selects the event-emitting variant used by runs
+        with probes attached (it implies ``fold=False``); the plain variant
+        carries no instrumentation code at all, which is the compile-time
+        "null-probe" specialization that keeps unprobed runs at full speed.
 
         Returns None when there is nothing to lower (parse failure) or when
         lowering itself fails — the caller then falls back to the legacy
@@ -85,11 +92,14 @@ class CompiledUnit:
         """
         if self.unit is None:
             return None
-        key = (options, fold)
+        if instrument:
+            fold = False
+        key = (options, fold, instrument)
         if key not in self._lowered:
             from repro.core.lowering import lower_unit
             try:
-                self._lowered[key] = lower_unit(self.unit, options, fold=fold)
+                self._lowered[key] = lower_unit(self.unit, options, fold=fold,
+                                                instrument=instrument)
             except Exception:  # pragma: no cover - safety net, not expected
                 self._lowered[key] = None
         return self._lowered[key]
@@ -204,12 +214,25 @@ class KccTool:
     # Stage 2: running a compiled unit
     # ------------------------------------------------------------------
     def run_unit(self, compiled: CompiledUnit, *, argv: Optional[list[str]] = None,
-                 stdin: str = "") -> CheckReport:
+                 stdin: str = "", probes: Optional[Sequence] = None) -> CheckReport:
         """Execute a previously compiled unit, classifying the result.
 
         This never re-parses: the same :class:`CompiledUnit` can back many
         runs (different stdin/argv, evaluation-order search, ablations).
+
+        ``probes`` subscribes :class:`repro.events.Probe` instances to the
+        run's execution events.  Passive probes leave the verdict — and the
+        whole report — identical to an unprobed run.  If any probe sets
+        ``continue_past_ub``, the run switches to *observed* mode: gated
+        undefinedness checks record events and execution continues with the
+        check-disabled semantics, so one execution can feed several
+        detection profiles (the outcome still reports the first check this
+        checker's own options would have stopped at, though ``stdout`` may
+        then include output from past that point).
         """
+        if probes and self.search_evaluation_order:
+            raise ValueError("probes cannot observe an evaluation-order search; "
+                             "attach them to a single-run checker instead")
         if compiled.profile is not None and compiled.profile != self.options.profile:
             # A unit parsed under one profile has that profile's type sizes
             # baked into its layout; silently running it under another would
@@ -222,11 +245,22 @@ class KccTool:
         if compiled.parse_error is not None:
             outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=compiled.parse_error,
                               parse_failed=True)
+            if probes:
+                # The dynamic stage never runs: no events, but the probes
+                # still learn how the analysis ended.
+                ProbeSet(probes).finish(RunEnd("inconclusive",
+                                               detail=compiled.parse_error))
             return CheckReport(outcome=outcome, filename=compiled.filename)
         assert compiled.unit is not None
         if self.run_static_checks and compiled.static_violations:
             outcome = Outcome(kind=OutcomeKind.STATIC_ERROR,
                               static_violations=list(compiled.static_violations))
+            if probes:
+                first = compiled.static_violations[0]
+                ProbeSet(probes).finish(RunEnd(
+                    "undefined",
+                    error=UndefinedBehaviorError(first.kind, first.message,
+                                                 line=first.line)))
             return CheckReport(outcome=outcome, unit=compiled.unit,
                                filename=compiled.filename)
         if self.search_evaluation_order:
@@ -237,10 +271,11 @@ class KccTool:
             report = self._check_with_search(compiled.unit, argv=argv, stdin=stdin,
                                              lowered=lowered)
         else:
-            lowered = (compiled.lowered_for(self.options)
+            lowered = (compiled.lowered_for(self.options, instrument=bool(probes))
                        if self.options.enable_lowering else None)
             outcome, result = self._run_once(compiled.unit, strategy=None,
-                                             argv=argv, stdin=stdin, lowered=lowered)
+                                             argv=argv, stdin=stdin, lowered=lowered,
+                                             probes=probes)
             report = CheckReport(outcome=outcome, result=result, unit=compiled.unit)
         report.filename = compiled.filename
         return report
@@ -255,12 +290,26 @@ class KccTool:
                              argv=argv, stdin=stdin)
 
     def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin,
-                  lowered=None) -> tuple[Outcome, Optional[ExecutionResult]]:
+                  lowered=None, probes=None) -> tuple[Outcome, Optional[ExecutionResult]]:
         interpreter = Interpreter(unit, self.options, strategy=strategy, stdin=stdin,
                                   lowered=lowered)
+        probe_set = ProbeSet(probes) if probes else None
+        recorder = None
+        if probe_set is not None:
+            interpreter.attach_probes(probe_set)
+            if probe_set.wants_ub_continuation:
+                recorder = UBRecorder(interpreter, probe_set)
         try:
-            result = interpreter.run(argv)
+            with observed_execution(recorder):
+                result = interpreter.run(argv)
         except UndefinedBehaviorError as error:
+            # Terminal: an ungated check (or, without a recorder, any check)
+            # stopped the run.  Deliver it to the probes as a final event —
+            # every detection profile reports ungated checks.
+            if probe_set is not None:
+                probe_set.emit(UBEvent(error.kind, error.message, error.line,
+                                       error.function, family=None))
+                probe_set.finish(RunEnd("undefined", error=error))
             outcome = Outcome(kind=OutcomeKind.UNDEFINED, error=error,
                               stdout=interpreter.stdout)
             return outcome, None
@@ -269,7 +318,22 @@ class KccTool:
             # With checks disabled (ablation mode) execution can wander into
             # states the positive semantics cannot give meaning to; report
             # those as inconclusive rather than crashing the harness.
+            if probe_set is not None:
+                probe_set.finish(RunEnd("inconclusive", detail=str(error)))
+            if recorder is not None and recorder.first_error is not None:
+                # A strict run of these options would have stopped at the
+                # first recorded check, before the resource/feature limit.
+                outcome = Outcome(kind=OutcomeKind.UNDEFINED,
+                                  error=recorder.first_error,
+                                  stdout=interpreter.stdout)
+                return outcome, None
             outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=str(error),
+                              stdout=interpreter.stdout)
+            return outcome, None
+        if probe_set is not None:
+            probe_set.finish(RunEnd("defined", exit_code=result.exit_code))
+        if recorder is not None and recorder.first_error is not None:
+            outcome = Outcome(kind=OutcomeKind.UNDEFINED, error=recorder.first_error,
                               stdout=interpreter.stdout)
             return outcome, None
         outcome = Outcome(kind=OutcomeKind.DEFINED, exit_code=result.exit_code,

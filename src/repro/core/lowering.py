@@ -73,6 +73,7 @@ from repro.errors import (
     UndefinedBehaviorError,
     UnsupportedFeatureError,
 )
+from repro.events import BranchEvent
 
 #: A lowered expression: run it against an interpreter, get a value.
 ExprThunk = Callable[["Interpreter"], CValue]  # noqa: F821  (runtime duck type)
@@ -81,15 +82,29 @@ StmtThunk = Callable[["Interpreter"], None]  # noqa: F821
 
 
 class LoweringContext:
-    """Compile-time state shared by all lowering functions of one unit."""
+    """Compile-time state shared by all lowering functions of one unit.
 
-    __slots__ = ("options", "profile", "max_steps", "fold", "folder")
+    ``instrument=True`` compiles the *instrumented* variant of the IR: the
+    closures emit execution events (branches, interleave choices) and route
+    every load/store/arith through the generic interpreter helpers — which
+    are the shared emission points — instead of the pre-derived plan fast
+    paths.  Instrumented lowering never folds: folding elides the events of
+    constant subtrees, and the golden-trace tests hold the instrumented
+    lowered engine to *exact* event-sequence equality with the legacy
+    walker.  The default (``instrument=False``) IR contains no emission
+    code at all — this compile-time specialization is what keeps the
+    null-probe fast path at PR-2 speed.
+    """
 
-    def __init__(self, options: CheckerOptions, *, fold: bool = True) -> None:
+    __slots__ = ("options", "profile", "max_steps", "fold", "folder", "instrument")
+
+    def __init__(self, options: CheckerOptions, *, fold: bool = True,
+                 instrument: bool = False) -> None:
         self.options = options
         self.profile = options.profile
         self.max_steps = options.max_steps
-        self.fold = fold
+        self.fold = fold and not instrument
+        self.instrument = instrument
         self.folder = _FoldContext(options)
 
 
@@ -108,6 +123,7 @@ class _FoldContext(ExpressionEvaluatorMixin):
         self.options = options
         self.profile = options.profile
         self.pointer_registry: dict[int, PointerValue] = {}
+        self.events = None  # folding is never observed by probes
 
 
 #: Binary operators that are safe to fold over integer constants.  ``&&`` and
@@ -383,17 +399,26 @@ def _int_binary_plan(op: str, left_type: ct.CType, right_type: ct.CType,
 
 
 class _BinaryPlanCache:
-    """Per-site cache of integer binary-op plans, keyed by operand types."""
+    """Per-site cache of integer binary-op plans, keyed by operand types.
 
-    __slots__ = ("op", "options", "line", "plans")
+    ``disabled=True`` (instrumented lowering) always answers None, keeping
+    every operation on the generic ``apply_binary`` path whose checks emit
+    the arith-check / UB events.
+    """
 
-    def __init__(self, op: str, options: CheckerOptions, line: int) -> None:
+    __slots__ = ("op", "options", "line", "plans", "disabled")
+
+    def __init__(self, op: str, options: CheckerOptions, line: int,
+                 disabled: bool = False) -> None:
         self.op = op
         self.options = options
         self.line = line
         self.plans: dict = {}
+        self.disabled = disabled
 
     def lookup(self, left_type: ct.CType, right_type: ct.CType):
+        if self.disabled:
+            return None
         key = (left_type, right_type)
         plans = self.plans
         if key in plans:
@@ -412,14 +437,22 @@ class _BinaryPlanCache:
 # type (within one translation unit a tag means one record type).
 
 class _AccessPlanCache:
-    """Per-site cache of (size, align, uninit-check, const) per lvalue type."""
+    """Per-site cache of (size, align, uninit-check, const) per lvalue type.
 
-    __slots__ = ("plans",)
+    ``disabled=True`` (instrumented lowering) always answers None, keeping
+    every access on the generic ``read_lvalue``/``write_lvalue`` path whose
+    lvalue-conversion events the probes observe.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("plans", "disabled")
+
+    def __init__(self, disabled: bool = False) -> None:
         self.plans: dict = {}
+        self.disabled = disabled
 
     def plan_for(self, ltype: ct.CType, profile: ct.ImplementationProfile):
+        if self.disabled:
+            return None
         plans = self.plans
         if ltype in plans:
             return plans[ltype]
@@ -764,6 +797,22 @@ def _lower_Identifier(expr: c_ast.Identifier, L: LoweringContext) -> ExprThunk:
     line = expr.line
     max_steps = L.max_steps
 
+    if L.instrument:
+        # Instrumented: load through the generic read_lvalue so the
+        # lvalue-conversion event fires exactly where the walker's does.
+        def run_instr(interp) -> CValue:
+            interp._steps += 1
+            if interp._steps > max_steps:
+                raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+            if line:
+                interp.current_line = line
+            binding = _lookup_binding(interp, name, line)
+            if isinstance(binding, FunctionBinding):
+                return PointerValue(base=None, offset=0, function=binding.name,
+                                    type=ct.PointerType(pointee=binding.type))
+            return interp.read_lvalue(_binding_lvalue(binding), line)
+        return run_instr
+
     def run(interp) -> CValue:
         interp._steps += 1
         if interp._steps > max_steps:
@@ -800,7 +849,7 @@ def _lower_UnaryOp(expr: c_ast.UnaryOp, L: LoweringContext) -> ExprThunk:
 
     if op == "*":
         operand_run = lower_expr(expr.operand, L)
-        deref_plans = _AccessPlanCache()
+        deref_plans = _AccessPlanCache(L.instrument)
 
         def run_deref(interp) -> CValue:
             interp._steps += 1
@@ -839,7 +888,7 @@ def _lower_UnaryOp(expr: c_ast.UnaryOp, L: LoweringContext) -> ExprThunk:
         delta = 1 if op.startswith("++") else -1
         is_post = op.endswith("post")
 
-        if isinstance(expr.operand, c_ast.Identifier):
+        if isinstance(expr.operand, c_ast.Identifier) and not L.instrument:
             resolve_binding = _lower_object_binding(expr.operand, L)
 
             def run_incdec_ident(interp) -> CValue:
@@ -1019,6 +1068,28 @@ def _lower_BinaryOp(expr: c_ast.BinaryOp, L: LoweringContext) -> ExprThunk:
     if op == "&&" or op == "||":
         is_and = op == "&&"
 
+        if L.instrument:
+            def run_logical_instr(interp) -> CValue:
+                interp._steps += 1
+                if interp._steps > max_steps:
+                    raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+                if line:
+                    interp.current_line = line
+                left = left_run(interp)
+                interp.memory.sequence_point()
+                left_true = to_boolean(left, interp.options, line=line)
+                if interp.events is not None:
+                    interp.events.emit(BranchEvent(left_true, line))
+                if is_and:
+                    if not left_true:
+                        return IntValue(0, ct.INT)
+                elif left_true:
+                    return IntValue(1, ct.INT)
+                right = right_run(interp)
+                return IntValue(1 if to_boolean(right, interp.options, line=line) else 0,
+                                ct.INT)
+            return run_logical_instr
+
         def run_logical(interp) -> CValue:
             interp._steps += 1
             if interp._steps > max_steps:
@@ -1044,7 +1115,27 @@ def _lower_BinaryOp(expr: c_ast.BinaryOp, L: LoweringContext) -> ExprThunk:
     # ``_eval_unsequenced``), so scripted searches see identical decision
     # points in identical order.
     site = expr.left
-    plan_cache = _BinaryPlanCache(op, L.options, line)
+    plan_cache = _BinaryPlanCache(op, L.options, line, L.instrument)
+
+    if L.instrument:
+        # Instrumented: consult the strategy at every interleaving point
+        # (the choice event fires inside operand_order, as in the walker)
+        # and apply the operator through the generic checked path.
+        def run_instr(interp) -> CValue:
+            interp._steps += 1
+            if interp._steps > max_steps:
+                raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+            if line:
+                interp.current_line = line
+            order = interp.operand_order(2, site)
+            if order[0] == 0:
+                left = left_run(interp)
+                right = right_run(interp)
+            else:
+                right = right_run(interp)
+                left = left_run(interp)
+            return interp.apply_binary(op, left, right, line)
+        return run_instr
 
     def run(interp) -> CValue:
         interp._steps += 1
@@ -1079,7 +1170,7 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
     line = expr.line
     max_steps = L.max_steps
     value_run = lower_expr(expr.value, L)
-    target_is_identifier = isinstance(expr.target, c_ast.Identifier)
+    target_is_identifier = isinstance(expr.target, c_ast.Identifier) and not L.instrument
     if target_is_identifier:
         resolve_binding = _lower_object_binding(expr.target, L)
     else:
@@ -1087,6 +1178,29 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
 
     if expr.op == "=":
         site = expr
+
+        if L.instrument:
+            def run_simple_instr(interp) -> CValue:
+                interp._steps += 1
+                if interp._steps > max_steps:
+                    raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+                if line:
+                    interp.current_line = line
+                order = interp.operand_order(2, site)
+                if order[0] == 0:
+                    lvalue = target_lv(interp)
+                    value = value_run(interp)
+                else:
+                    value = value_run(interp)
+                    lvalue = target_lv(interp)
+                if isinstance(value, StructValue) and lvalue.type.is_record:
+                    converted: CValue = value
+                else:
+                    converted = convert(value, lvalue.type, interp.options, line=line,
+                                        pointer_registry=interp.pointer_registry)
+                interp.write_lvalue(lvalue, converted, line)
+                return converted
+            return run_simple_instr
 
         if target_is_identifier:
             def run_simple_ident(interp) -> CValue:
@@ -1125,7 +1239,7 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
                 return converted
             return run_simple_ident
 
-        write_plans = _AccessPlanCache()
+        write_plans = _AccessPlanCache(L.instrument)
 
         def run_simple(interp) -> CValue:
             interp._steps += 1
@@ -1164,7 +1278,7 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
         return run_simple
 
     op = expr.op[:-1]
-    plan_cache = _BinaryPlanCache(op, L.options, line)
+    plan_cache = _BinaryPlanCache(op, L.options, line, L.instrument)
 
     if target_is_identifier:
         def run_compound_ident(interp) -> CValue:
@@ -1197,7 +1311,7 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
             return converted
         return run_compound_ident
 
-    access_plans = _AccessPlanCache()
+    access_plans = _AccessPlanCache(L.instrument)
 
     def run_compound(interp) -> CValue:
         interp._steps += 1
@@ -1239,6 +1353,23 @@ def _lower_Conditional(expr: c_ast.Conditional, L: LoweringContext) -> ExprThunk
     then_run = lower_expr(expr.then, L)
     otherwise_run = lower_expr(expr.otherwise, L)
 
+    if L.instrument:
+        def run_instr(interp) -> CValue:
+            interp._steps += 1
+            if interp._steps > max_steps:
+                raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+            if line:
+                interp.current_line = line
+            condition = condition_run(interp)
+            interp.memory.sequence_point()
+            taken = to_boolean(condition, interp.options, line=line)
+            if interp.events is not None:
+                interp.events.emit(BranchEvent(taken, line))
+            if taken:
+                return then_run(interp)
+            return otherwise_run(interp)
+        return run_instr
+
     def run(interp) -> CValue:
         interp._steps += 1
         if interp._steps > max_steps:
@@ -1277,9 +1408,10 @@ def _subscript_core(expr: c_ast.ArraySubscript, L: LoweringContext):
     array_run = lower_expr(expr.array, L)
     index_run = lower_expr(expr.index, L)
     site = expr.array
+    instrument = L.instrument
 
     def core(interp) -> LValue:
-        mode = interp.order_mode
+        mode = None if instrument else interp.order_mode
         if mode == 0:
             base_value = array_run(interp)
             index_value = index_run(interp)
@@ -1309,7 +1441,7 @@ def _lower_ArraySubscript(expr: c_ast.ArraySubscript, L: LoweringContext) -> Exp
     line = expr.line
     max_steps = L.max_steps
     core = _subscript_core(expr, L)
-    plan_cache = _AccessPlanCache()
+    plan_cache = _AccessPlanCache(L.instrument)
 
     def run(interp) -> CValue:
         interp._steps += 1
@@ -1374,7 +1506,7 @@ def _lower_Member(expr: c_ast.Member, L: LoweringContext) -> ExprThunk:
     line = expr.line
     max_steps = L.max_steps
     core = _member_core(expr, L)
-    plan_cache = _AccessPlanCache()
+    plan_cache = _AccessPlanCache(L.instrument)
 
     def run(interp) -> CValue:
         interp._steps += 1
@@ -1425,6 +1557,8 @@ def _lower_Call(expr: c_ast.Call, L: LoweringContext) -> ExprThunk:
         def resolve(interp):
             return interp._function_from_value(function_run(interp), line)
 
+    instrument = L.instrument
+
     def run(interp) -> CValue:
         interp._steps += 1
         if interp._steps > max_steps:
@@ -1433,7 +1567,7 @@ def _lower_Call(expr: c_ast.Call, L: LoweringContext) -> ExprThunk:
             interp.current_line = line
         callee_name, callee_type = resolve(interp)
         if argument_count:
-            mode = interp.order_mode
+            mode = None if instrument else interp.order_mode
             if mode == 0:
                 values = [argument_run(interp) for argument_run in argument_runs]
             elif mode == 1:
@@ -1907,6 +2041,25 @@ def _lower_If(stmt: c_ast.If, L: LoweringContext) -> StmtThunk:
     then_run = lower_stmt(stmt.then, L) if stmt.then is not None else None
     otherwise_run = lower_stmt(stmt.otherwise, L) if stmt.otherwise is not None else None
 
+    if L.instrument:
+        def run_instr(interp) -> None:
+            interp._steps += 1
+            if interp._steps > max_steps:
+                raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+            if line:
+                interp.current_line = line
+            condition = condition_run(interp)
+            interp.memory.sequence_point()
+            taken = to_boolean(condition, interp.options, line=line)
+            if interp.events is not None:
+                interp.events.emit(BranchEvent(taken, line))
+            if taken:
+                if then_run is not None:
+                    then_run(interp)
+            elif otherwise_run is not None:
+                otherwise_run(interp)
+        return run_instr
+
     def run(interp) -> None:
         interp._steps += 1
         if interp._steps > max_steps:
@@ -1928,6 +2081,7 @@ def _lower_While(stmt: c_ast.While, L: LoweringContext) -> StmtThunk:
     max_steps = L.max_steps
     condition_run = lower_expr(stmt.condition, L)
     body_run = lower_stmt(stmt.body, L) if stmt.body is not None else None
+    instrument = L.instrument
 
     def run(interp) -> None:
         interp._steps += 1
@@ -1943,7 +2097,10 @@ def _lower_While(stmt: c_ast.While, L: LoweringContext) -> StmtThunk:
                 raise ResourceLimitError(f"execution exceeded {max_steps} steps")
             condition = condition_run(interp)
             memory.sequence_point()
-            if not to_boolean(condition, options, line=line):
+            taken = to_boolean(condition, options, line=line)
+            if instrument and interp.events is not None:
+                interp.events.emit(BranchEvent(taken, line))
+            if not taken:
                 return
             try:
                 if body_run is not None:
@@ -1960,6 +2117,7 @@ def _lower_DoWhile(stmt: c_ast.DoWhile, L: LoweringContext) -> StmtThunk:
     max_steps = L.max_steps
     condition_run = lower_expr(stmt.condition, L)
     body_run = lower_stmt(stmt.body, L) if stmt.body is not None else None
+    instrument = L.instrument
 
     def run(interp) -> None:
         interp._steps += 1
@@ -1982,7 +2140,10 @@ def _lower_DoWhile(stmt: c_ast.DoWhile, L: LoweringContext) -> StmtThunk:
                 pass
             condition = condition_run(interp)
             memory.sequence_point()
-            if not to_boolean(condition, options, line=line):
+            taken = to_boolean(condition, options, line=line)
+            if instrument and interp.events is not None:
+                interp.events.emit(BranchEvent(taken, line))
+            if not taken:
                 return
     return run
 
@@ -2006,6 +2167,7 @@ def _lower_For(stmt: c_ast.For, L: LoweringContext) -> StmtThunk:
     condition_run = lower_expr(stmt.condition, L) if stmt.condition is not None else None
     step_run = lower_expr(stmt.step, L) if stmt.step is not None else None
     body_run = lower_stmt(stmt.body, L) if stmt.body is not None else None
+    instrument = L.instrument
 
     def run(interp) -> None:
         interp._steps += 1
@@ -2030,7 +2192,10 @@ def _lower_For(stmt: c_ast.For, L: LoweringContext) -> StmtThunk:
                 if condition_run is not None:
                     condition = condition_run(interp)
                     memory.sequence_point()
-                    if not to_boolean(condition, options, line=line):
+                    taken = to_boolean(condition, options, line=line)
+                    if instrument and interp.events is not None:
+                        interp.events.emit(BranchEvent(taken, line))
+                    if not taken:
                         return
                 try:
                     if body_run is not None:
@@ -2173,15 +2338,17 @@ class LoweredUnit:
     fingerprint (constant folding honors the check flags, so a unit lowered
     for one configuration must not serve another)."""
 
-    __slots__ = ("functions", "fold")
+    __slots__ = ("functions", "fold", "instrument")
 
-    def __init__(self, functions: dict[str, LoweredFunction], *, fold: bool) -> None:
+    def __init__(self, functions: dict[str, LoweredFunction], *, fold: bool,
+                 instrument: bool = False) -> None:
         self.functions = functions
         self.fold = fold
+        self.instrument = instrument
 
 
 def lower_unit(unit: c_ast.TranslationUnit, options: CheckerOptions, *,
-               fold: bool = True) -> LoweredUnit:
+               fold: bool = True, instrument: bool = False) -> LoweredUnit:
     """Lower every function body of ``unit`` for the given configuration.
 
     ``fold=False`` disables constant folding; the evaluation-order search
@@ -2189,11 +2356,17 @@ def lower_unit(unit: c_ast.TranslationUnit, options: CheckerOptions, *,
     legacy walker presents (folding erases interleaving points of constant
     subexpressions, which is unobservable for a fixed order but would shift
     a script's decision indices).
+
+    ``instrument=True`` compiles the event-emitting variant of the IR for
+    runs with probes attached (see :class:`LoweringContext`); it implies
+    ``fold=False`` so the instrumented lowered engine and the legacy walker
+    produce identical event sequences (folding would elide the events of
+    constant subtrees).
     """
-    L = LoweringContext(options, fold=fold)
+    L = LoweringContext(options, fold=fold, instrument=instrument)
     functions: dict[str, LoweredFunction] = {}
     for declaration in unit.declarations:
         if isinstance(declaration, c_ast.FunctionDef) and declaration.body is not None:
             functions[declaration.name] = LoweredFunction(
                 declaration.name, lower_block(declaration.body, L))
-    return LoweredUnit(functions, fold=fold)
+    return LoweredUnit(functions, fold=L.fold, instrument=instrument)

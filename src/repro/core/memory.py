@@ -33,6 +33,18 @@ from repro.core.values import (
     unknown_bytes,
 )
 from repro.errors import UBKind, UndefinedBehaviorError
+from repro.events import (
+    FAMILY_CONST,
+    FAMILY_EFFECTIVE_TYPES,
+    FAMILY_MEMORY,
+    FAMILY_SEQUENCING,
+    AllocEvent,
+    FreeEvent,
+    ReadEvent,
+    SequencePointEvent,
+    WriteEvent,
+    report_undefined,
+)
 
 
 class StorageKind(enum.Enum):
@@ -87,6 +99,9 @@ class Memory:
         self.options = options
         self.profile = options.profile
         self.objects: dict[int, MemoryObject] = {}
+        #: Attached :class:`repro.events.ProbeSet`, or None (the common case);
+        #: every emission below is guarded so unprobed runs construct nothing.
+        self.events = None
         self._next_base = 1
         # §4.2.1: locations written to since the last sequence point.
         self.locs_written: set[ByteLocation] = set()
@@ -125,6 +140,8 @@ class Memory:
             self.not_writable.add(base)
         if kind is StorageKind.HEAP:
             self.heap_allocations += 1
+        if self.events is not None:
+            self.events.emit(AllocEvent(base, size, kind.value, name))
         return obj
 
     def object_for(self, base: Optional[int]) -> Optional[MemoryObject]:
@@ -172,6 +189,8 @@ class Memory:
             return
         obj.alive = False
         obj.freed = True
+        if self.events is not None:
+            self.events.emit(FreeEvent(obj.base, line))
 
     # ------------------------------------------------------------------
     # Access checks (the embedded checkDeref of §4.1.2)
@@ -182,36 +201,60 @@ class Memory:
         """Validate an access of ``size`` bytes through ``pointer``.
 
         Returns the target object when the access is allowed (or when the
-        corresponding check is disabled); raises otherwise.
+        corresponding check is disabled); raises otherwise.  In observed
+        mode (:func:`repro.events.report_undefined` recording instead of
+        raising) each failure falls back to exactly what ``check_memory =
+        False`` produces — the resolved object when one exists, so callers'
+        own bounds rechecks decide what data moves.
         """
         if not self.options.check_memory:
             return self.object_for(pointer.base)
         if pointer.is_null:
-            self._stuck(UBKind.NULL_DEREFERENCE, "Dereference of a null pointer.", line)
+            self._stuck(UBKind.NULL_DEREFERENCE, "Dereference of a null pointer.", line,
+                        family=FAMILY_MEMORY, check="access",
+                        data={"reason": "null", "write": write, "size": size})
             return None
         if pointer.is_function:
-            self._stuck(UBKind.OUT_OF_BOUNDS, "Data access through a function pointer.", line)
+            self._stuck(UBKind.OUT_OF_BOUNDS, "Data access through a function pointer.", line,
+                        family=FAMILY_MEMORY, check="access",
+                        data={"reason": "function", "write": write, "size": size})
             return None
         obj = self.object_for(pointer.base)
         if obj is None:
             self._stuck(UBKind.DANGLING_DEREFERENCE,
-                        "Use of an invalid pointer (no such object).", line)
+                        "Use of an invalid pointer (no such object).", line,
+                        family=FAMILY_MEMORY, check="access",
+                        data={"reason": "no-object", "write": write, "size": size})
             return None
         if not obj.alive:
+            data = self._access_data(obj, pointer.offset, size, write)
             if obj.freed:
                 self._stuck(UBKind.USE_AFTER_FREE,
-                            f"Use of memory after free() ({obj.name or 'heap object'}).", line)
+                            f"Use of memory after free() ({obj.name or 'heap object'}).", line,
+                            family=FAMILY_MEMORY, check="access", data=data)
             else:
                 self._stuck(UBKind.DANGLING_DEREFERENCE,
-                            f"Use of object '{obj.name}' whose lifetime has ended.", line)
-            return None
+                            f"Use of object '{obj.name}' whose lifetime has ended.", line,
+                            family=FAMILY_MEMORY, check="access", data=data)
+            return obj
         if pointer.offset < 0 or pointer.offset + size > obj.size:
             kind = UBKind.BUFFER_OVERFLOW if write else UBKind.OUT_OF_BOUNDS
             self._stuck(kind,
                         f"Access of {size} byte(s) at offset {pointer.offset} outside object "
-                        f"'{obj.name or obj.base}' of size {obj.size}.", line)
-            return None
+                        f"'{obj.name or obj.base}' of size {obj.size}.", line,
+                        family=FAMILY_MEMORY, check="access",
+                        data=self._access_data(obj, pointer.offset, size, write))
+            return obj
         return obj
+
+    @staticmethod
+    def _access_data(obj: MemoryObject, offset: int, size: int, write: bool) -> dict:
+        """Site facts a custom memory model (a probe) needs to re-judge an
+        access check: see :class:`repro.analyzers.valgrind_like.ValgrindProbe`."""
+        return {"reason": "bounds" if obj.alive else "dead",
+                "storage": obj.kind.value, "object_size": obj.size,
+                "offset": offset, "size": size, "write": write,
+                "alive": obj.alive, "freed": obj.freed}
 
     def check_alignment(self, pointer: PointerValue, ctype: ct.CType,
                         line: Optional[int] = None) -> None:
@@ -224,7 +267,8 @@ class Memory:
         if align > 1 and pointer.offset % align != 0:
             self._stuck(UBKind.UNALIGNED_ACCESS,
                         f"Access at offset {pointer.offset} is not aligned to {align} bytes "
-                        f"for type {ctype}.", line)
+                        f"for type {ctype}.", line,
+                        family=FAMILY_MEMORY, check="alignment")
 
     def check_effective_type(self, obj: MemoryObject, lvalue_type: ct.CType,
                              *, write: bool, offset: int = 0,
@@ -256,7 +300,7 @@ class Memory:
                 self._stuck(UBKind.EFFECTIVE_TYPE_VIOLATION,
                             f"Allocated object written with effective type '{recorded}' "
                             f"read through an lvalue of incompatible type '{lvalue_type}'.",
-                            line)
+                            line, family=FAMILY_EFFECTIVE_TYPES)
             return
         # Declared objects: the verdict is a pure function of (lvalue type,
         # declared type); memoized per run so repeated accesses skip the
@@ -275,7 +319,8 @@ class Memory:
             self._stuck(UBKind.EFFECTIVE_TYPE_VIOLATION,
                         f"Object with effective type '{declared.unqualified()}' "
                         f"accessed through an lvalue "
-                        f"of incompatible type '{lvalue_type}'.", line)
+                        f"of incompatible type '{lvalue_type}'.", line,
+                        family=FAMILY_EFFECTIVE_TYPES)
 
     # ------------------------------------------------------------------
     # Reads and writes (writeByte / readByte of §4.2.1)
@@ -284,6 +329,8 @@ class Memory:
                    line: Optional[int] = None,
                    lvalue_type: Optional[ct.CType] = None,
                    track_sequencing: bool = True) -> list[Byte]:
+        if self.events is not None:
+            self.events.emit(ReadEvent(pointer.base, pointer.offset, size, line))
         obj = self.check_access(pointer, size, write=False, line=line,
                                 lvalue_type=lvalue_type)
         if obj is None:
@@ -306,7 +353,8 @@ class Memory:
                     self._stuck(
                         UBKind.UNSEQUENCED_SIDE_EFFECT,
                         "Unsequenced side effect on scalar object with value computation "
-                        "of same object.", line)
+                        "of same object.", line, family=FAMILY_SEQUENCING)
+                    break  # observed mode: one event per read, then read as usual
         start = pointer.offset
         return list(obj.data[start:start + size])
 
@@ -315,25 +363,29 @@ class Memory:
                     lvalue_type: Optional[ct.CType] = None,
                     track_sequencing: bool = True) -> None:
         size = len(data)
+        if self.events is not None:
+            self.events.emit(WriteEvent(pointer.base, pointer.offset, size, line))
         obj = self.check_access(pointer, size, write=True, line=line,
                                 lvalue_type=lvalue_type)
         if obj is None:
             return
         if pointer.offset < 0 or pointer.offset + size > obj.size:
-            # Only reachable with the memory checks disabled (ablation mode):
-            # drop the out-of-bounds part of the write.
+            # Only reachable with the memory checks disabled (ablation mode)
+            # or past a recorded bounds failure (observed mode): drop the
+            # out-of-bounds part of the write.
             return
         # §4.2.2: const-correctness — notWritable objects must not be written.
+        # A recorded violation falls through and performs the write, exactly
+        # as the check_const=False ablation does.
         if self.options.check_const and obj.base in self.not_writable:
             if obj.kind is StorageKind.STRING_LITERAL:
                 self._stuck(UBKind.MODIFY_STRING_LITERAL,
-                            "Attempt to modify a string literal.", line)
+                            "Attempt to modify a string literal.", line,
+                            family=FAMILY_CONST)
             else:
                 self._stuck(UBKind.CONST_VIOLATION,
                             f"Write to object '{obj.name}' defined with a const-qualified type.",
-                            line)
-            if self.options.check_const:
-                return
+                            line, family=FAMILY_CONST)
         if lvalue_type is not None:
             self.check_effective_type(obj, lvalue_type, write=True,
                                       offset=pointer.offset, line=line)
@@ -342,19 +394,23 @@ class Memory:
             base = pointer.base
             offset = pointer.offset
             locs = self.locs_written
+            reported = False
             for index in range(size):
                 loc = ByteLocation(base, offset + index)
-                if loc in locs:
+                if loc in locs and not reported:
                     self._stuck(
                         UBKind.UNSEQUENCED_SIDE_EFFECT,
                         "Unsequenced side effect on scalar object with side effect "
-                        "of same object.", line)
+                        "of same object.", line, family=FAMILY_SEQUENCING)
+                    reported = True  # observed mode: one event, keep tracking
                 locs.add(loc)
         start = pointer.offset
         obj.data[start:start + size] = data
 
     def sequence_point(self) -> None:
         """Empty the ``locsWrittenTo`` set (the paper's ``seqPoint`` rule)."""
+        if self.events is not None:
+            self.events.emit(_SEQUENCE_POINT)
         self.locs_written.clear()
 
     # ------------------------------------------------------------------
@@ -372,6 +428,15 @@ class Memory:
         return [obj for obj in self.objects.values()
                 if obj.kind is StorageKind.HEAP and obj.alive]
 
-    def _stuck(self, kind: UBKind, message: str, line: Optional[int]) -> None:
-        """Raise (get stuck) unless the corresponding check family is off."""
-        raise UndefinedBehaviorError(kind, message, line=line)
+    def _stuck(self, kind: UBKind, message: str, line: Optional[int], *,
+               family: Optional[str] = None, check: Optional[str] = None,
+               data: Optional[dict] = None) -> None:
+        """Report a fired check: raise (get stuck) in strict mode, record
+        and return in observed mode (``family=None`` is always terminal)."""
+        report_undefined(UndefinedBehaviorError(kind, message, line=line),
+                         family, check=check, data=data)
+
+
+#: sequence_point() fires on every full expression; the event carries no
+#: fields, so one immutable instance serves every emission.
+_SEQUENCE_POINT = SequencePointEvent()

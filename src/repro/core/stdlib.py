@@ -30,6 +30,13 @@ from repro.core.values import (
     VoidValue,
 )
 from repro.errors import UBKind, UndefinedBehaviorError
+from repro.events import (
+    FAMILY_ARITHMETIC,
+    FAMILY_FUNCTIONS,
+    FAMILY_MEMORY,
+    FAMILY_UNINITIALIZED,
+    report_undefined,
+)
 
 BuiltinImpl = Callable[["Interpreter", list[CValue], int], CValue]  # noqa: F821
 
@@ -49,9 +56,10 @@ def _int_arg(interp, args: list[CValue], index: int, line: int, name: str) -> in
     value = args[index]
     if isinstance(value, IndeterminateValue):
         if interp.options.check_uninitialized:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.UNINITIALIZED_READ,
-                f"Indeterminate value passed to {name}().", line=line)
+                f"Indeterminate value passed to {name}().", line=line),
+                FAMILY_UNINITIALIZED)
         return 0
     if isinstance(value, IntValue):
         return value.value
@@ -74,8 +82,9 @@ def _float_arg(interp, args: list[CValue], index: int, line: int, name: str) -> 
     if isinstance(value, IntValue):
         return float(value.value)
     if isinstance(value, IndeterminateValue) and interp.options.check_uninitialized:
-        raise UndefinedBehaviorError(
-            UBKind.UNINITIALIZED_READ, f"Indeterminate value passed to {name}().", line=line)
+        report_undefined(UndefinedBehaviorError(
+            UBKind.UNINITIALIZED_READ, f"Indeterminate value passed to {name}().", line=line),
+            FAMILY_UNINITIALIZED)
     raise UndefinedBehaviorError(
         UBKind.BAD_FUNCTION_CALL, f"Argument {index + 1} to {name}() must be numeric.", line=line)
 
@@ -118,9 +127,10 @@ def _read_c_string(interp, pointer: PointerValue, line: int, name: str,
         byte = data[0]
         if isinstance(byte, UnknownByte):
             if interp.options.check_uninitialized:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.UNINITIALIZED_READ,
-                    f"{name}() reads an uninitialized byte.", line=line)
+                    f"{name}() reads an uninitialized byte.", line=line),
+                    FAMILY_UNINITIALIZED)
             return "".join(characters)
         if not isinstance(byte, ConcreteByte):
             raise UndefinedBehaviorError(
@@ -151,9 +161,10 @@ def _check_overlap(interp, dest: PointerValue, src: PointerValue, count: int,
     d0, d1 = dest.offset, dest.offset + count
     s0, s1 = src.offset, src.offset + count
     if d0 < s1 and s0 < d1:
-        raise UndefinedBehaviorError(
+        report_undefined(UndefinedBehaviorError(
             UBKind.OVERLAPPING_COPY,
-            f"{name}() called with overlapping source and destination.", line=line)
+            f"{name}() called with overlapping source and destination.", line=line),
+            FAMILY_MEMORY)
 
 
 # ---------------------------------------------------------------------------
@@ -164,9 +175,10 @@ def _malloc(interp, args, line) -> CValue:
     size = _int_arg(interp, args, 0, line, "malloc")
     if size < 0 or size > _ALLOCATION_LIMIT:
         if size < 0 and interp.options.check_memory:
-            raise UndefinedBehaviorError(
+            report_undefined(UndefinedBehaviorError(
                 UBKind.NEGATIVE_SIZE_ALLOCATION,
-                f"malloc() called with pathological size {size}.", line=line)
+                f"malloc() called with pathological size {size}.", line=line),
+                FAMILY_MEMORY)
         return PointerValue(base=None, offset=0, type=ct.VOID_PTR)
     obj = interp.memory.allocate(size, StorageKind.HEAP, name=f"malloc({size})")
     return PointerValue(base=obj.base, offset=0, type=ct.VOID_PTR)
@@ -264,18 +276,20 @@ def _format_output(interp, fmt: str, args: list[CValue], line: int, name: str) -
             arg_index += 1
         if arg_index >= len(args):
             if options.check_functions:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.FORMAT_MISMATCH,
-                    f"{name}(): not enough arguments for format string.", line=line)
+                    f"{name}(): not enough arguments for format string.", line=line),
+                    FAMILY_FUNCTIONS)
             output.append("")
             continue
         arg = args[arg_index]
         arg_index += 1
         if conv in "diouxX":
             if isinstance(arg, PointerValue) and not arg.is_null and options.check_functions:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.FORMAT_MISMATCH,
-                    f"{name}(): '%{conv}' conversion given a pointer argument.", line=line)
+                    f"{name}(): '%{conv}' conversion given a pointer argument.", line=line),
+                    FAMILY_FUNCTIONS)
             value = _int_arg(interp, args, arg_index - 1, line, name)
             if conv in "di":
                 output.append(str(value))
@@ -296,9 +310,10 @@ def _format_output(interp, fmt: str, args: list[CValue], line: int, name: str) -
             pointer = _pointer_arg(interp, args, arg_index - 1, line, name)
             if pointer.is_null:
                 if options.check_functions:
-                    raise UndefinedBehaviorError(
+                    report_undefined(UndefinedBehaviorError(
                         UBKind.NULL_DEREFERENCE,
-                        f"{name}(): '%s' conversion given a null pointer.", line=line)
+                        f"{name}(): '%s' conversion given a null pointer.", line=line),
+                        FAMILY_FUNCTIONS)
                 output.append("(null)")
             else:
                 output.append(_read_c_string(interp, pointer, line, name))
@@ -316,9 +331,10 @@ def _format_output(interp, fmt: str, args: list[CValue], line: int, name: str) -
                 UBKind.FORMAT_MISMATCH, f"{name}(): '%n' is not supported.", line=line)
         else:
             if options.check_functions:
-                raise UndefinedBehaviorError(
+                report_undefined(UndefinedBehaviorError(
                     UBKind.FORMAT_MISMATCH,
-                    f"{name}(): unknown conversion specifier '%{conv}'.", line=line)
+                    f"{name}(): unknown conversion specifier '%{conv}'.", line=line),
+                    FAMILY_FUNCTIONS)
     return "".join(output)
 
 
@@ -565,8 +581,9 @@ def _abs(interp, args, line) -> CValue:
     value = _int_arg(interp, args, 0, line, "abs")
     lo, _hi = ct.integer_range(ct.INT, interp.profile)
     if value == lo and interp.options.check_arithmetic:
-        raise UndefinedBehaviorError(
-            UBKind.SIGNED_OVERFLOW, "abs(INT_MIN) overflows.", line=line)
+        report_undefined(UndefinedBehaviorError(
+            UBKind.SIGNED_OVERFLOW, "abs(INT_MIN) overflows.", line=line),
+            FAMILY_ARITHMETIC)
     return IntValue(abs(value), ct.INT)
 
 
@@ -574,8 +591,9 @@ def _labs(interp, args, line) -> CValue:
     value = _int_arg(interp, args, 0, line, "labs")
     lo, _hi = ct.integer_range(ct.LONG, interp.profile)
     if value == lo and interp.options.check_arithmetic:
-        raise UndefinedBehaviorError(
-            UBKind.SIGNED_OVERFLOW, "labs(LONG_MIN) overflows.", line=line)
+        report_undefined(UndefinedBehaviorError(
+            UBKind.SIGNED_OVERFLOW, "labs(LONG_MIN) overflows.", line=line),
+            FAMILY_ARITHMETIC)
     return IntValue(abs(value), ct.LONG)
 
 

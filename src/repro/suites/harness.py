@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.analyzers.base import AnalysisTool, ToolResult
+from repro.analyzers.base import (
+    AnalysisTool,
+    SemanticsBasedTool,
+    ToolResult,
+    run_probe_group,
+    sharing_signature,
+)
 from repro.reporting import format_percent, render_table
 
 
@@ -231,10 +237,38 @@ class ComparisonResult:
             title="Mean analysis time per test (dynamic stage; compile cached)")
 
 
-def _analyze_task(task: tuple) -> ToolResult:
-    """Pool worker: one (tool, case) verdict.  Must stay module-level (picklable)."""
-    tool, source, filename = task
-    return tool.timed_analyze(source, filename=filename)
+def analyze_case(tools: Sequence[AnalysisTool], source: str,
+                 filename: str) -> list[ToolResult]:
+    """All tools' verdicts on one program, sharing executions where possible.
+
+    Semantics-based tools that can share an execution (everything but the
+    evaluation-order search) are grouped into one observed run of the
+    engine: the probes of :mod:`repro.analyzers.base` filter its event
+    stream, so N tool verdicts cost one parse and one execution.  Any
+    remaining tools run individually through ``timed_analyze``.
+    """
+    groups: dict[object, list[SemanticsBasedTool]] = {}
+    for tool in tools:
+        if isinstance(tool, SemanticsBasedTool) and tool.can_share_execution:
+            # Tools share an execution only when they agree on everything
+            # outside the check flags (profile, resource limits, ...); a
+            # mixed lineup simply runs one execution per signature.
+            groups.setdefault(sharing_signature(tool.options), []).append(tool)
+    results: dict[int, ToolResult] = {}
+    for group in groups.values():
+        for tool, result in zip(group,
+                                run_probe_group(group, source, filename=filename)):
+            results[id(tool)] = result
+    for tool in tools:
+        if id(tool) not in results:
+            results[id(tool)] = tool.timed_analyze(source, filename=filename)
+    return [results[id(tool)] for tool in tools]
+
+
+def _analyze_case_task(task: tuple) -> list[ToolResult]:
+    """Pool worker: one case, all tools.  Must stay module-level (picklable)."""
+    tools, source, filename = task
+    return analyze_case(tools, source, filename)
 
 
 class EvaluationHarness:
@@ -248,9 +282,10 @@ class EvaluationHarness:
                   jobs: Optional[int] = 1) -> ComparisonResult:
         """Run every tool over every (selected) case.
 
-        With ``jobs > 1`` the (tool, case) grid fans out over a process pool;
-        record order — and therefore every score and table — is identical to
-        the serial path.
+        With ``jobs > 1`` cases fan out over a process pool; record order —
+        and therefore every score and table — is identical to the serial
+        path.  Either way, each case costs one shared execution for all the
+        probe-backed tools (see :func:`analyze_case`).
         """
         selected = list(cases) if cases is not None else suite.cases
         comparison = ComparisonResult(suite=suite)
@@ -259,26 +294,17 @@ class EvaluationHarness:
             score = SuiteScore(tool=tool.name)
             for case_index, case in enumerate(selected):
                 score.records.append(CaseRecord(
-                    case=case, result=results[index * len(selected) + case_index]))
+                    case=case, result=results[case_index][index]))
             comparison.scores.append(score)
         return comparison
 
     def _run_grid(self, selected: Sequence[TestCase], *,
-                  jobs: Optional[int]) -> list[ToolResult]:
+                  jobs: Optional[int]) -> list[list[ToolResult]]:
         from repro.api.batch import run_pooled
 
-        # Tasks go out case-major with one case's tools per chunk, so every
-        # worker that analyzes a program runs all tools on it and its
-        # per-process shared compile cache yields one parse per program.
         tools = self.tools
-        tasks = [(tool, case.source, case.name)
-                 for case in selected for tool in tools]
-        results = run_pooled(_analyze_task, tasks, jobs=jobs,
-                             chunksize=len(tools))
-        # Reorder to the tool-major layout run_suite indexes into.
-        return [results[case_index * len(tools) + tool_index]
-                for tool_index in range(len(tools))
-                for case_index in range(len(selected))]
+        tasks = [(tools, case.source, case.name) for case in selected]
+        return run_pooled(_analyze_case_task, tasks, jobs=jobs)
 
 
 def run_comparison(suite: TestSuite, tools: Optional[Sequence[AnalysisTool]] = None,

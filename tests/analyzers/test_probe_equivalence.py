@@ -1,0 +1,132 @@
+"""Probe-vs-legacy equivalence: one shared execution, four unchanged verdicts.
+
+The redesign turns the comparison tools into probes over a single observed
+execution.  These tests hold that path to the seed's dedicated-execution
+verdicts on the exact inputs of the reproduced figures: every case of the
+undefinedness suite (Figure 3) and the Juliet-style suite (Figure 2), for
+all four tools.  ``analyze_isolated`` is the legacy path — own engine, own
+options, the Valgrind tool's own memory model — kept precisely so this
+comparison stays honest.
+"""
+
+import pytest
+
+from repro.analyzers import default_tools
+from repro.analyzers.base import probe_checker_for, merge_options, run_probe_group
+from repro.suites.juliet import generate_juliet_suite
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+TOOLS = default_tools()
+UBSUITE = generate_undefinedness_suite()
+JULIET = generate_juliet_suite()
+
+
+def assert_case_equivalent(case):
+    shared = run_probe_group(TOOLS, case.source, filename=case.name)
+    for tool, probe_result in zip(TOOLS, shared):
+        isolated = tool.analyze_isolated(case.source, filename=case.name)
+        assert probe_result.flagged == isolated.flagged, (
+            f"{case.name} [{tool.name}]: probe says "
+            f"{probe_result.flagged} ({probe_result.detail!r}), isolated says "
+            f"{isolated.flagged} ({isolated.detail!r})")
+        assert probe_result.inconclusive == isolated.inconclusive, (
+            case.name, tool.name, probe_result.detail, isolated.detail)
+
+
+@pytest.mark.parametrize("case", UBSUITE.cases, ids=lambda c: c.name)
+def test_figure3_inputs_probe_matches_isolated(case):
+    assert_case_equivalent(case)
+
+
+@pytest.mark.parametrize("case", JULIET.cases, ids=lambda c: c.name)
+def test_figure2_inputs_probe_matches_isolated(case):
+    assert_case_equivalent(case)
+
+
+def test_one_run_feeds_all_tool_verdicts():
+    # The acceptance observable: one Checker.stats run, N verdicts.
+    source = "int main(void){ int d = 0; return 5 / d; }"
+    union = merge_options([tool.options for tool in TOOLS])
+    checker = probe_checker_for(union)
+    before = checker.stats.snapshot()
+    results = run_probe_group(TOOLS, source, filename="one-run.c")
+    after = checker.stats.snapshot()
+    assert after["run_count"] - before["run_count"] == 1
+    assert len(results) == len(TOOLS) == 4
+    by_name = {result.tool: result for result in results}
+    assert not by_name["Valgrind"].flagged          # arithmetic is off-model
+    assert not by_name["CheckPointer"].flagged
+    assert by_name["V. Analysis"].flagged
+    assert by_name["kcc"].flagged
+    # All four verdicts carry the same shared dynamic-stage runtime.
+    assert len({result.runtime_seconds for result in results}) == 1
+    assert results[0].runtime_seconds > 0
+
+
+def test_one_parse_feeds_repeat_analyses():
+    source = "int main(void){ return 0; }"
+    union = merge_options([tool.options for tool in TOOLS])
+    checker = probe_checker_for(union)
+    run_probe_group(TOOLS, source, filename="reuse.c")
+    before = checker.stats.snapshot()
+    run_probe_group(TOOLS, source, filename="reuse.c")
+    after = checker.stats.snapshot()
+    assert after["parse_count"] == before["parse_count"]  # cache hit
+    assert after["run_count"] - before["run_count"] == 1
+
+
+def test_mixed_resource_limits_do_not_share_an_execution():
+    # A tool with different max_steps genuinely runs a different analysis:
+    # the group runner refuses, and the harness groups by signature instead.
+    from repro.core.config import CheckerOptions
+    from repro.suites.harness import analyze_case
+
+    looping = "int main(void){ int i, s = 0; for (i = 0; i < 1000; i++) s += i; return 0; }"
+    tools = default_tools(CheckerOptions(max_steps=50))  # kcc only: tight budget
+    with pytest.raises(ValueError):
+        run_probe_group(tools, looping)
+    results = analyze_case(tools, looping, "tight.c")
+    for tool, result in zip(tools, results):
+        isolated = tool.analyze_isolated(looping, filename="tight.c")
+        assert (result.flagged, result.inconclusive) == \
+            (isolated.flagged, isolated.inconclusive), tool.name
+    assert results[3].inconclusive  # kcc ran out of its 50-step budget
+
+
+def test_mixed_profiles_run_one_execution_per_signature():
+    # Customizing kcc's implementation profile must not crash the harness
+    # (each signature group gets its own shared run).
+    from repro.cfront.ctypes import ILP32
+    from repro.core.config import CheckerOptions
+    from repro.suites.harness import analyze_case
+
+    tools = default_tools(CheckerOptions(profile=ILP32))
+    results = analyze_case(
+        tools, "int main(void){ long x = 2147483647; return (x + 1) > 0; }", "ilp32.c")
+    assert [result.tool for result in results] == [
+        "Valgrind", "CheckPointer", "V. Analysis", "kcc"]
+    # long is 8 bytes under LP64 (no overflow) but 4 under ILP32: kcc's
+    # profile-specific verdict survives the grouping.
+    assert results[3].flagged and not results[2].flagged
+
+
+def test_merge_options_tracks_the_event_family_list():
+    from repro.analyzers.base import _CHECK_FLAGS
+    from repro.core.config import CheckerOptions
+    from repro.events import FAMILIES
+
+    assert _CHECK_FLAGS == tuple(f"check_{family}" for family in FAMILIES)
+    for flag in _CHECK_FLAGS:
+        assert hasattr(CheckerOptions(), flag), flag
+
+
+def test_search_mode_tool_refuses_to_share():
+    from repro.analyzers.base import KccAnalysisTool
+
+    searching = KccAnalysisTool(search_evaluation_order=True)
+    assert not searching.can_share_execution
+    with pytest.raises(ValueError):
+        run_probe_group([searching], "int main(void){ return 0; }")
+    # analyze() still works: it falls back to the isolated engine.
+    result = searching.analyze("int main(void){ int x = 0; return (x=1)+(x=2); }")
+    assert result.flagged

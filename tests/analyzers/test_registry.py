@@ -1,0 +1,109 @@
+"""The decorator-based tool registry and the ToolResult plumbing fixes."""
+
+import pytest
+
+from repro.analyzers import (
+    ToolResult,
+    available_tool_names,
+    make_tools,
+    register_tool,
+    registered_tools,
+    tool_by_name,
+)
+from repro.analyzers.base import AnalysisTool
+from repro.analyzers.registry import _ALIASES, _REGISTRY, resolve_entry
+from repro.errors import UBKind
+
+
+class TestRegistration:
+    def test_builtins_register_in_figure_order(self):
+        defaults = [e for e in registered_tools() if e.figure_order is not None]
+        assert [e.key for e in defaults] == [
+            "valgrind", "checkpointer", "value-analysis", "kcc"]
+
+    def test_available_names(self):
+        assert set(available_tool_names()) >= {
+            "valgrind", "checkpointer", "value-analysis", "kcc"}
+
+    def test_aliases_resolve(self):
+        assert tool_by_name("memcheck").name == "Valgrind"
+        assert tool_by_name("va").name == "V. Analysis"
+        assert tool_by_name("V. Analysis").name == "V. Analysis"  # table name
+        assert tool_by_name("KCC").name == "kcc"                  # case-blind
+
+    def test_unknown_tools_all_reported_at_once(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_tools(["valgrind", "lint", "kcc", "splint"])
+        message = str(excinfo.value)
+        assert "'lint'" in message and "'splint'" in message
+        assert "valgrind" in message  # the catalogue of valid choices
+
+    def test_custom_tool_registration(self):
+        @register_tool("flags-nothing", aliases=("fn",))
+        class FlagsNothingTool(AnalysisTool):
+            """A do-nothing analyzer used by the registry tests."""
+
+            name = "FlagsNothing"
+            models = "nothing at all"
+
+            def analyze(self, source, *, filename="<input>"):
+                return ToolResult(tool=self.name, flagged=False, detail="n/a")
+
+        try:
+            assert tool_by_name("fn").name == "FlagsNothing"
+            assert "flags-nothing" in available_tool_names()
+            # Not part of the default lineup (no figure_order).
+            assert all(tool.name != "FlagsNothing" for tool in make_tools(None))
+            entry = resolve_entry("flags-nothing")
+            assert entry.describe()["summary"].startswith("A do-nothing analyzer")
+        finally:
+            _REGISTRY.pop("flags-nothing", None)
+            _ALIASES.pop("fn", None)
+            _ALIASES.pop("flagsnothing", None)
+
+
+class TestToolResultPlumbing:
+    def test_to_dict(self):
+        result = ToolResult(tool="kcc", flagged=True,
+                            kinds=[UBKind.DIVISION_BY_ZERO],
+                            detail="undefined: division", runtime_seconds=0.25,
+                            overhead_seconds=0.01)
+        data = result.to_dict()
+        assert data == {
+            "tool": "kcc", "flagged": True, "kinds": ["DIVISION_BY_ZERO"],
+            "detail": "undefined: division", "inconclusive": False,
+            "runtime_seconds": 0.25, "overhead_seconds": 0.01,
+        }
+        import json
+        json.dumps(data)  # JSON-ready, like CheckReport.to_dict
+
+    def test_timed_analyze_preserves_tool_reported_runtime(self):
+        class SelfTimingTool(AnalysisTool):
+            name = "self-timing"
+
+            def analyze(self, source, *, filename="<input>"):
+                return ToolResult(tool=self.name, flagged=False,
+                                  runtime_seconds=0.001)
+
+        result = SelfTimingTool().timed_analyze("int main(void){return 0;}")
+        assert result.runtime_seconds == 0.001  # not overwritten
+        assert result.overhead_seconds >= 0.0
+
+    def test_timed_analyze_fills_runtime_when_unreported(self):
+        class UntimedTool(AnalysisTool):
+            name = "untimed"
+
+            def analyze(self, source, *, filename="<input>"):
+                return ToolResult(tool=self.name, flagged=False)
+
+        result = UntimedTool().timed_analyze("int main(void){return 0;}")
+        assert result.runtime_seconds > 0
+        assert result.overhead_seconds == 0.0
+
+    def test_probe_tools_report_shared_runtime_through_timed_analyze(self):
+        # The harness path: a probe-backed tool reports the shared dynamic
+        # stage as its runtime; timed_analyze keeps it and accounts its own
+        # wall clock on top as overhead.
+        result = tool_by_name("kcc").timed_analyze("int main(void){ return 0; }")
+        assert result.runtime_seconds > 0
+        assert result.overhead_seconds >= 0.0

@@ -1,0 +1,124 @@
+"""Execution-event stream: golden-trace equality between the two engines.
+
+The instrumented lowered IR and the legacy walker must tell the same story:
+for every program of the undefinedness suite, attaching a trace recorder to
+both engines yields the *identical* event sequence.  (Instrumented lowering
+never constant-folds, precisely so the comparison is exact rather than
+"modulo fold-elided constant subtrees"; a separate test pins down that the
+plain, folding IR is what unprobed runs execute.)
+"""
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.core.kcc import KccTool
+from repro.events import ExecutionTrace, TraceRecorderProbe
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+SUITE = generate_undefinedness_suite()
+
+
+def trace_of(source: str, name: str, *, lowering: bool,
+             continue_past_ub: bool = False):
+    tool = KccTool(CheckerOptions(enable_lowering=lowering),
+                   run_static_checks=False)
+    compiled = tool.compile_unit(source, filename=name)
+    if not compiled.ok:
+        return None, None
+    probe = TraceRecorderProbe(filename=name, continue_past_ub=continue_past_ub)
+    report = tool.run_unit(compiled, probes=[probe])
+    return probe.trace, report
+
+
+@pytest.mark.parametrize("case", SUITE.cases, ids=lambda c: c.name)
+def test_golden_trace_walker_vs_lowered(case):
+    lowered_trace, lowered_report = trace_of(case.source, case.name, lowering=True)
+    walker_trace, walker_report = trace_of(case.source, case.name, lowering=False)
+    if lowered_trace is None:
+        assert walker_trace is None
+        return
+    assert lowered_report.outcome.describe() == walker_report.outcome.describe()
+    assert lowered_trace.events == walker_trace.events, (
+        f"{case.name}: engines disagree at event "
+        f"{next(i for i, (a, b) in enumerate(zip(lowered_trace.events, walker_trace.events)) if a != b) if lowered_trace.events != walker_trace.events and len(lowered_trace.events) == len(walker_trace.events) else 'length'}")
+
+
+@pytest.mark.parametrize("case", SUITE.cases[:20], ids=lambda c: c.name)
+def test_golden_trace_in_observed_mode(case):
+    # With continuation past gated checks the engines must *still* agree —
+    # this exercises the observed-mode fallbacks on both engines.
+    lowered_trace, _ = trace_of(case.source, case.name, lowering=True,
+                                continue_past_ub=True)
+    walker_trace, _ = trace_of(case.source, case.name, lowering=False,
+                               continue_past_ub=True)
+    if lowered_trace is None:
+        assert walker_trace is None
+        return
+    assert lowered_trace.events == walker_trace.events
+
+
+def test_unprobed_lowered_ir_is_the_plain_fast_path():
+    # The compile-time null-probe specialization: an unprobed run uses the
+    # folding, uninstrumented IR; a probed run the fold-free instrumented one.
+    tool = KccTool(CheckerOptions())
+    compiled = tool.compile_unit("int main(void){ return 1 + 2; }")
+    tool.run_unit(compiled)
+    tool.run_unit(compiled, probes=[TraceRecorderProbe()])
+    keys = set(compiled._lowered)
+    assert (tool.options, True, False) in keys    # plain: folded, no events
+    assert (tool.options, False, True) in keys    # instrumented: fold-free
+    plain = compiled._lowered[(tool.options, True, False)]
+    instrumented = compiled._lowered[(tool.options, False, True)]
+    assert plain.fold and not plain.instrument
+    assert instrumented.instrument and not instrumented.fold
+
+
+def test_passive_probe_leaves_the_report_identical():
+    source = "int main(void){ int d = 0; return 5 / d; }"
+    tool = KccTool(CheckerOptions(), run_static_checks=False)
+    bare = tool.run_unit(tool.compile_unit(source))
+    probe = TraceRecorderProbe()
+    probed = tool.run_unit(tool.compile_unit(source), probes=[probe])
+    assert bare.outcome.describe() == probed.outcome.describe()
+    assert bare.outcome.error.line == probed.outcome.error.line
+    # The trace ends where the run ends: at the division.
+    assert probe.trace.end["status"] == "undefined"
+    assert probe.trace.end["error"]["kind"] == "DIVISION_BY_ZERO"
+
+
+def test_trace_vocabulary_and_queries():
+    source = (
+        "int add(int a, int b){ return a + b; }\n"
+        "int main(void){ int i, s = 0;\n"
+        "  for (i = 0; i < 3; i++) { if (i > 1) s += add(s, i); }\n"
+        "  return s; }\n")
+    tool = KccTool(CheckerOptions())
+    probe = TraceRecorderProbe(filename="trace.c")
+    tool.run_unit(tool.compile_unit(source, filename="trace.c"), probes=[probe])
+    trace = probe.trace
+    summary = trace.summary()
+    # Every family of the vocabulary shows up in this tiny program...
+    for kind in ("alloc", "read", "write", "seq-point", "lvalue-convert",
+                 "arith-check", "call", "return", "branch", "choice"):
+        assert summary.get(kind, 0) > 0, (kind, summary)
+    # ... and the queries slice it.
+    assert trace.count("call") == trace.count("return")
+    calls = trace.select("call", function="add")
+    assert len(calls) == 1  # i in {2}
+    assert trace.select("branch", taken=False)  # each loop's exit test
+    assert 3 in trace.lines_touched()
+
+
+def test_trace_json_round_trip(tmp_path):
+    source = "int main(void){ int x = 1; return x + 1; }"
+    tool = KccTool(CheckerOptions())
+    probe = TraceRecorderProbe(filename="rt.c")
+    tool.run_unit(tool.compile_unit(source, filename="rt.c"), probes=[probe])
+    trace = probe.trace
+    path = tmp_path / "trace.json"
+    path.write_text(trace.to_json(indent=2), encoding="utf-8")
+    reloaded = ExecutionTrace.from_json(path.read_text(encoding="utf-8"))
+    assert reloaded.events == trace.events
+    assert reloaded.end == trace.end
+    assert reloaded.filename == "rt.c"
+    assert reloaded.summary() == trace.summary()

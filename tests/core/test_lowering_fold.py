@@ -147,4 +147,4 @@ class TestFoldedPrograms:
             "int main(void){ int x = 0; return (x = 1) + (x = 2); }")
         report = tool.run_unit(compiled)
         assert report.outcome.kind is OutcomeKind.UNDEFINED
-        assert (CheckerOptions(), False) in compiled._lowered  # fold=False IR
+        assert (CheckerOptions(), False, False) in compiled._lowered  # fold=False IR

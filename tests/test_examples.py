@@ -23,7 +23,8 @@ def run_example(name: str, *args: str) -> str:
 def test_examples_are_present():
     names = {path.name for path in EXAMPLES}
     assert {"quickstart.py", "undefined_gallery.py", "evaluation_order_search.py",
-            "juliet_scan.py", "implementation_profiles.py"} <= names
+            "juliet_scan.py", "implementation_profiles.py",
+            "custom_probe.py"} <= names
 
 
 def test_quickstart_output():
@@ -73,6 +74,16 @@ def test_implementation_profiles_output(extra):
     assert "BUFFER_OVERFLOW" in output or "undefined" in output
 
 
+@pytest.mark.parametrize("extra", [(), ("--no-lowering",)],
+                         ids=["lowered", "legacy-walker"])
+def test_custom_probe_output(extra):
+    output = run_example("custom_probe.py", *extra)
+    assert "fib() invocations:  276" in output
+    assert "trace events:" in output
+    assert "defined (exit code 34)" in output
+
+
 def test_examples_report_identically_with_and_without_lowering():
-    for name in ("undefined_gallery.py", "implementation_profiles.py"):
+    for name in ("undefined_gallery.py", "implementation_profiles.py",
+                 "custom_probe.py"):
         assert run_example(name) == run_example(name, "--no-lowering"), name
