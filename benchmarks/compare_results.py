@@ -1,0 +1,129 @@
+"""Benchmark regression gate: compare fresh results against baselines.
+
+Compares the machine-independent *ratio* metrics of the committed
+``benchmarks/results/*.json`` baselines against a freshly generated set:
+
+* ``interp_speed.json`` — per-program ``speedup`` (lowered vs legacy walker);
+* ``search_speed.json`` — per-program ``reduction_factor`` (seed DFS runs
+  from ``main`` vs the search engine's).
+
+Absolute throughput numbers (runs/sec) vary with the host and are reported
+but never gated; a ratio regressing by more than ``--max-regression``
+(default 15%) fails the gate.  Usage::
+
+    python benchmarks/compare_results.py \\
+        --baseline /tmp/baseline-results --fresh benchmarks/results
+
+Exit status: 0 when every gated metric holds (or has no baseline yet),
+1 on a regression, 2 on unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: file name -> ratio metrics gated within each top-level program entry.
+GATED_METRICS = {
+    "interp_speed.json": ("speedup",),
+    "search_speed.json": ("reduction_factor",),
+}
+
+
+def load(path: pathlib.Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"compare_results: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def compare_file(
+    name: str,
+    baseline: dict | None,
+    fresh: dict | None,
+    max_regression: float,
+) -> list[str]:
+    failures: list[str] = []
+    if fresh is None:
+        failures.append(f"{name}: fresh results missing (benchmark did not run)")
+        return failures
+    if baseline is None:
+        print(f"{name}: no committed baseline yet; gate passes vacuously")
+        return failures
+    for program in sorted(set(baseline) - set(fresh)):
+        # A silently vanished program would disable its gate while CI
+        # stays green; renames must update the committed baseline too.
+        failures.append(f"{name}: baseline program {program!r} missing from fresh run")
+    for program, fresh_entry in sorted(fresh.items()):
+        base_entry = baseline.get(program)
+        if not isinstance(base_entry, dict) or not isinstance(fresh_entry, dict):
+            continue
+        for metric in GATED_METRICS[name]:
+            base_value = base_entry.get(metric)
+            fresh_value = fresh_entry.get(metric)
+            if not isinstance(base_value, (int, float)):
+                continue
+            if not isinstance(fresh_value, (int, float)):
+                failures.append(f"{name}: {program}.{metric} missing in fresh run")
+                continue
+            floor = base_value * (1.0 - max_regression)
+            status = "OK " if fresh_value >= floor else "REG"
+            print(
+                f"{status} {name}: {program}.{metric} "
+                f"baseline={base_value:.3f} fresh={fresh_value:.3f} "
+                f"floor={floor:.3f}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}: {program}.{metric} regressed "
+                    f"{base_value:.3f} -> {fresh_value:.3f} "
+                    f"(> {max_regression:.0%} drop)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        type=pathlib.Path,
+        help="directory with the committed baseline result JSONs",
+    )
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        type=pathlib.Path,
+        help="directory with freshly generated result JSONs",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="largest tolerated relative drop of a gated ratio (default 0.15)",
+    )
+    arguments = parser.parse_args(argv)
+    failures: list[str] = []
+    for name in GATED_METRICS:
+        failures += compare_file(
+            name,
+            load(arguments.baseline / name),
+            load(arguments.fresh / name),
+            arguments.max_regression,
+        )
+    if failures:
+        print("\nBenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nBenchmark regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

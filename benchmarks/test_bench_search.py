@@ -3,15 +3,37 @@
 Whether a program is undefined can depend on the (unspecified) evaluation
 order; the paper's ``setDenom`` example is compiled without error by GCC and
 to a division by zero by CompCert, and both are allowed.  A checker therefore
-has to search evaluation orders.  This benchmark measures the cost of that
-search and checks that it finds undefinedness that single-order execution
-misses, without introducing false positives on defined programs.
+has to search evaluation orders.
+
+Two tables come out of this module:
+
+* ``evaluation_order_search.txt`` — the qualitative table: undefinedness
+  reachable only under some orders is found, defined programs stay defined.
+* ``search_speed.{txt,json}`` — the engine-vs-seed comparison on
+  deep-interleaving programs: the seed-style DFS re-executes the whole
+  program from ``main`` once per explored order, while the engine resumes
+  sibling orders from forked checkpoints, merges converging interleavings,
+  and prunes commuting groups.  The gate below requires the engine to reach
+  the identical verdict set with at least 5x fewer runs from ``main`` on a
+  program with >= 200 explorable orders; ``benchmarks/compare_results.py``
+  holds future changes to these ratios (the CI regression gate).
 """
 
-from repro import CheckerOptions, OutcomeKind, UBKind, check_program
+import json
+import time
+
+from repro import (
+    Checker,
+    CheckerOptions,
+    OutcomeKind,
+    SearchBudget,
+    UBKind,
+    check_program,
+)
+from repro.kframework.engine import checkpoint_supported
 from repro.reporting import render_table
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import RESULTS_DIR, publish
 
 SET_DENOM = """
 int d = 5;
@@ -43,6 +65,97 @@ PROGRAMS = [
 ]
 
 
+def _chain(variables: list[str]) -> str:
+    decls = "int " + ", ".join(variables) + ";"
+    body = "\n".join(f"    r += ({variables[i]}++) + ({variables[i + 1]}++);"
+                     for i in range(0, len(variables), 2))
+    return f"{decls}\nint main(void) {{\n    int r = 0;\n{body}\n    return r;\n}}\n"
+
+
+#: Eight sequential two-way interleaving decisions: 2^8 = 256 explorable
+#: orders, all converging (disjoint objects).  This is the acceptance
+#: program: >= 200 orders, identical verdict set, >= 5x fewer full runs.
+DEEP_COMMUTING = _chain([f"u{i}" for i in range(16)])
+
+#: Six decisions whose siblings only converge *after* each statement; run
+#: with the commutativity filter off, this isolates what dedup alone saves.
+DEEP_CONVERGING = _chain([f"v{i}" for i in range(12)])
+
+#: Seven commuting statements hiding an order-dependent division by zero in
+#: the eighth; the final statement contributes further decisions of its own
+#: (the call-argument group and the assignment inside setDenom), for about
+#: a thousand explorable orders in total.
+DEEP_HIDDEN_UB = """
+int w0, w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11, w12, w13;
+int d = 5;
+int setDenom(int x){ return d = x; }
+int main(void) {
+    int r = 0;
+    r += (w0++) + (w1++);
+    r += (w2++) + (w3++);
+    r += (w4++) + (w5++);
+    r += (w6++) + (w7++);
+    r += (w8++) + (w9++);
+    r += (w10++) + (w11++);
+    r += (w12++) + (w13++);
+    r += (10/d) + setDenom(0);
+    return r;
+}
+"""
+
+BIG_BUDGET = SearchBudget(max_paths=4096)
+
+
+def _verdict_set(report) -> set:
+    out = set()
+    for path in report.search.paths:
+        outcome = path.payload
+        out.add((path.undefined,
+                 tuple(outcome.ub_kinds) if outcome.flagged else ()))
+    return out
+
+
+def _measure(checker: Checker, source: str, **kwargs):
+    start = time.perf_counter()
+    report = checker.search(source, budget=BIG_BUDGET, stop_at_first=False,
+                            **kwargs)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def _engine_columns(source: str, name: str) -> dict:
+    checker = Checker()
+    legacy_report, legacy_time = _measure(
+        checker, source, checkpoint="replay", dedup_states=False,
+        prune_commuting=False)
+    legacy = legacy_report.search
+    engine_report, engine_time = _measure(checker, source)
+    engine = engine_report.search
+    assert legacy.exhausted and engine.exhausted, name
+    # Identical verdict *set*: dedup/pruning may record fewer paths, but
+    # every verdict reachable under some order must survive.
+    assert _verdict_set(engine_report) == _verdict_set(legacy_report), name
+    assert engine.any_undefined == legacy.any_undefined, name
+    orders_covered = engine.explored + engine.merged_paths + engine.pruned_orders
+    return {
+        "orders": legacy.explored,
+        "legacy_runs_from_main": legacy.runs_from_main,
+        "legacy_seconds": round(legacy_time, 4),
+        "legacy_paths_per_sec": round(legacy.explored / max(legacy_time, 1e-9), 1),
+        "engine_runs_from_main": engine.runs_from_main,
+        "engine_resumed": engine.resumed_executions,
+        "engine_explored": engine.explored,
+        "engine_merged": engine.merged_paths,
+        "engine_pruned": engine.pruned_orders,
+        "engine_seconds": round(engine_time, 4),
+        "engine_orders_per_sec": round(orders_covered / max(engine_time, 1e-9), 1),
+        "engine_mode": "checkpoint-fork" if checkpoint_supported() else "replay",
+        "reduction_factor": round(
+            legacy.runs_from_main / max(engine.runs_from_main, 1), 2),
+        "wall_clock_speedup": round(legacy_time / max(engine_time, 1e-9), 2),
+    }
+
+
 def test_search_finds_order_dependent_undefinedness(capsys, benchmark):
     def survey():
         collected = []
@@ -59,10 +172,13 @@ def test_search_finds_order_dependent_undefinedness(capsys, benchmark):
         rows.append([label,
                      "undefined" if single.outcome.flagged else "defined",
                      "undefined" if searched.outcome.flagged else "defined",
-                     explored])
+                     explored,
+                     searched.search.stop_reason,
+                     f"{searched.search.coverage():.0%}"])
         assert searched.outcome.flagged == expect_undefined, label
     table = render_table(
-        ["program", "single order", "order search", "orders explored"], rows,
+        ["program", "single order", "order search", "orders explored",
+         "stop reason", "coverage"], rows,
         title="Evaluation-order search (undefinedness reachable on some orders)")
     publish("evaluation_order_search.txt", table, capsys)
 
@@ -77,6 +193,71 @@ def test_search_finds_order_dependent_undefinedness(capsys, benchmark):
     # Defined programs stay defined even after exploring every order.
     assert check_program(DEFINED_WITH_MANY_SUBEXPRESSIONS,
                          search_evaluation_order=True).outcome.kind is OutcomeKind.DEFINED
+
+
+def test_search_engine_speed(capsys, benchmark):
+    def survey():
+        return {
+            "deep-commuting-256": _engine_columns(DEEP_COMMUTING,
+                                                  "deep-commuting-256"),
+            "deep-converging-64": _engine_columns(DEEP_CONVERGING,
+                                                  "deep-converging-64"),
+            "deep-hidden-ub": _engine_columns(DEEP_HIDDEN_UB, "deep-hidden-ub"),
+        }
+
+    results = benchmark.pedantic(survey, rounds=1, iterations=1)
+    rows = []
+    for name, data in results.items():
+        rows.append([name, data["orders"],
+                     data["legacy_runs_from_main"],
+                     data["engine_runs_from_main"],
+                     data["engine_resumed"],
+                     data["engine_merged"],
+                     data["engine_pruned"],
+                     f"{data['reduction_factor']}x",
+                     f"{data['wall_clock_speedup']}x"])
+    table = render_table(
+        ["program", "orders", "seed runs", "engine runs", "resumed", "merged",
+         "pruned", "fewer runs", "wall clock"],
+        rows,
+        title="Search engine vs seed DFS (runs from main; engine resumes "
+              "siblings from checkpoints)")
+    publish("search_speed.txt", table, capsys)
+    (RESULTS_DIR / "search_speed.json").write_text(
+        json.dumps(results, indent=2) + "\n", encoding="utf-8")
+
+    # Acceptance gate: on a >= 200-order program the engine reaches the
+    # identical verdict set with >= 5x fewer full executions than the seed.
+    deep = results["deep-commuting-256"]
+    assert deep["orders"] >= 200
+    assert deep["legacy_runs_from_main"] >= \
+        5 * deep["engine_runs_from_main"], deep
+
+
+def test_dedup_alone_cuts_full_runs():
+    """With the commutativity filter off, dedup still merges interleavings."""
+    checker = Checker()
+    naive = checker.search(DEEP_CONVERGING, checkpoint="replay",
+                           dedup_states=False, prune_commuting=False,
+                           budget=BIG_BUDGET, stop_at_first=False).search
+    deduped = checker.search(DEEP_CONVERGING, checkpoint="replay",
+                             prune_commuting=False,
+                             budget=BIG_BUDGET, stop_at_first=False).search
+    assert deduped.merged_paths > 0
+    assert deduped.runs_from_main < naive.runs_from_main
+    assert naive.any_undefined == deduped.any_undefined
+
+
+def test_walker_engine_matches_lowered_engine_counts():
+    """Search over the legacy walker sees the identical decision tree."""
+    walker = Checker(CheckerOptions(enable_lowering=False))
+    lowered = Checker()
+    for source in (SET_DENOM, DEEP_CONVERGING):
+        a = walker.search(source, budget=BIG_BUDGET, stop_at_first=False).search
+        b = lowered.search(source, budget=BIG_BUDGET, stop_at_first=False).search
+        assert a.explored == b.explored
+        assert a.merged_paths == b.merged_paths
+        assert a.pruned_orders == b.pruned_orders
 
 
 def test_bench_search_cost(benchmark):

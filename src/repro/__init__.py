@@ -61,6 +61,7 @@ from repro.errors import (
     UndefinedBehaviorError,
 )
 from repro.events import ExecutionTrace, Probe, TraceRecorderProbe
+from repro.kframework.search import SearchBudget, SearchOptions, SearchResult
 
 __version__ = "1.2.0"
 
@@ -84,6 +85,9 @@ __all__ = [
     "OutcomeKind",
     "PROFILES",
     "Probe",
+    "SearchBudget",
+    "SearchOptions",
+    "SearchResult",
     "StaticViolation",
     "TraceRecorderProbe",
     "UBKind",

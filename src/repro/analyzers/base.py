@@ -229,7 +229,7 @@ def run_probe_group(tools: Sequence["SemanticsBasedTool"], source: str, *,
     probes = [tool.make_probe() for tool in tools]
     start = time.perf_counter()
     try:
-        report = checker.run(compiled, probes=probes)
+        checker.run(compiled, probes=probes)  # the probes carry the verdicts
     except Exception as error:  # resource limits, unsupported constructs
         elapsed = time.perf_counter() - start
         return [ToolResult(tool=tool.name, flagged=False, inconclusive=True,

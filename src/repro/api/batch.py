@@ -55,9 +55,11 @@ def _strip_for_ipc(report: CheckReport) -> CheckReport:
 
 def _check_one(task: tuple) -> CheckReport:
     """Pool worker: check one program.  Must stay module-level (picklable)."""
-    options, search_evaluation_order, run_static_checks, filename, source = task
+    (options, search_evaluation_order, run_static_checks, search_options,
+     filename, source) = task
     tool = KccTool(options, search_evaluation_order=search_evaluation_order,
-                   run_static_checks=run_static_checks)
+                   run_static_checks=run_static_checks,
+                   search_options=search_options)
     return _strip_for_ipc(tool.check(source, filename=filename))
 
 
@@ -120,7 +122,8 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
                     run_static_checks: bool = True,
                     jobs: Optional[int] = 1,
                     checker=None,
-                    probe_factory=None) -> Iterator[CheckReport]:
+                    probe_factory=None,
+                    search_options=None) -> Iterator[CheckReport]:
     """Yield one :class:`CheckReport` per input, in input order.
 
     The parallel path streams: a verdict is yielded as soon as it (and all
@@ -139,16 +142,19 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
         yield from _iter_serial(pairs, options=options,
                                 search_evaluation_order=search_evaluation_order,
                                 run_static_checks=run_static_checks,
-                                checker=checker, probe_factory=probe_factory)
+                                checker=checker, probe_factory=probe_factory,
+                                search_options=search_options)
         return
-    tasks = [(options, search_evaluation_order, run_static_checks, filename, source)
+    tasks = [(options, search_evaluation_order, run_static_checks,
+              search_options, filename, source)
              for filename, source in pairs]
     pool = _make_pool(min(worker_count, len(tasks)))
     if pool is None:  # pragma: no cover - sandboxed hosts
         yield from _iter_serial(pairs, options=options,
                                 search_evaluation_order=search_evaluation_order,
                                 run_static_checks=run_static_checks,
-                                checker=checker)
+                                checker=checker,
+                                search_options=search_options)
         return
     # Not `with pool:` — map() submits every task up front, and the context
     # manager's shutdown(wait=True) would make an abandoned iterator (e.g.
@@ -172,9 +178,11 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
 
 def _iter_serial(pairs: Sequence[tuple[str, str]], *, options: CheckerOptions,
                  search_evaluation_order: bool, run_static_checks: bool,
-                 checker=None, probe_factory=None) -> Iterator[CheckReport]:
+                 checker=None, probe_factory=None,
+                 search_options=None) -> Iterator[CheckReport]:
     tool = KccTool(options, search_evaluation_order=search_evaluation_order,
-                   run_static_checks=run_static_checks)
+                   run_static_checks=run_static_checks,
+                   search_options=search_options)
     if checker is not None and checker.options == options:
         # Borrow the session's compile cache, but honor the explicit flags —
         # the checker's own search/static configuration may differ, and the
@@ -197,10 +205,12 @@ def check_many(sources: Sequence[SourceSpec], *,
                run_static_checks: bool = True,
                jobs: Optional[int] = 1,
                checker=None,
-               probe_factory=None) -> list[CheckReport]:
+               probe_factory=None,
+               search_options=None) -> list[CheckReport]:
     """Check a batch of programs; the list is ordered like the input."""
     return list(iter_check_many(sources, options=options,
                                 search_evaluation_order=search_evaluation_order,
                                 run_static_checks=run_static_checks,
                                 jobs=jobs, checker=checker,
-                                probe_factory=probe_factory))
+                                probe_factory=probe_factory,
+                                search_options=search_options))

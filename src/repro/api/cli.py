@@ -4,7 +4,9 @@
 
     kcc-check check a.c b.c --jobs 4 --format json   # classify programs
     kcc-check run prog.c -- arg1 arg2                # run a defined program
-    kcc-check search prog.c                          # evaluation-order search
+    kcc-check search prog.c --coverage               # evaluation-order search
+    kcc-check search prog.c --strategy bfs --budget paths=256,seconds=5
+    kcc-check search prog.c --jobs 4                 # shard the root frontier
     kcc-check bench --smoke                          # evaluation tables
     kcc-check bench --tools valgrind,kcc             # a custom tool lineup
     kcc-check tools                                  # registered analyzers
@@ -86,8 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
     search = subparsers.add_parser(
         "search", help="check programs, exploring all evaluation orders (§2.5.2)")
     search.add_argument("files", nargs="+", help="C source files to check")
+    search.add_argument("--strategy", default="dfs",
+                        choices=("dfs", "bfs", "random"),
+                        help="frontier discipline for the order search")
+    search.add_argument("--budget", default=None, metavar="SPEC",
+                        help="search budget, e.g. paths=256,states=10000,"
+                             "seconds=5 (default: paths=64)")
     search.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="check N programs in parallel worker processes")
+                        help="shard each program's root frontier across N "
+                             "worker processes")
+    search.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for --strategy random")
+    search.add_argument("--coverage", action="store_true",
+                        help="report explored/merged/pruned counts, the stop "
+                             "reason, and the covered fraction per program")
+    search.add_argument("--no-dedup", action="store_true",
+                        help="disable state deduplication (explore every "
+                             "interleaving separately)")
+    search.add_argument("--no-prune", action="store_true",
+                        help="disable the commutativity filter")
+    search.add_argument("--checkpoint", default="auto",
+                        choices=("auto", "fork", "replay"),
+                        help="sibling resumption: fork prefix checkpoints "
+                             "(POSIX) or scripted replay from main")
     _add_common_options(search)
 
     bench = subparsers.add_parser(
@@ -163,6 +186,62 @@ def _cmd_check(arguments: argparse.Namespace, *, search: bool, out) -> int:
     if arguments.format == "json":
         # Always a list, regardless of input count: consumers should not
         # have to branch on how many files the invocation happened to name.
+        print(json.dumps(json_docs, indent=2), file=out)
+    return _batch_exit_code(reports)
+
+
+def _cmd_search(arguments: argparse.Namespace, *, out) -> int:
+    """The engine-backed search subcommand (strategy/budget/coverage knobs).
+
+    ``--jobs`` here shards each program's root frontier across worker
+    processes (the programs themselves are processed in order); use
+    ``check --search --jobs N`` to instead parallelize across programs.
+    """
+    from repro.kframework.search import SearchBudget, SearchOptions
+
+    options = _options_for(arguments)
+    try:
+        budget = (SearchBudget.parse(arguments.budget)
+                  if arguments.budget else SearchBudget())
+    except ValueError as error:
+        raise CliInputError(str(error)) from None
+    search_options = SearchOptions(
+        strategy=arguments.strategy, budget=budget, seed=arguments.seed,
+        jobs=arguments.jobs, dedup_states=not arguments.no_dedup,
+        prune_commuting=not arguments.no_prune,
+        checkpoint=arguments.checkpoint)
+    try:
+        # Surface configuration conflicts (fork + non-DFS frontier, fork on
+        # a platform without it) as usage errors, before reading any file.
+        from repro.kframework.engine import SearchEngine
+
+        SearchEngine._resolve_checkpoint(search_options)
+    except ValueError as error:
+        raise CliInputError(str(error)) from None
+    tool = KccTool(options, search_evaluation_order=True,
+                   run_static_checks=not arguments.no_static,
+                   search_options=search_options)
+    reports = []
+    json_docs = []
+    multiple = len(arguments.files) > 1
+    for path in arguments.files:
+        compiled = tool.compile_unit(_read_source(path), filename=path)
+        report = tool.run_unit(compiled)
+        reports.append(report)
+        if arguments.format == "json":
+            json_docs.append(report.to_dict())
+            continue
+        _emit_text(report, multiple=multiple, out=out)
+        if arguments.coverage and report.search is not None:
+            summary = report.search
+            print(f"  search: {summary.explored} explored, "
+                  f"{summary.merged_paths} merged, "
+                  f"{summary.pruned_orders} pruned-equivalent, "
+                  f"{summary.resumed_executions} resumed from checkpoints, "
+                  f"{summary.runs_from_main} runs from main", file=out)
+            print(f"  stopped: {summary.stop_reason} "
+                  f"(coverage {summary.coverage():.0%})", file=out)
+    if arguments.format == "json":
         print(json.dumps(json_docs, indent=2), file=out)
     return _batch_exit_code(reports)
 
@@ -244,7 +323,7 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
         if arguments.command == "check":
             return _cmd_check(arguments, search=arguments.search, out=out)
         if arguments.command == "search":
-            return _cmd_check(arguments, search=True, out=out)
+            return _cmd_search(arguments, out=out)
         if arguments.command == "run":
             return _cmd_run(arguments, out=out)
         if arguments.command == "tools":

@@ -32,6 +32,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.cfront.ctypes import ImplementationProfile
 from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
 from repro.core.kcc import CheckReport, CompiledUnit, KccTool, content_hash
+from repro.kframework.search import SearchBudget, SearchOptions
 
 
 @dataclass
@@ -200,6 +201,40 @@ class Checker:
         self.stats.bump("run_count")  # counted only when a run actually happened
         return report
 
+    # -- evaluation-order search ---------------------------------------------
+    def search(self, source: str | CompiledUnit, *, filename: str = "<input>",
+               argv: Optional[list[str]] = None, stdin: str = "",
+               strategy: str = "dfs", budget: Optional[SearchBudget] = None,
+               jobs: int = 1, seed: int = 0, dedup_states: bool = True,
+               prune_commuting: bool = True, checkpoint: str = "auto",
+               stop_at_first: bool = True) -> CheckReport:
+        """Explore the evaluation orders of one program (§2.5.2).
+
+        The search runs on :class:`repro.kframework.engine.SearchEngine`:
+        sibling orders resume from forked prefix checkpoints where the
+        platform allows it (``checkpoint="auto"``), converging interleavings
+        are merged by machine-state hash, and orders whose operand
+        footprints commute are skipped.  ``strategy`` picks the frontier
+        (``dfs``/``bfs``/``random`` + ``seed``), ``budget`` bounds the
+        exploration (default: ``max_paths`` from the checker options), and
+        ``jobs > 1`` shards the root frontier across a process pool.  The
+        report's ``search`` field carries the stop reason and coverage.
+        """
+        if isinstance(source, CompiledUnit):
+            compiled = source
+        else:
+            compiled = self.compile(source, filename=filename)
+        if budget is None:
+            budget = SearchBudget(max_paths=self.options.max_search_paths)
+        search_options = SearchOptions(
+            strategy=strategy, budget=budget, seed=seed, jobs=jobs,
+            dedup_states=dedup_states, prune_commuting=prune_commuting,
+            checkpoint=checkpoint, stop_at_first=stop_at_first)
+        report = self._tool.search_unit(compiled, argv=argv, stdin=stdin,
+                                        search=search_options)
+        self.stats.bump("run_count")
+        return report
+
     # -- compositions --------------------------------------------------------
     def check(self, source: str, *, filename: str = "<input>",
               argv: Optional[list[str]] = None, stdin: str = "") -> CheckReport:
@@ -223,7 +258,8 @@ class Checker:
         return check_many(sources, options=self.options,
                           search_evaluation_order=self.search_evaluation_order,
                           run_static_checks=self.run_static_checks,
-                          jobs=jobs, checker=self, probe_factory=probe_factory)
+                          jobs=jobs, checker=self, probe_factory=probe_factory,
+                          search_options=self._tool.search_options)
 
     def iter_check_many(self, sources: Iterable[str | tuple[str, str]], *,
                         jobs: Optional[int] = 1):

@@ -14,7 +14,7 @@ and stripped variants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import Optional
 
 
 # ---------------------------------------------------------------------------

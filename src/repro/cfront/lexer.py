@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import CParseError
 
@@ -268,7 +268,6 @@ class Lexer:
                 chars.append(self._lex_escape())
             else:
                 chars.append(self._advance())
-        text = self.source[:0]  # keep type checkers happy
         value = "".join(chars)
         return Token(TokenKind.STRING, f'"{value}"', line, column, value)
 

@@ -11,12 +11,11 @@ system getting stuck on an undefined redex (and of the explicit
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cfront import ast as c_ast
 from repro.cfront import ctypes as ct
 from repro.core.conversions import convert, to_boolean
-from repro.core.environment import FunctionBinding, LValue, ObjectBinding
+from repro.core.environment import FunctionBinding, LValue
 from repro.core.values import (
     CValue,
     FloatValue,
@@ -575,12 +574,15 @@ class ExpressionEvaluatorMixin:
         if expr.op == "=":
             # The value computation of both operands is unsequenced (§6.5.16).
             order = self.operand_order(2, expr)
+            strategy = self.strategy
             results: dict[int, object] = {}
             for position in order:
+                strategy.note_operand(expr, position)
                 if position == 0:
                     results[0] = self.eval_lvalue(expr.target)
                 else:
                     results[1] = self.eval_expr(expr.value)
+            strategy.note_group_end(expr)
             lvalue: LValue = results[0]  # type: ignore[assignment]
             value: CValue = results[1]   # type: ignore[assignment]
             if isinstance(value, StructValue) and lvalue.type.is_record:
@@ -634,10 +636,21 @@ class ExpressionEvaluatorMixin:
         (§2.5.2); the ``locsWrittenTo`` tracking in memory catches conflicts
         that manifest on the chosen order.
         """
-        order = self.operand_order(len(exprs), exprs[0] if exprs else None)
+        site = exprs[0] if exprs else None
+        order = self.operand_order(len(exprs), site)
         results: dict[int, CValue] = {}
-        for position in order:
-            results[position] = self.eval_expr(exprs[position])
+        if len(exprs) > 1:
+            # Boundary hooks let the search engine segment the event stream
+            # into per-operand footprints (commutativity filter); they are
+            # no-ops for fixed-order strategies.
+            strategy = self.strategy
+            for position in order:
+                strategy.note_operand(site, position)
+                results[position] = self.eval_expr(exprs[position])
+            strategy.note_group_end(site)
+        else:
+            for position in order:
+                results[position] = self.eval_expr(exprs[position])
         return [results[i] for i in range(len(exprs))]
 
     def _deref_to_lvalue(self, value: CValue, line: int) -> LValue:

@@ -13,15 +13,15 @@ from typing import Optional, Union
 
 from repro.cfront import ast as c_ast
 from repro.cfront import ctypes as ct
-from repro.core.conversions import convert, to_boolean
+from repro.core.conversions import to_boolean
 from repro.core.environment import (
     BreakSignal,
     ContinueSignal,
     GotoSignal,
     ReturnSignal,
 )
-from repro.core.values import CValue, IntValue, StructValue
-from repro.errors import UBKind, UndefinedBehaviorError, UnsupportedFeatureError
+from repro.core.values import CValue, IntValue
+from repro.errors import UnsupportedFeatureError
 from repro.events import BranchEvent
 
 

@@ -9,7 +9,7 @@ defined result (exit code plus program output) or raises
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.cfront import ast as c_ast
@@ -39,7 +39,6 @@ from repro.core.values import (
     PointerValue,
     StructValue,
     VoidValue,
-    decode_value,
     encode_value,
     unknown_bytes,
 )
@@ -708,7 +707,6 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
             raise UndefinedBehaviorError(
                 UBKind.BAD_FUNCTION_TYPE, "Call target could not be resolved.", line=line)
         definition = self.functions.get(name)
-        binding = self.function_bindings.get(name)
         if definition is None:
             if name in BUILTIN_FUNCTIONS:
                 return self._call_builtin(name, arguments, line)
@@ -790,10 +788,8 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
             elif definition.body is not None:
                 self.exec_compound(definition.body, new_scope=False)
             return_value: Optional[CValue] = None
-            fell_off_end = True
         except ReturnSignal as signal:
             return_value = signal.value
-            fell_off_end = False
         except GotoSignal as signal:
             raise UndefinedBehaviorError(
                 UBKind.DUPLICATE_LABEL,

@@ -38,7 +38,16 @@ from repro.errors import (
     UnsupportedFeatureError,
 )
 from repro.events import ProbeSet, RunEnd, UBEvent, UBRecorder, observed_execution
-from repro.kframework.search import PathOutcome, SearchResult, search_evaluation_orders
+from repro.kframework.search import (
+    STOP_EXHAUSTED,
+    STOP_FIRST_UNDEFINED,
+    STOP_MAX_PATHS,
+    PathOutcome,
+    SearchBudget,
+    SearchOptions,
+    SearchResult,
+    expand_scripts,
+)
 from repro.kframework.strategy import ScriptedStrategy
 from repro.sema.static_checks import check_translation_unit
 
@@ -138,11 +147,10 @@ class CheckReport:
             "outcome": self.outcome.to_dict(),
         }
         if self.search is not None:
-            data["search"] = {
-                "explored": self.search.explored,
-                "exhausted": self.search.exhausted,
-                "undefined_paths": len(self.search.undefined_paths),
-            }
+            # Includes the seed keys (explored/exhausted/undefined_paths)
+            # plus the engine's stop reason, execution counters, and the
+            # covered fraction of the discovered interleaving space.
+            data["search"] = self.search.to_dict()
         return data
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -171,10 +179,15 @@ class KccTool:
 
     def __init__(self, options: CheckerOptions = DEFAULT_OPTIONS, *,
                  search_evaluation_order: bool = False,
-                 run_static_checks: bool = True) -> None:
+                 run_static_checks: bool = True,
+                 search_options: Optional[SearchOptions] = None) -> None:
         self.options = options
         self.search_evaluation_order = search_evaluation_order
         self.run_static_checks = run_static_checks
+        #: Engine configuration used by search mode; None picks the default
+        #: (DFS, checkpointing where available, budget from the checker's
+        #: ``max_search_paths``).
+        self.search_options = search_options
 
     # ------------------------------------------------------------------
     # Stage 1: compilation (parsing + static checks)
@@ -264,12 +277,7 @@ class KccTool:
             return CheckReport(outcome=outcome, unit=compiled.unit,
                                filename=compiled.filename)
         if self.search_evaluation_order:
-            # The search runs over a fold-free lowering so scripted
-            # strategies meet exactly the legacy walker's decision points.
-            lowered = (compiled.lowered_for(self.options, fold=False)
-                       if self.options.enable_lowering else None)
-            report = self._check_with_search(compiled.unit, argv=argv, stdin=stdin,
-                                             lowered=lowered)
+            report = self._check_with_search(compiled, argv=argv, stdin=stdin)
         else:
             lowered = (compiled.lowered_for(self.options, instrument=bool(probes))
                        if self.options.enable_lowering else None)
@@ -299,6 +307,18 @@ class KccTool:
             interpreter.attach_probes(probe_set)
             if probe_set.wants_ub_continuation:
                 recorder = UBRecorder(interpreter, probe_set)
+        return self._classify_execution(interpreter, argv, probe_set, recorder)
+
+    def _classify_execution(self, interpreter: Interpreter, argv,
+                            probe_set: Optional[ProbeSet] = None,
+                            recorder: Optional[UBRecorder] = None,
+                            ) -> tuple[Outcome, Optional[ExecutionResult]]:
+        """Run an already-configured interpreter and classify how it ended.
+
+        Shared by single runs (through :meth:`_run_once`) and the search
+        engine's host, which builds its own interpreters so the engine can
+        checkpoint them at decision points.
+        """
         try:
             with observed_execution(recorder):
                 result = interpreter.run(argv)
@@ -340,34 +360,205 @@ class KccTool:
                           stdout=result.stdout)
         return outcome, result
 
-    def _check_with_search(self, unit: c_ast.TranslationUnit, *, argv, stdin,
-                           lowered=None) -> CheckReport:
+    # ------------------------------------------------------------------
+    # Evaluation-order search (§2.5.2): the engine-driven pipeline stage
+    # ------------------------------------------------------------------
+    def default_search_options(self) -> SearchOptions:
+        if self.search_options is not None:
+            return self.search_options
+        return SearchOptions(
+            budget=SearchBudget(max_paths=self.options.max_search_paths))
+
+    def search_unit(self, compiled: CompiledUnit, *,
+                    argv: Optional[list[str]] = None, stdin: str = "",
+                    search: Optional[SearchOptions] = None) -> CheckReport:
+        """Explore evaluation orders of a compiled unit (§2.5.2).
+
+        The exploration runs on :class:`repro.kframework.engine.SearchEngine`:
+        sibling orders resume from forked checkpoints where the platform
+        allows it, converging interleavings are deduplicated by machine-state
+        hash, and orders whose operand footprints commute are skipped.  The
+        verdict is undefined iff any explored order is undefined; the
+        report's ``search`` field says why exploration stopped and how much
+        of the interleaving space it covered.
+        """
+        search = search if search is not None else self.default_search_options()
+        if compiled.parse_error is not None:
+            outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE,
+                              detail=compiled.parse_error, parse_failed=True)
+            return CheckReport(outcome=outcome, filename=compiled.filename)
+        assert compiled.unit is not None
+        if self.run_static_checks and compiled.static_violations:
+            outcome = Outcome(kind=OutcomeKind.STATIC_ERROR,
+                              static_violations=list(compiled.static_violations))
+            return CheckReport(outcome=outcome, unit=compiled.unit,
+                               filename=compiled.filename)
+        host = _SearchHost(self, compiled, argv=argv, stdin=stdin,
+                           instrument=search.prune_commuting)
+        if search.jobs and search.jobs > 1:
+            result = self._parallel_search(compiled, host, search)
+        else:
+            from repro.kframework.engine import SearchEngine
+
+            result = SearchEngine(host, search).run()
+        report = self._report_from_search(compiled.unit, result, host)
+        report.filename = compiled.filename
+        return report
+
+    def _check_with_search(self, compiled: CompiledUnit, *, argv,
+                           stdin) -> CheckReport:
         """Explore evaluation orders; undefined if any order is undefined (§2.5.2)."""
-        last_defined: dict[str, object] = {}
+        return self.search_unit(compiled, argv=argv, stdin=stdin)
 
-        def run(strategy: ScriptedStrategy) -> PathOutcome:
-            outcome, result = self._run_once(unit, strategy=strategy, argv=argv,
-                                             stdin=stdin, lowered=lowered)
-            if not outcome.flagged:
-                last_defined["outcome"] = outcome
-                last_defined["result"] = result
-            return PathOutcome(script=(), undefined=outcome.flagged,
-                               description=outcome.describe(), payload=outcome)
-
-        search = search_evaluation_orders(run, max_paths=self.options.max_search_paths,
-                                          stop_at_first=True)
+    def _report_from_search(self, unit: c_ast.TranslationUnit,
+                            search: SearchResult, host: "_SearchHost") -> CheckReport:
         first_bad = search.first_undefined
         if first_bad is not None:
             outcome = first_bad.payload  # type: ignore[assignment]
             assert isinstance(outcome, Outcome)
             return CheckReport(outcome=outcome, search=search, unit=unit)
-        outcome = last_defined.get("outcome")
-        if isinstance(outcome, Outcome):
-            return CheckReport(outcome=outcome, search=search, unit=unit,
-                               result=last_defined.get("result"))  # type: ignore[arg-type]
+        for path in reversed(search.paths):
+            outcome = path.payload
+            if isinstance(outcome, Outcome) and not outcome.flagged:
+                return CheckReport(outcome=outcome, search=search, unit=unit,
+                                   result=host.result_for(outcome))
         return CheckReport(outcome=Outcome(kind=OutcomeKind.INCONCLUSIVE,
                                            detail="no path produced a result"),
                            search=search, unit=unit)
+
+    def _parallel_search(self, compiled: CompiledUnit, host: "_SearchHost",
+                         search: SearchOptions) -> SearchResult:
+        """Shard the root frontier of a search across a process pool.
+
+        The root order runs in this process to discover the decision
+        arities; every sibling script diverging from it becomes a shard
+        seed, and the shards partition the remaining interleaving tree
+        (scripts only ever extend their prefix).  Workers run the same
+        serial engine; verdict identity against the serial path is pinned
+        by ``tests/kframework/test_search_engine.py``.
+        """
+        import dataclasses as _dc
+
+        from repro.api.batch import run_pooled
+
+        strategy = ScriptedStrategy()
+        strategy.reset()
+        root_outcome = host.run_scripted(strategy)
+        # The root run takes the default (first) alternative everywhere;
+        # record its script explicitly so shard paths and serial paths
+        # carry comparable decision vectors.
+        root_outcome.script = tuple([0] * len(strategy.observed_arity))
+        serial = _dc.replace(search, jobs=1)
+        result = SearchResult()
+        result.paths.append(root_outcome)
+        result.full_executions = 1
+        if root_outcome.undefined and search.stop_at_first:
+            pending = expand_scripts((), strategy.observed_arity)
+            if pending:
+                result.stop_reason = STOP_FIRST_UNDEFINED
+                result.skipped_alternatives = len(pending)
+            return result
+        scripts = expand_scripts((), strategy.observed_arity)
+        if not scripts:
+            return result
+        jobs = max(1, int(search.jobs))
+        shards = [scripts[i::jobs] for i in range(jobs) if scripts[i::jobs]]
+        tasks = [(compiled.source, compiled.filename, self.options,
+                  host.argv, host.stdin, serial, shard) for shard in shards]
+        for shard_result in run_pooled(_search_shard, tasks, jobs=len(shards)):
+            result.paths.extend(shard_result.paths)
+            result.full_executions += shard_result.full_executions
+            result.partial_replays += shard_result.partial_replays
+            result.resumed_executions += shard_result.resumed_executions
+            result.merged_paths += shard_result.merged_paths
+            result.pruned_orders += shard_result.pruned_orders
+            result.skipped_alternatives += shard_result.skipped_alternatives
+            result.states_seen += shard_result.states_seen
+            if result.stop_reason == STOP_EXHAUSTED and \
+                    not shard_result.exhausted:
+                result.stop_reason = shard_result.stop_reason
+        limit = search.budget.max_paths
+        if limit is not None and len(result.paths) > max(1, limit):
+            # Shards explore their subtrees under the full budget (a shard
+            # cannot know how much of the cap its siblings will use); the
+            # merged result still honors the user's cap, honestly.
+            dropped = len(result.paths) - max(1, limit)
+            del result.paths[max(1, limit):]
+            result.skipped_alternatives += dropped
+            result.stop_reason = STOP_MAX_PATHS
+        return result
+
+
+class _SearchHost:
+    """Execution host the search engine drives: one interpreter per order.
+
+    ``instrument`` selects the event-emitting lowered variant so the
+    engine's commutativity filter can observe per-operand read/write
+    footprints; without pruning the plain fold-free lowering (identical
+    decision points, no event plumbing) is used instead.
+    """
+
+    def __init__(self, tool: KccTool, compiled: CompiledUnit, *, argv, stdin,
+                 instrument: bool) -> None:
+        self.tool = tool
+        self.unit = compiled.unit
+        self.argv = argv
+        self.stdin = stdin
+        #: ExecutionResults of defined runs executed *in this process*,
+        #: keyed by outcome identity: fork-mode sibling paths run in child
+        #: processes, and a report must never pair one interleaving's
+        #: outcome with another interleaving's execution result.
+        self._defined_results: dict[int, tuple[Outcome, ExecutionResult]] = {}
+        if tool.options.enable_lowering:
+            self.lowered = compiled.lowered_for(tool.options, fold=False,
+                                                instrument=instrument)
+        else:
+            self.lowered = None
+
+    def new_interpreter(self, strategy) -> Interpreter:
+        return Interpreter(self.unit, self.tool.options, strategy=strategy,
+                           stdin=self.stdin, lowered=self.lowered)
+
+    def run(self, interpreter: Interpreter) -> PathOutcome:
+        outcome, result = self.tool._classify_execution(interpreter, self.argv)
+        if not outcome.flagged and result is not None:
+            # The outcome is kept alongside: it anchors the id() key (no
+            # address reuse) and lets result_for verify identity.
+            self._defined_results[id(outcome)] = (outcome, result)
+        return PathOutcome(script=(), undefined=outcome.flagged,
+                           description=outcome.describe(), payload=outcome)
+
+    def result_for(self, outcome: Outcome) -> Optional[ExecutionResult]:
+        """The ExecutionResult of ``outcome``'s own run, if it ran here."""
+        entry = self._defined_results.get(id(outcome))
+        if entry is not None and entry[0] is outcome:
+            return entry[1]
+        return None
+
+    def run_scripted(self, strategy: ScriptedStrategy) -> PathOutcome:
+        """Run one scripted order outside the engine (the parallel root run)."""
+        outcome = self.run(self.new_interpreter(strategy))
+        outcome.script = tuple(strategy.decisions)
+        return outcome
+
+
+def _search_shard(task: tuple) -> SearchResult:
+    """Pool worker: explore one shard of the interleaving tree.
+
+    Must stay module-level (picklable).  The worker re-compiles the source
+    (workers share nothing), seeds its frontier with the shard's divergence
+    scripts, and runs the same serial engine the parent would.
+    """
+    source, filename, options, argv, stdin, search, scripts = task
+    from repro.kframework.engine import SearchEngine
+
+    tool = KccTool(options)
+    compiled = tool.compile_unit(source, filename=filename)
+    assert compiled.unit is not None, "shard worker got an uncompilable program"
+    host = _SearchHost(tool, compiled, argv=argv, stdin=stdin,
+                       instrument=search.prune_commuting)
+    engine = SearchEngine(host, search, initial_scripts=[tuple(s) for s in scripts])
+    return engine.run()
 
 
 # ---------------------------------------------------------------------------

@@ -1058,6 +1058,31 @@ def _lower_Cast(expr: c_ast.Cast, L: LoweringContext) -> ExprThunk:
     return run
 
 
+def _run_unsequenced_pair(interp, site, run0, run1):
+    """Evaluate two unsequenced operands in the strategy-chosen order.
+
+    Only reached when the interpreter's order is not pre-resolved (scripted
+    strategies and the evaluation-order search).  The ``note_operand`` /
+    ``note_group_end`` boundary hooks let the search engine segment the
+    execution-event stream into per-operand footprints — its commutativity
+    filter — and are no-ops on every other strategy.
+    """
+    order = interp.operand_order(2, site)
+    strategy = interp.strategy
+    if order[0] == 0:
+        strategy.note_operand(site, 0)
+        value0 = run0(interp)
+        strategy.note_operand(site, 1)
+        value1 = run1(interp)
+    else:
+        strategy.note_operand(site, 1)
+        value1 = run1(interp)
+        strategy.note_operand(site, 0)
+        value0 = run0(interp)
+    strategy.note_group_end(site)
+    return value0, value1
+
+
 def _lower_BinaryOp(expr: c_ast.BinaryOp, L: LoweringContext) -> ExprThunk:
     op = expr.op
     line = expr.line
@@ -1127,13 +1152,7 @@ def _lower_BinaryOp(expr: c_ast.BinaryOp, L: LoweringContext) -> ExprThunk:
                 raise ResourceLimitError(f"execution exceeded {max_steps} steps")
             if line:
                 interp.current_line = line
-            order = interp.operand_order(2, site)
-            if order[0] == 0:
-                left = left_run(interp)
-                right = right_run(interp)
-            else:
-                right = right_run(interp)
-                left = left_run(interp)
+            left, right = _run_unsequenced_pair(interp, site, left_run, right_run)
             return interp.apply_binary(op, left, right, line)
         return run_instr
 
@@ -1151,13 +1170,7 @@ def _lower_BinaryOp(expr: c_ast.BinaryOp, L: LoweringContext) -> ExprThunk:
             right = right_run(interp)
             left = left_run(interp)
         else:
-            order = interp.operand_order(2, site)
-            if order[0] == 0:
-                left = left_run(interp)
-                right = right_run(interp)
-            else:
-                right = right_run(interp)
-                left = left_run(interp)
+            left, right = _run_unsequenced_pair(interp, site, left_run, right_run)
         if type(left) is IntValue and type(right) is IntValue:
             plan = plan_cache.lookup(left.type, right.type)
             if plan is not None:
@@ -1186,13 +1199,8 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
                     raise ResourceLimitError(f"execution exceeded {max_steps} steps")
                 if line:
                     interp.current_line = line
-                order = interp.operand_order(2, site)
-                if order[0] == 0:
-                    lvalue = target_lv(interp)
-                    value = value_run(interp)
-                else:
-                    value = value_run(interp)
-                    lvalue = target_lv(interp)
+                lvalue, value = _run_unsequenced_pair(interp, site, target_lv,
+                                                      value_run)
                 if isinstance(value, StructValue) and lvalue.type.is_record:
                     converted: CValue = value
                 else:
@@ -1217,13 +1225,9 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
                     value = value_run(interp)
                     binding = resolve_binding(interp)
                 else:
-                    order = interp.operand_order(2, site)
-                    if order[0] == 0:
-                        binding = resolve_binding(interp)
-                        value = value_run(interp)
-                    else:
-                        value = value_run(interp)
-                        binding = resolve_binding(interp)
+                    binding, value = _run_unsequenced_pair(interp, site,
+                                                           resolve_binding,
+                                                           value_run)
                 plan = binding.access_plan
                 if plan is None:
                     plan = _binding_access_plan(binding, interp.profile)
@@ -1255,13 +1259,8 @@ def _lower_Assignment(expr: c_ast.Assignment, L: LoweringContext) -> ExprThunk:
                 value = value_run(interp)
                 lvalue = target_lv(interp)
             else:
-                order = interp.operand_order(2, site)
-                if order[0] == 0:
-                    lvalue = target_lv(interp)
-                    value = value_run(interp)
-                else:
-                    value = value_run(interp)
-                    lvalue = target_lv(interp)
+                lvalue, value = _run_unsequenced_pair(interp, site, target_lv,
+                                                      value_run)
             plan = write_plans.plan_for(lvalue.type, interp.profile)
             if type(value) is IntValue and plan is not None and plan[4] is not None:
                 converted: CValue = plan[4](value.value)
@@ -1419,13 +1418,8 @@ def _subscript_core(expr: c_ast.ArraySubscript, L: LoweringContext):
             index_value = index_run(interp)
             base_value = array_run(interp)
         else:
-            order = interp.operand_order(2, site)
-            if order[0] == 0:
-                base_value = array_run(interp)
-                index_value = index_run(interp)
-            else:
-                index_value = index_run(interp)
-                base_value = array_run(interp)
+            base_value, index_value = _run_unsequenced_pair(interp, site,
+                                                            array_run, index_run)
         if isinstance(index_value, PointerValue) and not isinstance(
                 base_value, PointerValue):
             base_value, index_value = index_value, base_value  # i[a] form
@@ -1574,11 +1568,19 @@ def _lower_Call(expr: c_ast.Call, L: LoweringContext) -> ExprThunk:
                 values = [None] * argument_count
                 for index in range(argument_count - 1, -1, -1):
                     values[index] = argument_runs[index](interp)
-            else:
+            elif argument_count == 1:
                 order = interp.operand_order(argument_count, site)
                 values = [None] * argument_count
                 for position in order:
                     values[position] = argument_runs[position](interp)
+            else:
+                order = interp.operand_order(argument_count, site)
+                strategy = interp.strategy
+                values = [None] * argument_count
+                for position in order:
+                    strategy.note_operand(site, position)
+                    values[position] = argument_runs[position](interp)
+                strategy.note_group_end(site)
         else:
             values = []
         arguments = interp._convert_arguments(values, callee_name, callee_type, line)

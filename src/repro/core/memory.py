@@ -27,9 +27,7 @@ from repro.cfront import ctypes as ct
 from repro.core.config import CheckerOptions
 from repro.core.values import (
     Byte,
-    ConcreteByte,
     PointerValue,
-    UnknownByte,
     unknown_bytes,
 )
 from repro.errors import UBKind, UndefinedBehaviorError

@@ -25,6 +25,18 @@ class EvaluationStrategy:
     def reset(self) -> None:
         """Called before each program run."""
 
+    def note_operand(self, site: object, position: int) -> None:
+        """Hook: operand ``position`` of the group at ``site`` starts now.
+
+        The interpreter calls this between the operands of an unsequenced
+        group so a strategy that tracks per-operand effects (the search
+        engine's commutativity filter) can segment the event stream.  The
+        default is a no-op; fixed-order strategies never need it.
+        """
+
+    def note_group_end(self, site: object) -> None:
+        """Hook: the unsequenced group at ``site`` finished evaluating."""
+
 
 class LeftToRightStrategy(EvaluationStrategy):
     """The order virtually every compiler uses for simple expressions."""
@@ -66,7 +78,7 @@ class ScriptedStrategy(EvaluationStrategy):
         self.observed_arity = []
 
     def order(self, count: int, site: object = None) -> Sequence[int]:
-        alternatives = _factorial(count)
+        alternatives = permutation_count(count)
         self.observed_arity.append(alternatives)
         if self.position < len(self.decisions):
             choice = self.decisions[self.position]
@@ -74,19 +86,21 @@ class ScriptedStrategy(EvaluationStrategy):
             choice = 0
         self.position += 1
         choice = min(choice, alternatives - 1)
-        return _nth_permutation(count, choice)
+        return nth_permutation(count, choice)
 
 
-def _factorial(n: int) -> int:
+def permutation_count(n: int) -> int:
+    """How many orders ``n`` unsequenced siblings admit (n!)."""
     result = 1
     for i in range(2, n + 1):
         result *= i
     return result
 
 
-def _nth_permutation(count: int, index: int) -> Sequence[int]:
+def nth_permutation(count: int, index: int) -> tuple[int, ...]:
+    """The ``index``-th lexicographic permutation of ``range(count)``."""
     if count <= 1:
-        return range(count)
+        return tuple(range(count))
     if count == 2:
         return (0, 1) if index == 0 else (1, 0)
     permutations = list(itertools.permutations(range(count)))

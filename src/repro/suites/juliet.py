@@ -20,7 +20,7 @@ scoring methodology match the paper's use of the suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Iterable
 
 from repro.suites.harness import TestCase, TestSuite
 

@@ -1541,6 +1541,17 @@ class UndefinednessSuite(TestSuite):
     def behavior_count(self) -> int:
         return len({case.behavior for case in self.cases})
 
+    def search_cases(self) -> list:
+        """The search-mode slice of the suite (§2.5.2).
+
+        Dynamic sequencing-group cases: the behaviors whose detection can
+        depend on the evaluation order chosen for unsequenced
+        subexpressions, which is what the evaluation-order search (and its
+        parallel/serial equivalence tests) exercises.
+        """
+        return [case for case in self.cases
+                if case.stage == "dynamic" and case.category == GROUP_SEQUENCING]
+
     def static_behaviors(self) -> list[str]:
         return sorted({case.behavior for case in self.cases if case.stage == "static"})
 

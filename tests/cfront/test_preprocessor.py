@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfront.preprocessor import Preprocessor, preprocess
+from repro.cfront.preprocessor import preprocess
 from repro.errors import CParseError
 
 

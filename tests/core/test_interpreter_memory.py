@@ -1,6 +1,6 @@
 """Integration tests: arrays, structs, strings, and the heap (defined programs)."""
 
-from tests.util import exit_code_of, stdout_of
+from tests.util import exit_code_of
 
 
 class TestArrays:

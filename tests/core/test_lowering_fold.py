@@ -9,7 +9,6 @@ execution actually reaches it.
 
 import pytest
 
-from repro.cfront import ctypes as ct
 from repro.cfront.parser import parse
 from repro.core.config import CheckerOptions
 from repro.core.kcc import KccTool
@@ -147,4 +146,9 @@ class TestFoldedPrograms:
             "int main(void){ int x = 0; return (x = 1) + (x = 2); }")
         report = tool.run_unit(compiled)
         assert report.outcome.kind is OutcomeKind.UNDEFINED
-        assert (CheckerOptions(), False, False) in compiled._lowered  # fold=False IR
+        # The search engine observes per-operand footprints through the
+        # event stream, so it runs on the instrumented (and therefore
+        # fold-free) lowering: scripted schedules meet exactly the legacy
+        # walker's decision points.
+        assert (CheckerOptions(), False, True) in compiled._lowered
+        assert (CheckerOptions(), True, False) not in compiled._lowered  # no folds

@@ -9,7 +9,6 @@ from repro.core.values import (
     ConcreteByte,
     FloatValue,
     IndeterminateValue,
-    IntValue,
     PointerByte,
     PointerValue,
     StructValue,

@@ -1,0 +1,118 @@
+"""Property tests: every engine variant enumerates the same verdicts.
+
+For randomized small expression trees (unsequenced ``+`` groups over
+increments of a handful of globals — sometimes conflicting, sometimes
+commuting), the naive enumerating engine, the deduplicating/pruning engine,
+the checkpoint (fork) engine, and the parallel sharded engine must agree on
+the *set* of verdicts reachable across evaluation orders.  Deduplication
+merges suffix-equivalent interleavings, so engines may record different
+numbers of paths — but never different verdicts.
+
+A second pin runs the whole undefinedness suite in search mode with
+deduplication on and off and requires ``any_undefined`` to be untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Checker, SearchBudget
+from repro.kframework.engine import checkpoint_supported
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+VARIABLES = ("ga", "gb", "gc")
+
+#: Leaves: a pure read, an increment (side effect), or a constant.
+LEAF = st.sampled_from(
+    [f"{name}" for name in VARIABLES]
+    + [f"({name}++)" for name in VARIABLES]
+    + ["1", "2"]
+)
+
+
+def _pair(left: str, right: str) -> str:
+    return f"({left} + {right})"
+
+
+#: Expression trees up to depth 2: every ``+`` is an unsequenced group.
+EXPRESSION = st.recursive(
+    LEAF, lambda inner: st.builds(_pair, inner, inner), max_leaves=6
+)
+
+
+def render_program(expressions: list[str]) -> str:
+    body = "\n".join(f"    r += {expression};" for expression in expressions)
+    names = ", ".join(VARIABLES)
+    header = f"int {names};\nint main(void) {{\n    int r = 0;\n"
+    return header + body + "\n    return 0;\n}\n"
+
+
+def verdict_set(report) -> set:
+    search = report.search
+    assert search is not None
+    out = set()
+    for path in search.paths:
+        outcome = path.payload
+        kinds = tuple(outcome.ub_kinds) if outcome.flagged else ()
+        out.add((path.undefined, kinds))
+    return out
+
+
+def run_engine(checker: Checker, source: str, **kwargs) -> object:
+    kwargs.setdefault("budget", SearchBudget(max_paths=2048))
+    kwargs.setdefault("stop_at_first", False)
+    return checker.search(source, **kwargs)
+
+
+@given(expressions=st.lists(EXPRESSION, min_size=1, max_size=2))
+@settings(max_examples=25, deadline=None)
+def test_dedup_and_checkpoints_preserve_the_verdict_set(expressions):
+    source = render_program(expressions)
+    checker = Checker()
+    naive = run_engine(
+        checker,
+        source,
+        checkpoint="replay",
+        dedup_states=False,
+        prune_commuting=False,
+    )
+    assert naive.search.exhausted, "grow the budget: the naive engine was cut"
+    deduped = run_engine(checker, source, checkpoint="replay")
+    engines = [deduped]
+    if checkpoint_supported():
+        engines.append(run_engine(checker, source, checkpoint="fork"))
+    for report in engines:
+        assert report.search.exhausted
+        assert verdict_set(report) == verdict_set(naive)
+        assert report.search.any_undefined == naive.search.any_undefined
+        assert report.outcome.flagged == naive.outcome.flagged
+
+
+@given(expressions=st.lists(EXPRESSION, min_size=1, max_size=2))
+@settings(max_examples=8, deadline=None)
+def test_parallel_sharding_preserves_the_verdict_set(expressions):
+    source = render_program(expressions)
+    checker = Checker()
+    serial = run_engine(checker, source)
+    parallel = run_engine(checker, source, jobs=2)
+    assert verdict_set(parallel) == verdict_set(serial)
+    assert parallel.search.any_undefined == serial.search.any_undefined
+    assert parallel.outcome.kind == serial.outcome.kind
+
+
+def test_dedup_never_changes_any_undefined_on_the_ubsuite():
+    suite = generate_undefinedness_suite()
+    checker = Checker()
+    for case in suite.cases:
+        deduped = checker.search(case.source, filename=case.name)
+        naive = checker.search(
+            case.source,
+            filename=case.name,
+            dedup_states=False,
+            prune_commuting=False,
+        )
+        if deduped.search is None or naive.search is None:
+            # Parse failures and static errors never reach the engine.
+            assert (deduped.search is None) == (naive.search is None), case.name
+            continue
+        assert deduped.search.any_undefined == naive.search.any_undefined, case.name
+        assert deduped.outcome.flagged == naive.outcome.flagged, case.name

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro import CheckerOptions, OutcomeKind, check_program
+from repro import OutcomeKind, check_program
 from repro.analyzers.value_analysis import Interval
 from repro.cfront import ctypes as ct
 from repro.cfront.lexer import TokenKind, tokenize
