@@ -16,6 +16,7 @@ the interpreter loop, and the ratio there is correspondingly modest.
 """
 
 import json
+import statistics
 import time
 
 import pytest
@@ -86,6 +87,12 @@ MIN_GEOMEAN_SPEEDUP = 1.3
 #: plumbing, not emission.
 MAX_NULL_PROBE_OVERHEAD = 0.05
 
+#: The same budget on every other program, with headroom for measurement
+#: noise on the less interpreter-bound ones (their shorter dynamic stage
+#: amplifies per-window jitter).  This catches a probe-dispatch regression
+#: on call- or pointer-heavy paths that arith-loop alone would miss.
+MAX_NULL_PROBE_OVERHEAD_ANY = 0.10
+
 WINDOW_SECONDS = 0.5
 REPEATS = 4
 
@@ -135,43 +142,75 @@ def speed_results():
         for run in runners.values():
             run()  # warm: lowering, caches, allocator paths
         # Interleave the configurations' windows so machine-load drift
-        # during the measurement hits all sides equally; take best-of-N
-        # (steady state is the *fastest* the box allowed, noise only slows).
+        # during the measurement hits all sides equally.  The throughput
+        # columns report each side's best window (steady state is the
+        # fastest the box allowed, noise only slows); the gated *ratio*
+        # metrics are medians of per-repeat adjacent-window ratios —
+        # adjacent windows share machine conditions, so neither a spike
+        # in one window nor slow drift across the measurement can fake a
+        # regression (or hide one behind a lucky best window).
         best = dict.fromkeys(runners, 0.0)
+        speedups, overheads = [], []
         for _ in range(REPEATS):
+            window = {}
             for key, run in runners.items():
-                best[key] = max(best[key], _timed_window(run))
+                window[key] = _timed_window(run)
+                best[key] = max(best[key], window[key])
+            speedups.append(window["lowered"] / window["legacy"])
+            overheads.append(1.0 - window["null_probe"] / window["lowered"])
         results[name] = {
             "lowered_runs_per_sec": best["lowered"],
             "legacy_runs_per_sec": best["legacy"],
             "null_probe_runs_per_sec": best["null_probe"],
             "three_probe_runs_per_sec": best["three_probe"],
-            "speedup": best["lowered"] / best["legacy"],
-            "null_probe_overhead": max(
-                0.0, 1.0 - best["null_probe"] / best["lowered"]),
+            "speedup": statistics.median(speedups),
+            # A budget check wants the *systematic* overhead: noise only
+            # inflates a window's reading (a genuinely regressed dispatch
+            # path is slower in every window), so the min over repeats is
+            # the noise-robust estimate the 5%/10% gates compare against.
+            "null_probe_overhead": max(0.0, min(overheads)),
         }
     return results
 
 
 @pytest.fixture(scope="module")
 def ubsuite_aggregate(undefinedness_suite):
-    """Whole-suite dynamic-stage throughput (setup-dominated; see module doc)."""
-    aggregate = {}
-    for lowering in (True, False):
+    """Whole-suite dynamic-stage throughput (setup-dominated; see module doc).
+
+    The two configurations' windows are interleaved (like the
+    micro-benchmarks) and the published speedup is the *median of the
+    per-repeat adjacent-window ratios*: adjacent windows run under nearly
+    identical machine conditions, so neither a transient load spike in
+    one window nor slow host drift across the measurement can publish a
+    phantom regression (which the committed JSON would then bake into
+    the CI gate's baseline).  The throughput columns report each side's
+    best window.
+    """
+    runners = {}
+    for key, lowering in (("lowered", True), ("legacy", False)):
         tool = KccTool(CheckerOptions(enable_lowering=lowering))
         units = [tool.compile_unit(case.source, filename=case.name)
                  for case in undefinedness_suite.cases]
-        for unit in units:
-            tool.run_unit(unit)  # warm
-        start = time.perf_counter()
-        for unit in units:
-            tool.run_unit(unit)
-        elapsed = time.perf_counter() - start
-        aggregate[lowering] = len(units) / elapsed
+
+        def run_suite(tool=tool, units=units):
+            for unit in units:
+                tool.run_unit(unit)
+        runners[key] = (run_suite, len(units))
+    for run, _ in runners.values():
+        run()  # warm: lowering, caches, allocator paths
+    best = dict.fromkeys(runners, 0.0)
+    ratios = []
+    for _ in range(REPEATS):
+        window = {}
+        for key, (run, count) in runners.items():
+            # _timed_window counts whole-suite passes; scale to unit runs.
+            window[key] = _timed_window(run) * count
+            best[key] = max(best[key], window[key])
+        ratios.append(window["lowered"] / window["legacy"])
     return {
-        "lowered_runs_per_sec": aggregate[True],
-        "legacy_runs_per_sec": aggregate[False],
-        "speedup": aggregate[True] / aggregate[False],
+        "lowered_runs_per_sec": best["lowered"],
+        "legacy_runs_per_sec": best["legacy"],
+        "speedup": statistics.median(ratios),
     }
 
 
@@ -212,6 +251,12 @@ def test_null_probe_overhead_within_budget(speed_results):
     # benchmark — the compile-time null-probe specialization at work.
     data = speed_results["arith-loop"]
     assert data["null_probe_overhead"] <= MAX_NULL_PROBE_OVERHEAD, data
+    # Every program gets the wider budget, so a probe-dispatch regression
+    # on call- or pointer-heavy paths cannot hide behind the arith-loop
+    # gate.
+    for name, data in speed_results.items():
+        assert data["null_probe_overhead"] <= MAX_NULL_PROBE_OVERHEAD_ANY, (
+            name, data)
 
 
 def test_lowering_meets_speedup_target(speed_results):
@@ -225,8 +270,13 @@ def test_lowering_meets_speedup_target(speed_results):
         f"{MIN_GEOMEAN_SPEEDUP}x over {speed_results}")
 
 
-def test_lowering_never_slows_a_program_down_badly(speed_results):
+def test_lowering_never_slows_a_program_down_badly(speed_results, ubsuite_aggregate):
     # Even the least interpreter-bound program must not regress: the lowered
-    # form costs one compile-time pass, never run-time throughput.
+    # form costs one compile-time pass, never run-time throughput.  The
+    # setup-dominated ubsuite aggregate is gated too — the geomean target
+    # above excludes it by design, so without this check a per-run overhead
+    # regression on tiny programs would only surface once a poisoned
+    # baseline reached compare_results.py.
     for name, data in speed_results.items():
         assert data["speedup"] > 0.85, (name, data)
+    assert ubsuite_aggregate["speedup"] > 0.85, ubsuite_aggregate

@@ -213,9 +213,9 @@ def _cmd_search(arguments: argparse.Namespace, *, out) -> int:
     try:
         # Surface configuration conflicts (fork + non-DFS frontier, fork on
         # a platform without it) as usage errors, before reading any file.
-        from repro.kframework.engine import SearchEngine
+        from repro.kframework.engine import resolve_checkpoint
 
-        SearchEngine._resolve_checkpoint(search_options)
+        resolve_checkpoint(search_options)
     except ValueError as error:
         raise CliInputError(str(error)) from None
     tool = KccTool(options, search_evaluation_order=True,

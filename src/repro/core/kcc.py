@@ -246,15 +246,7 @@ class KccTool:
         if probes and self.search_evaluation_order:
             raise ValueError("probes cannot observe an evaluation-order search; "
                              "attach them to a single-run checker instead")
-        if compiled.profile is not None and compiled.profile != self.options.profile:
-            # A unit parsed under one profile has that profile's type sizes
-            # baked into its layout; silently running it under another would
-            # give profile-dependent verdicts that belong to neither.
-            raise ValueError(
-                f"CompiledUnit was compiled under profile "
-                f"{compiled.profile_name!r} but this checker runs "
-                f"{self.options.profile.name!r}; recompile the source with "
-                f"the matching options")
+        self._require_matching_profile(compiled)
         if compiled.parse_error is not None:
             outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE, detail=compiled.parse_error,
                               parse_failed=True)
@@ -287,6 +279,17 @@ class KccTool:
             report = CheckReport(outcome=outcome, result=result, unit=compiled.unit)
         report.filename = compiled.filename
         return report
+
+    def _require_matching_profile(self, compiled: CompiledUnit) -> None:
+        # A unit parsed under one profile has that profile's type sizes
+        # baked into its layout; silently running it under another would
+        # give profile-dependent verdicts that belong to neither.
+        if compiled.profile is not None and compiled.profile != self.options.profile:
+            raise ValueError(
+                f"CompiledUnit was compiled under profile "
+                f"{compiled.profile_name!r} but this checker runs "
+                f"{self.options.profile.name!r}; recompile the source with "
+                f"the matching options")
 
     # ------------------------------------------------------------------
     # Checking a whole program (compile + run in one step)
@@ -383,6 +386,13 @@ class KccTool:
         of the interleaving space it covered.
         """
         search = search if search is not None else self.default_search_options()
+        from repro.kframework.engine import resolve_checkpoint
+
+        # Fail fast on configuration conflicts (fork + non-DFS frontier,
+        # fork on a platform without it): with jobs > 1 the engine would
+        # otherwise raise this from inside a pool worker.
+        resolve_checkpoint(search)
+        self._require_matching_profile(compiled)
         if compiled.parse_error is not None:
             outcome = Outcome(kind=OutcomeKind.INCONCLUSIVE,
                               detail=compiled.parse_error, parse_failed=True)
@@ -417,11 +427,22 @@ class KccTool:
             outcome = first_bad.payload  # type: ignore[assignment]
             assert isinstance(outcome, Outcome)
             return CheckReport(outcome=outcome, search=search, unit=unit)
+        fallback: Optional[Outcome] = None
         for path in reversed(search.paths):
             outcome = path.payload
             if isinstance(outcome, Outcome) and not outcome.flagged:
-                return CheckReport(outcome=outcome, search=search, unit=unit,
-                                   result=host.result_for(outcome))
+                result = host.result_for(outcome)
+                if result is not None:
+                    return CheckReport(outcome=outcome, search=search,
+                                       unit=unit, result=result)
+                if fallback is None:
+                    # Fork-mode sibling paths ran in child processes, so
+                    # their ExecutionResults never reach this host; prefer
+                    # a defined path we executed here (the root order
+                    # qualifies) so the report keeps stdout/step counts.
+                    fallback = outcome
+        if fallback is not None:
+            return CheckReport(outcome=fallback, search=search, unit=unit)
         return CheckReport(outcome=Outcome(kind=OutcomeKind.INCONCLUSIVE,
                                            detail="no path produced a result"),
                            search=search, unit=unit)
@@ -466,13 +487,10 @@ class KccTool:
         tasks = [(compiled.source, compiled.filename, self.options,
                   host.argv, host.stdin, serial, shard) for shard in shards]
         for shard_result in run_pooled(_search_shard, tasks, jobs=len(shards)):
-            result.paths.extend(shard_result.paths)
-            result.full_executions += shard_result.full_executions
-            result.partial_replays += shard_result.partial_replays
-            result.resumed_executions += shard_result.resumed_executions
-            result.merged_paths += shard_result.merged_paths
-            result.pruned_orders += shard_result.pruned_orders
-            result.skipped_alternatives += shard_result.skipped_alternatives
+            result.absorb(shard_result)
+            # Shards dedup in separate processes, so a state their
+            # subtrees converge to is counted once per shard: the sum is
+            # an upper bound on distinct states, not an exact count.
             result.states_seen += shard_result.states_seen
             if result.stop_reason == STOP_EXHAUSTED and \
                     not shard_result.exhausted:
@@ -482,8 +500,15 @@ class KccTool:
             # Shards explore their subtrees under the full budget (a shard
             # cannot know how much of the cap its siblings will use); the
             # merged result still honors the user's cap, honestly.
-            dropped = len(result.paths) - max(1, limit)
-            del result.paths[max(1, limit):]
+            keep = max(1, limit)
+            dropped = len(result.paths) - keep
+            if any(path.undefined for path in result.paths[keep:]):
+                # The cap bounds how many path outcomes are retained; it
+                # must never swallow a discovered undefined order (§2.5.2:
+                # the verdict is undefined if *any* order is), so undefined
+                # paths outrank defined ones for retention.
+                result.paths.sort(key=lambda path: not path.undefined)
+            del result.paths[keep:]
             result.skipped_alternatives += dropped
             result.stop_reason = STOP_MAX_PATHS
         return result
@@ -504,11 +529,15 @@ class _SearchHost:
         self.unit = compiled.unit
         self.argv = argv
         self.stdin = stdin
-        #: ExecutionResults of defined runs executed *in this process*,
-        #: keyed by outcome identity: fork-mode sibling paths run in child
-        #: processes, and a report must never pair one interleaving's
-        #: outcome with another interleaving's execution result.
-        self._defined_results: dict[int, tuple[Outcome, ExecutionResult]] = {}
+        #: The (Outcome, ExecutionResult) of the most recent defined run
+        #: executed *in this process*.  Fork-mode sibling paths run in
+        #: child processes, and a report must never pair one
+        #: interleaving's outcome with another's execution result — the
+        #: outcome anchors the identity check.  The report uses at most
+        #: one defined result, so only the latest is retained (a search
+        #: with many defined orders would otherwise hold one stdout
+        #: buffer per explored path).
+        self._defined_result: Optional[tuple[Outcome, ExecutionResult]] = None
         if tool.options.enable_lowering:
             self.lowered = compiled.lowered_for(tool.options, fold=False,
                                                 instrument=instrument)
@@ -522,15 +551,13 @@ class _SearchHost:
     def run(self, interpreter: Interpreter) -> PathOutcome:
         outcome, result = self.tool._classify_execution(interpreter, self.argv)
         if not outcome.flagged and result is not None:
-            # The outcome is kept alongside: it anchors the id() key (no
-            # address reuse) and lets result_for verify identity.
-            self._defined_results[id(outcome)] = (outcome, result)
+            self._defined_result = (outcome, result)
         return PathOutcome(script=(), undefined=outcome.flagged,
                            description=outcome.describe(), payload=outcome)
 
     def result_for(self, outcome: Outcome) -> Optional[ExecutionResult]:
         """The ExecutionResult of ``outcome``'s own run, if it ran here."""
-        entry = self._defined_results.get(id(outcome))
+        entry = self._defined_result
         if entry is not None and entry[0] is outcome:
             return entry[1]
         return None

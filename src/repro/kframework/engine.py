@@ -77,6 +77,42 @@ def checkpoint_supported() -> bool:
     return hasattr(os, "fork")
 
 
+def resolve_checkpoint(options: SearchOptions) -> bool:
+    """Validate a checkpoint configuration; True means fork mode.
+
+    Raises ``ValueError`` on conflicts (fork without :func:`os.fork`,
+    fork with a non-DFS frontier, unknown mode).  Public so callers that
+    dispatch work elsewhere — the CLI's usage errors, the parallel
+    driver's pool workers — can fail fast with the same message the
+    engine constructor would raise.
+    """
+    if options.checkpoint == "replay":
+        return False
+    if options.checkpoint == "fork":
+        if not checkpoint_supported():
+            raise ValueError(
+                "checkpoint='fork' requires os.fork; use 'replay' or 'auto'"
+            )
+        if options.strategy != "dfs":
+            # Checkpoints are resumed LIFO, which is depth-first by
+            # construction; honoring a BFS/random frontier requires
+            # scripted replay.
+            raise ValueError(
+                f"checkpoint='fork' explores depth-first and cannot honor "
+                f"strategy={options.strategy!r}; use strategy='dfs' or "
+                f"checkpoint='replay'"
+            )
+        return True
+    if options.checkpoint != "auto":
+        raise ValueError(
+            f"unknown checkpoint mode {options.checkpoint!r}; "
+            f"expected auto, fork, or replay"
+        )
+    # Checkpoint exploration is inherently depth-first: sleeping siblings
+    # are resumed in LIFO order.
+    return checkpoint_supported() and options.strategy == "dfs"
+
+
 # ---------------------------------------------------------------------------
 # State fingerprinting
 # ---------------------------------------------------------------------------
@@ -245,7 +281,10 @@ class _FootprintProbe(Probe):
         if kind == "read" or kind == "write":
             base = event.base
             start = event.offset
-            cells = {(base, start + i) for i in range(event.size)}
+            # Built lazily: during scripted-replay prefixes every group is
+            # untracked, and this runs for every memory event the search
+            # executes.
+            cells = None
             for group in groups:
                 if not group.tracked:
                     continue
@@ -253,6 +292,8 @@ class _FootprintProbe(Probe):
                 if operand is None:
                     group.tainted = True
                     continue
+                if cells is None:
+                    cells = {(base, start + i) for i in range(event.size)}
                 target = group.writes if kind == "write" else group.reads
                 bucket = target.get(operand)
                 if bucket is None:
@@ -342,7 +383,7 @@ class SearchEngine:
         self.result = SearchResult()
         self.frontier = make_frontier(options.strategy, options.seed)
         self._initial = [tuple(s) for s in (initial_scripts or [()])]
-        self.use_fork = self._resolve_checkpoint(options)
+        self.use_fork = resolve_checkpoint(options)
         self.visited: set = set()
         self._visited_log: list = []
         self._paths_count = 0
@@ -359,34 +400,6 @@ class SearchEngine:
         self._overflow: list[tuple[int, int]] = []
         self._cut_index: Optional[int] = None
         self._resumed_run = False
-
-    @staticmethod
-    def _resolve_checkpoint(options: SearchOptions) -> bool:
-        if options.checkpoint == "replay":
-            return False
-        if options.checkpoint == "fork":
-            if not checkpoint_supported():
-                raise ValueError(
-                    "checkpoint='fork' requires os.fork; use 'replay' or 'auto'"
-                )
-            if options.strategy != "dfs":
-                # Checkpoints are resumed LIFO, which is depth-first by
-                # construction; honoring a BFS/random frontier requires
-                # scripted replay.
-                raise ValueError(
-                    f"checkpoint='fork' explores depth-first and cannot honor "
-                    f"strategy={options.strategy!r}; use strategy='dfs' or "
-                    f"checkpoint='replay'"
-                )
-            return True
-        if options.checkpoint != "auto":
-            raise ValueError(
-                f"unknown checkpoint mode {options.checkpoint!r}; "
-                f"expected auto, fork, or replay"
-            )
-        # Checkpoint exploration is inherently depth-first: sleeping
-        # siblings are resumed in LIFO order.
-        return checkpoint_supported() and options.strategy == "dfs"
 
     # -- driver loop --------------------------------------------------------
 
@@ -501,9 +514,16 @@ class SearchEngine:
         if self.use_fork:
             # Siblings were explored through checkpoints; only overflow
             # alternatives (fork cap, fork failure) go through the frontier.
+            # They still honor the commutativity verdict — a group proven
+            # commuting prunes its overflow siblings exactly like its
+            # cancelled sleepers, instead of re-running them from main.
             for index, choice in self._overflow:
-                if index < end:
-                    self.frontier.push(tuple(decisions[:index]) + (choice,))
+                if index >= end:
+                    continue
+                if self._prune.get(index):
+                    self.result.pruned_orders += 1
+                    continue
+                self.frontier.push(tuple(decisions[:index]) + (choice,))
             return
         for index in range(len(script), end):
             count = arity[index]
@@ -546,7 +566,10 @@ class SearchEngine:
                 self._request_stop(STOP_MAX_STATES)
             else:
                 self.visited.add(key)
-                self._visited_log.append(key)
+                if self.use_fork:
+                    # The log exists to ship dedup-table deltas between
+                    # forked checkpoints; replay mode never reads it.
+                    self._visited_log.append(key)
         if self._stop:
             if self.use_fork:
                 # No checkpoints are forked past a stop, so these siblings
@@ -621,11 +644,20 @@ class SearchEngine:
             if len(sleepers) >= FORK_CAP:
                 self._overflow.append((index, alt))
                 continue
+            opened: list[int] = []
             try:
                 ctrl_r, ctrl_w = os.pipe()
+                opened += [ctrl_r, ctrl_w]
                 res_r, res_w = os.pipe()
+                opened += [res_r, res_w]
                 pid = os.fork()
             except OSError:
+                # A host at its fd/process limit (EMFILE, EAGAIN): fall
+                # back to scripted replay for this alternative, but close
+                # whatever pipe ends were already created — leaking them
+                # here would only march the process toward EMFILE faster.
+                for fd in opened:
+                    os.close(fd)
                 self._overflow.append((index, alt))
                 continue
             if pid == 0:
@@ -656,12 +688,16 @@ class SearchEngine:
             os.close(sleeper.res_r)
         try:
             header = _read_exact(ctrl_r, 1)
+            if header != _GO:
+                os._exit(0)
+            # A truncated wake message (the parent was interrupted between
+            # its writes, or died) must also end this process: letting the
+            # EOFError unwind would release a forked copy of the whole
+            # program into the caller's code.
+            size = struct.unpack("!Q", _read_exact(ctrl_r, 8))[0]
+            message = pickle.loads(_read_exact(ctrl_r, size))
         except EOFError:
             os._exit(0)
-        if header != _GO:
-            os._exit(0)
-        size = struct.unpack("!Q", _read_exact(ctrl_r, 8))[0]
-        message = pickle.loads(_read_exact(ctrl_r, size))
         os.close(ctrl_r)
         self._child_mode = True
         self._resumed_run = True
@@ -747,8 +783,15 @@ class SearchEngine:
         try:
             _write_all(sleeper.ctrl_w, _GO + struct.pack("!Q", len(message)))
             _write_all(sleeper.ctrl_w, message)
-        finally:
+        except BaseException:
+            # The parked child died while sleeping (killed externally):
+            # reap it and close both pipe ends so the failure does not
+            # leak an fd and a zombie on its way up.
             os.close(sleeper.ctrl_w)
+            os.close(sleeper.res_r)
+            os.waitpid(sleeper.pid, 0)
+            raise
+        os.close(sleeper.ctrl_w)
         chunks = bytearray()
         while True:
             chunk = os.read(sleeper.res_r, 65536)
@@ -769,14 +812,8 @@ class SearchEngine:
 
     def _merge_bundle(self, bundle: dict) -> None:
         child: SearchResult = bundle["result"]
-        self.result.paths.extend(child.paths)
+        self.result.absorb(child)
         self._paths_count += len(child.paths)
-        self.result.full_executions += child.full_executions
-        self.result.partial_replays += child.partial_replays
-        self.result.resumed_executions += child.resumed_executions
-        self.result.merged_paths += child.merged_paths
-        self.result.pruned_orders += child.pruned_orders
-        self.result.skipped_alternatives += child.skipped_alternatives
         for key in bundle["visited_new"]:
             if key not in self.visited:
                 self.visited.add(key)

@@ -180,6 +180,22 @@ class SearchResult:
                 return path
         return None
 
+    def absorb(self, child: "SearchResult") -> None:
+        """Fold another result's paths and execution counters into this one.
+
+        Shared by the checkpoint machinery (forked children ship result
+        deltas back to the parent) and the parallel driver (shards return
+        whole results).  ``stop_reason`` and ``states_seen`` are *not*
+        merged here — each caller has its own semantics for them.
+        """
+        self.paths.extend(child.paths)
+        self.full_executions += child.full_executions
+        self.partial_replays += child.partial_replays
+        self.resumed_executions += child.resumed_executions
+        self.merged_paths += child.merged_paths
+        self.pruned_orders += child.pruned_orders
+        self.skipped_alternatives += child.skipped_alternatives
+
     def coverage(self) -> float:
         """Covered fraction of the *discovered* interleaving alternatives.
 

@@ -71,6 +71,8 @@ class TestCompiledUnitReuse:
         lp64 = Checker()
         with pytest.raises(ValueError, match="profile"):
             lp64.run(compiled)
+        with pytest.raises(ValueError, match="profile"):
+            lp64.search(compiled)
 
     def test_different_profiles_get_different_units(self):
         lp64 = Checker()

@@ -272,6 +272,47 @@ class TestParallelSharding:
             assert verdict(parallel) == verdict(serial), case.name
             assert parallel.search.any_undefined == serial.search.any_undefined
 
+    def test_parallel_path_cap_never_drops_an_undefined_path(self):
+        # An undefined order discovered by a late shard must survive the
+        # merged max_paths truncation: the cap bounds how many path
+        # outcomes are retained, never the verdict (§2.5.2 — undefined if
+        # *any* order is undefined).
+        source = """
+int d = 0;
+int setDenom(int v){ d = v; return v; }
+int main(void){
+    int x = (setDenom(0) + setDenom(2)) + (1/d == 0);
+    return x != 0;
+}
+"""
+        report = Checker().search(
+            source,
+            budget=SearchBudget(max_paths=4),
+            prune_commuting=False,
+            dedup_states=False,
+            stop_at_first=False,
+            jobs=4,
+        )
+        assert report.outcome.kind is OutcomeKind.UNDEFINED
+        assert report.search.any_undefined
+        assert report.search.explored <= 4
+
+    def test_fork_mode_defined_report_keeps_an_execution_result(self):
+        # Sibling orders run in forked children, whose ExecutionResults
+        # never reach the parent; the report must still carry the result
+        # of a defined order executed in this process (the root qualifies).
+        if not checkpoint_supported():
+            pytest.skip("fork checkpoints unsupported on this platform")
+        source = """
+int a = 0;
+int f(int v){ a += v; return v; }
+int main(void){ int x = f(1) + f(2); return x != 3; }
+"""
+        report = Checker().search(source, checkpoint="fork")
+        assert report.outcome.kind is OutcomeKind.DEFINED
+        assert report.search.resumed_executions > 0
+        assert report.result is not None
+
     def test_parallel_covers_the_same_tree(self):
         checker = Checker()
         serial = checker.search(
