@@ -10,6 +10,8 @@
     kcc-check bench --smoke                          # evaluation tables
     kcc-check bench --tools valgrind,kcc             # a custom tool lineup
     kcc-check tools                                  # registered analyzers
+    kcc-check fuzz --seed 0 --count 2000 --jobs 4    # differential fuzzing
+    kcc-check fuzz --inject memory --reduce --corpus corpus/
 
     python -m repro check prog.c                     # same CLI, module form
 
@@ -36,7 +38,7 @@ from repro.core.kcc import CheckReport, KccTool
 from repro.errors import OutcomeKind
 from repro.api.batch import iter_check_many
 
-SUBCOMMANDS = ("check", "run", "search", "bench", "tools")
+SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz")
 
 EXIT_DEFINED = 0
 EXIT_FLAGGED = 1
@@ -128,6 +130,37 @@ def build_parser() -> argparse.ArgumentParser:
         "tools", help="list the registered analysis tools (@register_tool)")
     tools.add_argument("--format", default="text", choices=("text", "json"),
                        help="report format")
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="run a differential fuzzing campaign over generated "
+                     "ground-truth programs")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; campaigns are deterministic in it")
+    fuzz.add_argument("--count", type=int, default=200, metavar="N",
+                      help="number of programs to generate and oracle-check")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard the campaign over N worker processes "
+                           "(byte-identical to serial)")
+    fuzz.add_argument("--inject", default="mixed", metavar="FAMILY",
+                      help="defect injection: 'none' (clean programs only), "
+                           "'mixed' (~40%% clean), a check family "
+                           "(arithmetic, memory, sequencing, const, "
+                           "pointer_provenance, uninitialized, "
+                           "effective_types, functions, terminal), or a "
+                           "template name")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="stream oracle mismatches to DIR as replayable "
+                           "JSON entries (deduped by signature)")
+    fuzz.add_argument("--reduce", action="store_true",
+                      help="ddmin-reduce each mismatching program before "
+                           "reporting/writing it")
+    fuzz.add_argument("--search-oracle", action="store_true",
+                      help="also run the bounded evaluation-order-search "
+                           "agreement oracle (slower)")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="small deterministic CI campaign (overrides "
+                           "--count to 40)")
+    _add_common_options(fuzz)
     return parser
 
 
@@ -294,6 +327,40 @@ def _cmd_bench(arguments: argparse.Namespace, *, out) -> int:
     return EXIT_DEFINED
 
 
+def _cmd_fuzz(arguments: argparse.Namespace, *, out) -> int:
+    """Run a fuzzing campaign; exit 0 iff the oracles found no mismatch."""
+    from repro.fuzz.campaign import CampaignConfig, run_campaign
+    from repro.fuzz.generator import injection_families, template_for
+    from repro.fuzz.oracles import OracleConfig
+
+    inject: Optional[str] = arguments.inject
+    if inject in ("none", ""):
+        inject = None
+    elif inject != "mixed" and inject not in injection_families():
+        try:
+            template_for(inject)
+        except KeyError:
+            known = ", ".join(["none", "mixed"] + injection_families())
+            raise CliInputError(
+                f"unknown --inject value {inject!r}; expected one of {known}, "
+                "or a template name") from None
+    options = _options_for(arguments)
+    config = CampaignConfig(
+        seed=arguments.seed,
+        count=40 if arguments.smoke else arguments.count,
+        inject=inject,
+        jobs=arguments.jobs,
+        oracles=OracleConfig(check_search=arguments.search_oracle),
+        corpus_dir=arguments.corpus,
+        reduce_failures=arguments.reduce)
+    result = run_campaign(config, options=options)
+    if arguments.format == "json":
+        print(json.dumps(result.to_dict(), indent=2), file=out)
+    else:
+        print(result.render(), file=out)
+    return EXIT_DEFINED if result.ok else EXIT_FLAGGED
+
+
 def _cmd_tools(arguments: argparse.Namespace, *, out) -> int:
     from repro.analyzers.registry import registered_tools
     from repro.reporting import render_table
@@ -328,6 +395,8 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
             return _cmd_run(arguments, out=out)
         if arguments.command == "tools":
             return _cmd_tools(arguments, out=out)
+        if arguments.command == "fuzz":
+            return _cmd_fuzz(arguments, out=out)
         assert arguments.command == "bench"
         return _cmd_bench(arguments, out=out)
     except CliInputError as error:

@@ -235,6 +235,32 @@ class Checker:
         self.stats.bump("run_count")
         return report
 
+    # -- fuzzing --------------------------------------------------------------
+    def fuzz(self, *, seed: int = 0, count: int = 100,
+             inject: Optional[str] = "mixed", jobs: int = 1,
+             corpus_dir: Optional[str] = None,
+             reduce_failures: bool = False,
+             generator=None, oracles=None):
+        """Run a differential fuzzing campaign under this checker's options.
+
+        Generates ``count`` ground-truth-labeled programs from ``seed``
+        (clean, or with one planted defect per ``inject``), pushes each
+        through the oracle stack of :mod:`repro.fuzz.oracles`, and returns
+        a :class:`repro.fuzz.CampaignResult`.  ``jobs=N`` shards the case
+        indices over the process pool with byte-identical results; corpus
+        and reduction behave as on ``kcc-check fuzz``.
+        """
+        from repro.fuzz.campaign import CampaignConfig, run_campaign
+        from repro.fuzz.generator import GeneratorConfig
+        from repro.fuzz.oracles import OracleConfig
+
+        config = CampaignConfig(
+            seed=seed, count=count, inject=inject, jobs=jobs,
+            generator=generator if generator is not None else GeneratorConfig(),
+            oracles=oracles if oracles is not None else OracleConfig(),
+            corpus_dir=corpus_dir, reduce_failures=reduce_failures)
+        return run_campaign(config, options=self.options)
+
     # -- compositions --------------------------------------------------------
     def check(self, source: str, *, filename: str = "<input>",
               argv: Optional[list[str]] = None, stdin: str = "") -> CheckReport:

@@ -9,6 +9,7 @@ baseline analyzers (:mod:`repro.analyzers`) all consume.
 from repro.cfront.lexer import Lexer, Token, TokenKind, tokenize
 from repro.cfront.preprocessor import Preprocessor, preprocess
 from repro.cfront.parser import Parser, parse, parse_file
+from repro.cfront.printer import CPrinter, ast_equivalent, to_c_source
 from repro.cfront.ctypes import ImplementationProfile
 
 __all__ = [
@@ -21,5 +22,8 @@ __all__ = [
     "Parser",
     "parse",
     "parse_file",
+    "CPrinter",
+    "ast_equivalent",
+    "to_c_source",
     "ImplementationProfile",
 ]

@@ -1,0 +1,1366 @@
+"""Seeded, grammar-directed generation of ground-truth-labeled C programs.
+
+The generator is built around one invariant borrowed from workload
+generators for pluggable engines: **every emitted program carries its own
+ground truth**.  Two mechanisms provide it:
+
+* *Well-defined by construction.*  Clean programs are assembled from a
+  mini-IR whose every operation is closed over a bounded non-negative value
+  domain: sums, masked products, shifts by small literals, division and
+  remainder by provably positive denominators, in-bounds (``% length``)
+  array subscripts.  Each IR node both renders to C and *executes* in
+  Python with C-identical semantics on that domain, so the generator
+  concretely simulates the whole program while emitting it and records the
+  exact stdout and exit code a defined execution must produce.  Any verdict
+  other than DEFINED — or any output drift — is a checker (or generator)
+  bug, which is precisely what the differential oracles exist to catch.
+
+* *UB injection.*  ``inject="<family>"`` plants exactly **one** known
+  defect, drawn from :data:`INJECTION_TEMPLATES` — self-contained snippets
+  keyed to the check families of :mod:`repro.ub.catalog` /
+  :mod:`repro.events` — at a random executed point of ``main``.  The case
+  is then labeled like a suite ``BehaviorTest``: the expected
+  :class:`~repro.errors.UBKind` set, the check family whose ablation must
+  un-detect it, and the catalog identifiers it exercises.
+
+Determinism: all randomness derives from ``(seed, "fuzz", "case", index)``
+via :mod:`repro.seeding`, so a case is reproducible from its
+``(seed, index, config)`` triple alone — that triple is what mismatch
+corpus entries store.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import UBKind
+from repro.events import (
+    FAMILY_ARITHMETIC,
+    FAMILY_CONST,
+    FAMILY_EFFECTIVE_TYPES,
+    FAMILY_FUNCTIONS,
+    FAMILY_MEMORY,
+    FAMILY_PROVENANCE,
+    FAMILY_SEQUENCING,
+    FAMILY_UNINITIALIZED,
+)
+from repro.seeding import derive_rng
+
+#: Values stored in generated variables stay in ``[0, DOMAIN)``; the closed
+#: expression grammar keeps every intermediate below ``2**26``, far from any
+#: int overflow on every implementation profile.
+DOMAIN = 1 << 16
+
+_WRAP_MODULI = (251, 256, 1000, 1024, 4096, DOMAIN)
+
+
+class GeneratorInvariantError(AssertionError):
+    """The simulation left the closed value domain — a generator bug."""
+
+
+# ---------------------------------------------------------------------------
+# Expression mini-IR: render() to C, eval() in Python with C semantics
+# ---------------------------------------------------------------------------
+
+
+class _Expr:
+    bound: int = DOMAIN  # static upper bound (exclusive) of the value
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def eval(self, env: "_Env") -> int:
+        raise NotImplementedError
+
+
+class _Lit(_Expr):
+    def __init__(self, value: int) -> None:
+        assert 0 <= value <= DOMAIN
+        self.value = value
+        self.bound = value + 1
+
+    def render(self) -> str:
+        return str(self.value)
+
+    def eval(self, env: "_Env") -> int:
+        return self.value
+
+
+class _Var(_Expr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bound = DOMAIN
+
+    def render(self) -> str:
+        return self.name
+
+    def eval(self, env: "_Env") -> int:
+        return env.ints[self.name]
+
+
+class _ArrRead(_Expr):
+    def __init__(self, name: str, index: _Expr) -> None:
+        self.name = name
+        self.index = index
+        self.bound = DOMAIN
+
+    def render(self) -> str:
+        return f"{self.name}[{self.index.render()}]"
+
+    def eval(self, env: "_Env") -> int:
+        return env.arrays[self.name][self.index.eval(env)]
+
+
+class _Deref(_Expr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bound = DOMAIN
+
+    def render(self) -> str:
+        return f"(*{self.name})"
+
+    def eval(self, env: "_Env") -> int:
+        return env.read_pointer(self.name)
+
+
+class _Call(_Expr):
+    def __init__(self, helper: "_Helper", arguments: list[_Expr]) -> None:
+        self.helper = helper
+        self.arguments = arguments
+        self.bound = DOMAIN
+
+    def render(self) -> str:
+        args = ", ".join(argument.render() for argument in self.arguments)
+        return f"{self.helper.name}({args})"
+
+    def eval(self, env: "_Env") -> int:
+        values = [argument.eval(env) for argument in self.arguments]
+        return self.helper.call(values)
+
+
+class _Bin(_Expr):
+    """A binary operation *closed* over the domain by construction.
+
+    The builder (not this node) is responsible for masking operands so the
+    static ``bound`` stays below ``2**26``; evaluation re-checks.
+    """
+
+    def __init__(self, op: str, left: _Expr, right: _Expr, bound: int) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+        self.bound = bound
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def eval(self, env: "_Env") -> int:
+        a = self.left.eval(env)
+        b = self.right.eval(env)
+        op = self.op
+        if op == "+":
+            value = a + b
+        elif op == "-":
+            value = a - b
+        elif op == "*":
+            value = a * b
+        elif op == "/":
+            if b <= 0:
+                raise GeneratorInvariantError("non-positive divisor")
+            value = a // b  # a >= 0, b > 0: Python // == C /
+        elif op == "%":
+            if b <= 0:
+                raise GeneratorInvariantError("non-positive modulus")
+            value = a % b
+        elif op == "&":
+            value = a & b
+        elif op == "|":
+            value = a | b
+        elif op == "^":
+            value = a ^ b
+        elif op == "<<":
+            value = a << b
+        elif op == ">>":
+            value = a >> b
+        elif op == "==":
+            value = int(a == b)
+        elif op == "!=":
+            value = int(a != b)
+        elif op == "<":
+            value = int(a < b)
+        elif op == ">":
+            value = int(a > b)
+        elif op == "<=":
+            value = int(a <= b)
+        elif op == ">=":
+            value = int(a >= b)
+        else:  # pragma: no cover - the builder only emits the ops above
+            raise GeneratorInvariantError(f"unknown op {op!r}")
+        if value < 0 or value >= (1 << 26):
+            raise GeneratorInvariantError(
+                f"{a} {op} {b} = {value} escaped the closed domain"
+            )
+        return value
+
+
+class _Cond(_Expr):
+    def __init__(self, condition: _Expr, then: _Expr, otherwise: _Expr) -> None:
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+        self.bound = max(then.bound, otherwise.bound)
+
+    def render(self) -> str:
+        rendered_then = self.then.render()
+        rendered_else = self.otherwise.render()
+        return f"({self.condition.render()} ? {rendered_then} : {rendered_else})"
+
+    def eval(self, env: "_Env") -> int:
+        if self.condition.eval(env):
+            return self.then.eval(env)
+        return self.otherwise.eval(env)
+
+
+class _Not(_Expr):
+    def __init__(self, operand: _Expr) -> None:
+        self.operand = operand
+        self.bound = 2
+
+    def render(self) -> str:
+        return f"(!{self.operand.render()})"
+
+    def eval(self, env: "_Env") -> int:
+        return int(not self.operand.eval(env))
+
+
+# ---------------------------------------------------------------------------
+# Statement mini-IR
+# ---------------------------------------------------------------------------
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _Env:
+    """The concrete simulation state: exactly what the C program computes."""
+
+    def __init__(self) -> None:
+        self.ints: dict[str, int] = {}
+        self.arrays: dict[str, list[int]] = {}
+        # pointer name -> ("var", name) | ("elem", array, index)
+        self.pointers: dict[str, tuple] = {}
+        self.output: list[str] = []
+
+    def read_pointer(self, name: str) -> int:
+        target = self.pointers[name]
+        if target[0] == "var":
+            return self.ints[target[1]]
+        return self.arrays[target[1]][target[2]]
+
+    def write_pointer(self, name: str, value: int) -> None:
+        target = self.pointers[name]
+        if target[0] == "var":
+            self.ints[target[1]] = value
+        else:
+            self.arrays[target[1]][target[2]] = value
+
+
+class _Stmt:
+    def render(self, depth: int) -> list[str]:
+        raise NotImplementedError
+
+    def execute(self, env: _Env) -> None:
+        raise NotImplementedError
+
+
+def _pad(depth: int) -> str:
+    return "    " * depth
+
+
+class _DeclInt(_Stmt):
+    def __init__(self, name: str, expr: _Expr) -> None:
+        self.name = name
+        self.expr = expr
+
+    def render(self, depth: int) -> list[str]:
+        return [f"{_pad(depth)}int {self.name} = {self.expr.render()};"]
+
+    def execute(self, env: _Env) -> None:
+        env.ints[self.name] = self.expr.eval(env)
+
+
+class _DeclArr(_Stmt):
+    def __init__(self, name: str, values: list[int]) -> None:
+        self.name = name
+        self.values = values
+
+    def render(self, depth: int) -> list[str]:
+        items = ", ".join(str(v) for v in self.values)
+        return [f"{_pad(depth)}int {self.name}[{len(self.values)}] = {{{items}}};"]
+
+    def execute(self, env: _Env) -> None:
+        env.arrays[self.name] = list(self.values)
+
+
+class _DeclPtr(_Stmt):
+    def __init__(self, name: str, target: tuple) -> None:
+        self.name = name
+        self.target = target
+
+    def render(self, depth: int) -> list[str]:
+        if self.target[0] == "var":
+            text = f"&{self.target[1]}"
+        else:
+            text = f"&{self.target[1]}[{self.target[2]}]"
+        return [f"{_pad(depth)}int *{self.name} = {text};"]
+
+    def execute(self, env: _Env) -> None:
+        env.pointers[self.name] = self.target
+
+
+class _Assign(_Stmt):
+    # lhs is ("var", name) | ("elem", arr, index_expr) | ("deref", ptr)
+    def __init__(self, lhs: tuple, expr: _Expr) -> None:
+        self.lhs = lhs
+        self.expr = expr
+
+    def render(self, depth: int) -> list[str]:
+        kind = self.lhs[0]
+        if kind == "var":
+            target = self.lhs[1]
+        elif kind == "elem":
+            target = f"{self.lhs[1]}[{self.lhs[2].render()}]"
+        else:
+            target = f"*{self.lhs[1]}"
+        return [f"{_pad(depth)}{target} = {self.expr.render()};"]
+
+    def execute(self, env: _Env) -> None:
+        value = self.expr.eval(env)
+        kind = self.lhs[0]
+        if kind == "var":
+            env.ints[self.lhs[1]] = value
+        elif kind == "elem":
+            env.arrays[self.lhs[1]][self.lhs[2].eval(env)] = value
+        else:
+            env.write_pointer(self.lhs[1], value)
+
+
+class _If(_Stmt):
+    def __init__(
+        self,
+        condition: _Expr,
+        then: list[_Stmt],
+        otherwise: Optional[list[_Stmt]],
+    ) -> None:
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def render(self, depth: int) -> list[str]:
+        lines = [f"{_pad(depth)}if ({self.condition.render()}) {{"]
+        for stmt in self.then:
+            lines.extend(stmt.render(depth + 1))
+        if self.otherwise is not None:
+            lines.append(f"{_pad(depth)}}} else {{")
+            for stmt in self.otherwise:
+                lines.extend(stmt.render(depth + 1))
+        lines.append(f"{_pad(depth)}}}")
+        return lines
+
+    def execute(self, env: _Env) -> None:
+        branch = self.then if self.condition.eval(env) else self.otherwise
+        for stmt in branch or []:
+            stmt.execute(env)
+
+
+class _For(_Stmt):
+    def __init__(self, var: str, count: int, body: list[_Stmt]) -> None:
+        self.var = var
+        self.count = count
+        self.body = body
+
+    def render(self, depth: int) -> list[str]:
+        head = (
+            f"{_pad(depth)}for ({self.var} = 0; {self.var} < {self.count}; "
+            f"{self.var} = {self.var} + 1) {{"
+        )
+        lines = [head]
+        for stmt in self.body:
+            lines.extend(stmt.render(depth + 1))
+        lines.append(f"{_pad(depth)}}}")
+        return lines
+
+    def execute(self, env: _Env) -> None:
+        env.ints[self.var] = 0
+        iterations = 0
+        while env.ints[self.var] < self.count:
+            iterations += 1
+            if iterations > self.count + 1:
+                # The builder bans every write to the loop variable (direct
+                # assignment and pointer aliasing alike), so re-winding is a
+                # generator bug; fail loudly instead of hanging.
+                raise GeneratorInvariantError(
+                    f"loop over {self.var} exceeded its {self.count} iterations"
+                )
+            try:
+                for stmt in self.body:
+                    stmt.execute(env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            env.ints[self.var] = env.ints[self.var] + 1
+
+
+class _LoopEscape(_Stmt):
+    """``if (cond) { break; }`` / ``if (cond) { continue; }``."""
+
+    def __init__(self, condition: _Expr, kind: str) -> None:
+        self.condition = condition
+        self.kind = kind  # "break" | "continue"
+
+    def render(self, depth: int) -> list[str]:
+        return [f"{_pad(depth)}if ({self.condition.render()}) {{ {self.kind}; }}"]
+
+    def execute(self, env: _Env) -> None:
+        if self.condition.eval(env):
+            raise _BreakSignal() if self.kind == "break" else _ContinueSignal()
+
+
+class _Print(_Stmt):
+    def __init__(self, expr: _Expr) -> None:
+        self.expr = expr
+
+    def render(self, depth: int) -> list[str]:
+        return [f'{_pad(depth)}printf("%d\\n", {self.expr.render()});']
+
+    def execute(self, env: _Env) -> None:
+        env.output.append(f"{self.expr.eval(env)}\n")
+
+
+class _Return(_Stmt):
+    def __init__(self, expr: _Expr) -> None:
+        self.expr = expr
+
+    def render(self, depth: int) -> list[str]:
+        return [f"{_pad(depth)}return {self.expr.render()};"]
+
+    def execute(self, env: _Env) -> None:
+        env.ints["__exit__"] = self.expr.eval(env)
+
+
+class _Helper:
+    """A pure straight-line helper function: int(int, int)."""
+
+    def __init__(self, name: str, body: list[_Stmt], result: _Expr) -> None:
+        self.name = name
+        self.body = body
+        self.result = result
+
+    def render(self) -> list[str]:
+        lines = [f"int {self.name}(int p0, int p1) {{"]
+        for stmt in self.body:
+            lines.extend(stmt.render(1))
+        lines.append(f"    return {self.result.render()};")
+        lines.append("}")
+        return lines
+
+    def call(self, arguments: list[int]) -> int:
+        env = _Env()
+        env.ints["p0"], env.ints["p1"] = arguments
+        for stmt in self.body:
+            stmt.execute(env)
+        return self.result.eval(env)
+
+
+# ---------------------------------------------------------------------------
+# UB-injection templates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InjectionTemplate:
+    """A self-contained defect snippet with its ground-truth label.
+
+    ``family`` names the ``check_*`` flag gating detection (``None`` for
+    terminal checks every profile reports); ``gated`` says whether the
+    ablation-monotonicity oracle applies.  ``catalog_ids`` are the
+    ``repro.ub.catalog`` entry identifiers this template exercises; the
+    catalog-coverage test holds the union of these against the catalog.
+    ``lines`` use ``{u}`` for a uniquifying suffix.
+    """
+
+    name: str
+    family: Optional[str]
+    expected_kinds: tuple[UBKind, ...]
+    catalog_ids: tuple[str, ...]
+    lines: tuple[str, ...]
+    gated: bool = True
+
+    def instantiate(self, suffix: str) -> tuple[str, ...]:
+        return tuple(line.format(u=suffix) for line in self.lines)
+
+
+INJECTION_TEMPLATES: tuple[InjectionTemplate, ...] = (
+    # -- arithmetic ---------------------------------------------------------
+    InjectionTemplate(
+        "signed-overflow-add",
+        FAMILY_ARITHMETIC,
+        (UBKind.SIGNED_OVERFLOW,),
+        ("arithmetic-exceptional-condition",),
+        (
+            "int inj_big_{u} = 2147483647;",
+            "int inj_boom_{u} = inj_big_{u} + 1;",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "division-by-zero",
+        FAMILY_ARITHMETIC,
+        (UBKind.DIVISION_BY_ZERO,),
+        ("division-by-zero",),
+        (
+            "int inj_zero_{u} = 0;",
+            "int inj_boom_{u} = 19 / inj_zero_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "shift-too-far",
+        FAMILY_ARITHMETIC,
+        (UBKind.SHIFT_TOO_FAR,),
+        ("shift-amount-out-of-range",),
+        (
+            "int inj_amount_{u} = 40;",
+            "int inj_boom_{u} = 1 << inj_amount_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "shift-overflow",
+        FAMILY_ARITHMETIC,
+        (UBKind.SHIFT_OVERFLOW,),
+        ("left-shift-negative-or-overflow",),
+        (
+            "int inj_wide_{u} = 70000;",
+            "int inj_boom_{u} = inj_wide_{u} << 16;",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    # -- memory -------------------------------------------------------------
+    InjectionTemplate(
+        "oob-array-write",
+        FAMILY_MEMORY,
+        (UBKind.BUFFER_OVERFLOW,),
+        ("array-access-out-of-bounds", "pointer-addition-outside-object"),
+        (
+            "int inj_arr_{u}[3] = {{1, 2, 3}};",
+            "int inj_idx_{u} = 3;",
+            "inj_arr_{u}[inj_idx_{u}] = 9;",
+        ),
+    ),
+    InjectionTemplate(
+        "oob-array-read",
+        FAMILY_MEMORY,
+        (UBKind.OUT_OF_BOUNDS,),
+        ("array-access-out-of-bounds", "one-past-end-dereferenced"),
+        (
+            "int inj_arr_{u}[3] = {{1, 2, 3}};",
+            "int inj_idx_{u} = 3;",
+            "int inj_boom_{u} = inj_arr_{u}[inj_idx_{u}];",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "null-deref",
+        FAMILY_MEMORY,
+        (UBKind.NULL_DEREFERENCE,),
+        ("invalid-pointer-dereference",),
+        (
+            "int *inj_null_{u} = 0;",
+            "int inj_boom_{u} = *inj_null_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "use-after-free",
+        FAMILY_MEMORY,
+        (UBKind.USE_AFTER_FREE, UBKind.DANGLING_DEREFERENCE),
+        (
+            "allocated-object-used-after-free",
+            "object-referred-outside-lifetime",
+            "pointer-to-dead-object-used",
+            "lvalue-designates-no-object",
+        ),
+        (
+            "int *inj_heap_{u} = malloc(sizeof(int));",
+            "*inj_heap_{u} = 5;",
+            "free(inj_heap_{u});",
+            "int inj_boom_{u} = *inj_heap_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "double-free",
+        None,
+        (UBKind.DOUBLE_FREE,),
+        ("free-already-freed", "free-invalid-pointer"),
+        (
+            "int *inj_heap_{u} = malloc(sizeof(int));",
+            "*inj_heap_{u} = 5;",
+            "free(inj_heap_{u});",
+            "free(inj_heap_{u});",
+        ),
+        gated=False,
+    ),
+    # -- sequencing ---------------------------------------------------------
+    InjectionTemplate(
+        "unsequenced-write-read",
+        FAMILY_SEQUENCING,
+        (UBKind.UNSEQUENCED_SIDE_EFFECT,),
+        ("unsequenced-side-effects",),
+        (
+            "int inj_x_{u} = 1;",
+            "int inj_boom_{u} = (inj_x_{u} = 5) + inj_x_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "unsequenced-two-writes",
+        FAMILY_SEQUENCING,
+        (UBKind.UNSEQUENCED_SIDE_EFFECT,),
+        ("unsequenced-side-effects",),
+        (
+            "int inj_x_{u} = 0;",
+            "int inj_boom_{u} = (inj_x_{u} = 1) + (inj_x_{u} = 2);",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    # -- const --------------------------------------------------------------
+    InjectionTemplate(
+        "write-to-const",
+        FAMILY_CONST,
+        (UBKind.CONST_VIOLATION,),
+        ("const-object-modified",),
+        (
+            "const int inj_locked_{u} = 3;",
+            "int *inj_alias_{u} = (int *)&inj_locked_{u};",
+            "*inj_alias_{u} = 4;",
+        ),
+    ),
+    InjectionTemplate(
+        "modify-string-literal",
+        FAMILY_CONST,
+        (UBKind.MODIFY_STRING_LITERAL,),
+        ("string-literal-modified",),
+        (
+            'char *inj_text_{u} = "hi";',
+            "inj_text_{u}[0] = 'H';",
+        ),
+    ),
+    # -- pointer provenance -------------------------------------------------
+    InjectionTemplate(
+        "compare-unrelated",
+        FAMILY_PROVENANCE,
+        (UBKind.POINTER_COMPARE_UNRELATED,),
+        ("relational-comparison-unrelated-pointers",),
+        (
+            "int inj_a_{u} = 1;",
+            "int inj_b_{u} = 2;",
+            "int inj_boom_{u} = (&inj_a_{u} < &inj_b_{u});",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "subtract-unrelated",
+        FAMILY_PROVENANCE,
+        (UBKind.POINTER_SUBTRACT_UNRELATED,),
+        ("pointer-subtraction-different-objects",),
+        (
+            "int inj_a_{u}[2] = {{1, 2}};",
+            "int inj_b_{u}[2] = {{3, 4}};",
+            "int inj_boom_{u} = (int)(&inj_a_{u}[1] - &inj_b_{u}[0]);",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    # -- uninitialized ------------------------------------------------------
+    InjectionTemplate(
+        "uninitialized-read",
+        FAMILY_UNINITIALIZED,
+        (UBKind.UNINITIALIZED_READ,),
+        (
+            "indeterminate-auto-object-used",
+            "trap-representation-read",
+            "trap-representation-produced",
+        ),
+        (
+            "int inj_ghost_{u};",
+            "int inj_boom_{u} = inj_ghost_{u} + 1;",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    # -- effective types ----------------------------------------------------
+    InjectionTemplate(
+        "aliasing-read",
+        FAMILY_EFFECTIVE_TYPES,
+        (UBKind.EFFECTIVE_TYPE_VIOLATION,),
+        ("effective-type-violation",),
+        (
+            "int inj_cell_{u} = 42;",
+            "float *inj_alias_{u} = (float *)&inj_cell_{u};",
+            "float inj_boom_{u} = *inj_alias_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    # -- functions ----------------------------------------------------------
+    InjectionTemplate(
+        "wrong-arg-count",
+        FAMILY_FUNCTIONS,
+        (UBKind.BAD_FUNCTION_CALL,),
+        (
+            "call-arguments-mismatch-no-prototype",
+            "library-invalid-argument",
+            "function-called-wrong-type",
+        ),
+        (
+            "int inj_boom_{u} = inj_pick({u} + 1);",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+)
+
+#: Dynamic catalog entries no injection template can exercise, with the
+#: reason.  The catalog-coverage test (tests/fuzz/test_catalog_coverage.py)
+#: fails when a dynamic catalog entry is neither covered by a template's
+#: ``catalog_ids`` nor listed here — so new catalog entries cannot silently
+#: escape fuzz coverage.
+UNGENERATED: dict[str, str] = {
+    "program-exceeds-limits": "resource exhaustion is a host limit",
+    "conversion-unrepresentable-fp-int": "needs float inputs outside the domain",
+    "demotion-unrepresentable-fp": "long-double demotion is unsupported",
+    "lvalue-with-incomplete-type": "needs incomplete struct types (not emitted)",
+    "misaligned-pointer-conversion": "alignment punning is profile-dependent",
+    "function-pointer-wrong-type-call": "function pointers are not generated",
+    "compound-literal-in-function-call-return": "compound literals not generated",
+    "division-quotient-unrepresentable": "needs negative operands (domain is >= 0)",
+    "pointer-difference-unrepresentable": "needs objects larger than generated",
+    "assignment-overlapping-objects": "overlapping aggregates are not generated",
+    "volatile-through-nonvolatile": "volatile semantics are not modeled",
+    "restrict-aliasing-violation": "restrict is not modeled by the checker",
+    "restrict-copy-between-overlapping": "restrict is not modeled by the checker",
+    "vla-size-not-positive": "VLAs are rejected by the front end",
+    "missing-return-value-used": "would duplicate the uninitialized-read path",
+    "recursive-main-exit": "exit-handling semantics are not modeled",
+    "setjmp-misused": "setjmp/longjmp are outside the stdlib subset",
+    "va-arg-type-mismatch": "variadic access is outside the generated subset",
+    "va-start-not-matched": "variadic access is outside the generated subset",
+    "library-array-too-small": "library buffer contracts: Juliet suite's job",
+    "printf-conversion-mismatch": "format-string defects: Juliet suite's job",
+    "printf-insufficient-arguments": "format-string defects: Juliet suite's job",
+    "scanf-result-pointer-invalid": "scanf needs stdin the generator lacks",
+    "string-function-unterminated": "string-buffer defects: Juliet suite's job",
+    "memcpy-overlapping": "overlap defects: Juliet suite's job",
+    "abs-of-most-negative": "needs negative operands (domain is >= 0)",
+    "exit-called-twice": "exit-handling semantics are not modeled",
+    "getenv-result-modified": "getenv is outside the stdlib subset",
+    "signal-handler-bad-call": "signals are outside the supported subset",
+    "strtok-null-on-first-call": "strtok is outside the stdlib subset",
+    "fgets-null-or-closed-stream": "streams are outside the supported subset",
+    "fflush-input-stream": "streams are outside the supported subset",
+    "file-position-invalid": "streams are outside the supported subset",
+    "qsort-comparator-inconsistent": "function pointers are not generated",
+    "ungetc-pushback-overflow": "streams are outside the supported subset",
+    "multibyte-invalid-sequence": "multibyte conversion is unsupported",
+    "locale-string-modified": "locales are outside the supported subset",
+    "time-conversion-out-of-range": "time.h is outside the supported subset",
+    "atexit-handler-longjmp": "atexit/longjmp are outside the subset",
+    "wide-char-null-pointer": "wide characters are unsupported",
+    "data-race": "threads are outside the supported subset",
+    "mutex-not-owned-unlock": "threads are outside the supported subset",
+    "thread-storage-after-exit": "threads are outside the supported subset",
+    "condition-variable-different-mutexes": "threads are not supported",
+}
+
+
+def injection_families() -> list[str]:
+    """The check families with at least one injection template, in order."""
+    seen: list[str] = []
+    for template in INJECTION_TEMPLATES:
+        family = template.family or "terminal"
+        if family not in seen:
+            seen.append(family)
+    return seen
+
+
+def template_for(name: str) -> InjectionTemplate:
+    for template in INJECTION_TEMPLATES:
+        if template.name == name:
+            return template
+    raise KeyError(f"no injection template named {name!r}")
+
+
+def _templates_in_family(family: str) -> list[InjectionTemplate]:
+    return [
+        template
+        for template in INJECTION_TEMPLATES
+        if (template.family or "terminal") == family
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Configuration and the generated case
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape knobs for one generated program (picklable, hashable)."""
+
+    max_helpers: int = 2
+    min_statements: int = 4
+    max_statements: int = 10
+    max_depth: int = 3  # expression tree depth
+    max_loop_count: int = 6
+    max_array_length: int = 6
+    #: Test/demo hook: deliberately corrupt the ground truth so the oracle
+    #: stack *must* report a mismatch.  ``"mislabel"`` plants a defect but
+    #: labels the case clean; ``"wrong-stdout"`` corrupts the predicted
+    #: output of a clean case.  Used by the reducer tests and the example.
+    sabotage: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_helpers": self.max_helpers,
+            "min_statements": self.min_statements,
+            "max_statements": self.max_statements,
+            "max_depth": self.max_depth,
+            "max_loop_count": self.max_loop_count,
+            "max_array_length": self.max_array_length,
+            "sabotage": self.sabotage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GeneratorConfig":
+        return cls(**{key: data[key] for key in cls().to_dict() if key in data})
+
+
+@dataclass
+class FuzzCase:
+    """One generated program with its ground-truth label."""
+
+    name: str
+    source: str
+    seed: int
+    index: int
+    config: GeneratorConfig
+    #: Injection template name, or None for a clean (well-defined) case.
+    injected: Optional[str] = None
+    family: Optional[str] = None
+    expected_kinds: tuple[UBKind, ...] = ()
+    #: Ground truth of a clean case: the simulated stdout and exit code.
+    predicted_stdout: Optional[str] = None
+    predicted_exit: Optional[int] = None
+
+    @property
+    def is_bad(self) -> bool:
+        return self.injected is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "seed": self.seed,
+            "index": self.index,
+            "config": self.config.to_dict(),
+            "injected": self.injected,
+            "family": self.family,
+            "expected_kinds": [kind.name for kind in self.expected_kinds],
+            "predicted_stdout": self.predicted_stdout,
+            "predicted_exit": self.predicted_exit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FuzzCase":
+        kinds = tuple(UBKind[name] for name in data.get("expected_kinds", []))
+        return cls(
+            name=data["name"],
+            source=data["source"],
+            seed=data["seed"],
+            index=data["index"],
+            config=GeneratorConfig.from_dict(data.get("config", {})),
+            injected=data.get("injected"),
+            family=data.get("family"),
+            expected_kinds=kinds,
+            predicted_stdout=data.get("predicted_stdout"),
+            predicted_exit=data.get("predicted_exit"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The generator proper
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    """Builds one program: helpers + main, concretely simulated."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.counter = 0
+        self.helpers: list[_Helper] = []
+        # Scopes of visible names, innermost last; each entry is
+        # (int_names, array_names(->length), pointer_names).
+        self.scopes: list[tuple[list[str], dict[str, int], list[str]]] = []
+        #: Pointer name -> the int variable it aliases (None for array
+        #: elements).  Needed to keep loop variables write-free: a direct
+        #: assignment checks ``protected`` by name, and this map extends the
+        #: same check through pointer dereferences.
+        self.pointer_targets: dict[str, Optional[str]] = {}
+
+    # -- scope bookkeeping --------------------------------------------------
+    def push_scope(self) -> None:
+        self.scopes.append(([], {}, []))
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    @property
+    def int_names(self) -> list[str]:
+        return [name for scope in self.scopes for name in scope[0]]
+
+    @property
+    def arrays(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for scope in self.scopes:
+            merged.update(scope[1])
+        return merged
+
+    @property
+    def pointer_names(self) -> list[str]:
+        return [name for scope in self.scopes for name in scope[2]]
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, depth: int = 0) -> _Expr:
+        """A random expression, closed over the value domain."""
+        rng = self.rng
+        leaves = depth >= self.config.max_depth
+        choices = ["lit", "lit", "var", "var", "var"]
+        if self.arrays:
+            choices.append("arr")
+        if self.pointer_names:
+            choices.append("ptr")
+        if not leaves:
+            choices += ["bin"] * 6 + ["cmp", "cond", "not"]
+            if self.helpers:
+                choices += ["call", "call"]
+        kind = rng.choice(choices)
+        if kind == "lit" or (kind == "var" and not self.int_names):
+            return _Lit(rng.randrange(100))
+        if kind == "var":
+            return _Var(rng.choice(self.int_names))
+        if kind == "arr":
+            name, length = rng.choice(sorted(self.arrays.items()))
+            return _ArrRead(name, self.index_expr(length, depth + 1))
+        if kind == "ptr":
+            return _Deref(rng.choice(self.pointer_names))
+        if kind == "call":
+            helper = rng.choice(self.helpers)
+            arguments = [
+                self.masked(self.expr(depth + 1), 255),
+                self.masked(self.expr(depth + 1), 255),
+            ]
+            return _Call(helper, arguments)
+        if kind == "cond":
+            condition = self.comparison(depth + 1)
+            return _Cond(condition, self.expr(depth + 1), self.expr(depth + 1))
+        if kind == "not":
+            return _Not(self.expr(depth + 1))
+        if kind == "cmp":
+            return self.comparison(depth + 1)
+        return self.binary(depth)
+
+    def comparison(self, depth: int) -> _Expr:
+        op = self.rng.choice(("==", "!=", "<", ">", "<=", ">="))
+        left = self.expr(depth)
+        right = self.expr(depth)
+        return _Bin(op, left, right, 2)
+
+    def masked(self, expr: _Expr, mask: int) -> _Expr:
+        """``expr & mask`` — but only when the bound actually requires it."""
+        if expr.bound <= mask + 1:
+            return expr
+        return _Bin("&", expr, _Lit(mask), mask + 1)
+
+    def binary(self, depth: int) -> _Expr:
+        rng = self.rng
+        op = rng.choice(("+", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"))
+        left = self.expr(depth + 1)
+        right = self.expr(depth + 1)
+        if op == "+":
+            return _Bin("+", left, right, left.bound + right.bound)
+        if op == "-":
+            # Closed subtraction: (a > b ? a - b : b - a) stays non-negative.
+            bound = max(left.bound, right.bound)
+            return _Cond(
+                _Bin(">", left, right, 2),
+                _Bin("-", left, right, bound),
+                _Bin("-", right, left, bound),
+            )
+        if op == "*":
+            left = self.masked(left, 1023)
+            right = self.masked(right, 1023)
+            return _Bin("*", left, right, left.bound * right.bound)
+        if op in ("/", "%"):
+            if rng.random() < 0.5:
+                divisor: _Expr = _Lit(rng.randrange(1, 10))
+            else:
+                masked = self.masked(self.expr(depth + 1), 255)
+                divisor = _Bin("|", masked, _Lit(1), 256)
+            bound = left.bound if op == "/" else min(left.bound, divisor.bound)
+            return _Bin(op, left, divisor, bound)
+        if op in ("&", "|", "^"):
+            if op == "&":
+                bound = max(left.bound, right.bound)
+            else:
+                bound = _next_pow2(max(left.bound, right.bound))
+            return _Bin(op, left, right, bound)
+        if op == "<<":
+            left = self.masked(left, 255)
+            amount = rng.randrange(7)
+            return _Bin("<<", left, _Lit(amount), left.bound << amount)
+        amount = self.rng.randrange(9)
+        return _Bin(">>", left, _Lit(amount), left.bound)
+
+    def index_expr(self, length: int, depth: int) -> _Expr:
+        if self.rng.random() < 0.4:
+            return _Lit(self.rng.randrange(length))
+        return _Bin("%", self.expr(depth), _Lit(length), length)
+
+    def storable(self, depth: int = 0) -> _Expr:
+        """An expression whose value provably fits the stored domain."""
+        expr = self.expr(depth)
+        if expr.bound <= DOMAIN:
+            return expr
+        modulus = self.rng.choice(_WRAP_MODULI)
+        return _Bin("%", expr, _Lit(modulus), modulus)
+
+    # -- statements ---------------------------------------------------------
+    def declaration(self) -> _Stmt:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.55 or not (self.int_names or self.arrays):
+            name = self.fresh("v")
+            stmt: _Stmt = _DeclInt(name, self.storable())
+            self.scopes[-1][0].append(name)
+            return stmt
+        if roll < 0.8:
+            name = self.fresh("arr")
+            length = rng.randrange(2, self.config.max_array_length + 1)
+            values = [rng.randrange(DOMAIN // 2) for _ in range(length)]
+            self.scopes[-1][1][name] = length
+            return _DeclArr(name, values)
+        name = self.fresh("p")
+        if self.arrays and (rng.random() < 0.5 or not self.int_names):
+            array, length = rng.choice(sorted(self.arrays.items()))
+            target = ("elem", array, rng.randrange(length))
+            self.pointer_targets[name] = None
+        else:
+            target = ("var", rng.choice(self.int_names))
+            self.pointer_targets[name] = target[1]
+        self.scopes[-1][2].append(name)
+        return _DeclPtr(name, target)
+
+    def assignment(self, protected: frozenset[str]) -> Optional[_Stmt]:
+        rng = self.rng
+        targets: list[tuple] = [
+            ("var", name) for name in self.int_names if name not in protected
+        ]
+        targets += [
+            ("elem", name, self.index_expr(length, 1))
+            for name, length in self.arrays.items()
+        ]
+        # A dereference write is a write to the aliased variable: protected
+        # names (loop variables) stay write-free through pointers too.
+        targets += [
+            ("deref", name)
+            for name in self.pointer_names
+            if self.pointer_targets.get(name) not in protected
+        ]
+        if not targets:
+            return None
+        return _Assign(rng.choice(targets), self.storable())
+
+    def statements(
+        self,
+        budget: int,
+        *,
+        depth: int,
+        in_loop: bool,
+        protected: frozenset[str],
+    ) -> list[_Stmt]:
+        """A block of up to ``budget`` statements in a fresh scope."""
+        rng = self.rng
+        self.push_scope()
+        block: list[_Stmt] = []
+        while len(block) < budget:
+            roll = rng.random()
+            if roll < 0.3:
+                block.append(self.declaration())
+            elif roll < 0.62:
+                assign = self.assignment(protected)
+                block.append(assign if assign is not None else self.declaration())
+            elif roll < 0.72 and depth < 2:
+                then = self.statements(
+                    rng.randrange(1, 3),
+                    depth=depth + 1,
+                    in_loop=in_loop,
+                    protected=protected,
+                )
+                otherwise = None
+                if rng.random() < 0.5:
+                    otherwise = self.statements(
+                        rng.randrange(1, 3),
+                        depth=depth + 1,
+                        in_loop=in_loop,
+                        protected=protected,
+                    )
+                block.append(_If(self.comparison(1), then, otherwise))
+            elif roll < 0.84 and depth == 0 and not in_loop:
+                var = self.fresh("i")
+                self.scopes[-1][0].append(var)
+                block.append(_DeclInt(var, _Lit(0)))
+                count = rng.randrange(1, self.config.max_loop_count + 1)
+                body = self.statements(
+                    rng.randrange(1, 4),
+                    depth=depth + 1,
+                    in_loop=True,
+                    protected=protected | {var},
+                )
+                if rng.random() < 0.3:
+                    escape = _LoopEscape(
+                        self.comparison(1),
+                        rng.choice(("break", "continue")),
+                    )
+                    body.insert(rng.randrange(len(body) + 1), escape)
+                block.append(_For(var, count, body))
+            elif roll < 0.92 and in_loop:
+                escape = _LoopEscape(
+                    self.comparison(1),
+                    rng.choice(("break", "continue")),
+                )
+                block.append(escape)
+            else:
+                block.append(_Print(self.expr()))
+        self.pop_scope()
+        return block
+
+    def helper(self) -> _Helper:
+        name = self.fresh("mix")
+        self.push_scope()
+        self.scopes[-1][0].extend(("p0", "p1"))
+        body: list[_Stmt] = []
+        for _ in range(self.rng.randrange(1, 4)):
+            local = self.fresh("t")
+            body.append(_DeclInt(local, self.storable(1)))
+            self.scopes[-1][0].append(local)
+        result = self.storable(1)
+        self.pop_scope()
+        return _Helper(name, body, result)
+
+    def build_main(self) -> tuple[list[_Stmt], _Expr]:
+        rng = self.rng
+        self.push_scope()
+        statements: list[_Stmt] = []
+        for _ in range(rng.randrange(2, 4)):
+            name = self.fresh("v")
+            statements.append(_DeclInt(name, _Lit(rng.randrange(DOMAIN // 4))))
+            self.scopes[-1][0].append(name)
+        budget = rng.randrange(
+            self.config.min_statements,
+            self.config.max_statements + 1,
+        )
+        statements.extend(
+            self.statements(budget, depth=0, in_loop=False, protected=frozenset())
+        )
+        statements.append(_Print(self.expr()))
+        result = _Bin("%", self.storable(), _Lit(100), 100)
+        self.pop_scope()
+        return statements, result
+
+
+def _next_pow2(value: int) -> int:
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+#: Helper definition required by the wrong-arg-count template; appended to
+#: the program only when that template is planted.
+_INJ_SUPPORT_FUNCTIONS = {
+    "wrong-arg-count": (
+        "int inj_pick(int a, int b) {",
+        "    return a;",
+        "}",
+    ),
+}
+
+
+def generate_case(
+    seed: int,
+    index: int,
+    *,
+    config: GeneratorConfig = GeneratorConfig(),
+    inject: Optional[str] = None,
+) -> FuzzCase:
+    """Generate one labeled program.
+
+    ``inject`` is ``None`` (clean), a check-family name (a random template
+    of that family), a template name, or ``"mixed"`` (random: ~40% clean,
+    else a random template).  The same ``(seed, index, config, inject)``
+    always yields the same case.
+    """
+    rng = derive_rng(seed, "fuzz", "case", index)
+    builder = _Builder(rng, config)
+    for _ in range(rng.randrange(0, config.max_helpers + 1)):
+        builder.helpers.append(builder.helper())
+    main_statements, result_expr = builder.build_main()
+
+    template: Optional[InjectionTemplate] = None
+    mode = inject
+    sabotage = config.sabotage
+    if sabotage == "mislabel" and mode in (None, "none"):
+        mode = "mixed"
+    if mode == "mixed":
+        if sabotage != "mislabel" and rng.random() < 0.4:
+            template = None
+        else:
+            template = rng.choice(INJECTION_TEMPLATES)
+    elif mode not in (None, "none"):
+        candidates = _templates_in_family(mode)
+        if candidates:
+            template = rng.choice(candidates)
+        else:
+            template = template_for(mode)  # raises KeyError for unknown names
+
+    # Simulate the clean program (the injected lines are not part of the
+    # simulation: a strict run never gets past the defect).
+    env = _Env()
+    for statement in main_statements:
+        statement.execute(env)
+    exit_value = result_expr.eval(env)
+    if exit_value >= 256:  # pragma: no cover - result is % 100 by construction
+        raise GeneratorInvariantError("exit value escaped the exit-code range")
+
+    lines: list[str] = []
+    for helper in builder.helpers:
+        lines.extend(helper.render())
+        lines.append("")
+    if template is not None and template.name in _INJ_SUPPORT_FUNCTIONS:
+        lines.extend(_INJ_SUPPORT_FUNCTIONS[template.name])
+        lines.append("")
+    lines.append("int main(void) {")
+    body_lines: list[str] = []
+    for statement in main_statements:
+        body_lines.extend(statement.render(1))
+    if template is not None:
+        slot_ends = [0]
+        offset = 0
+        for statement in main_statements:
+            offset += len(statement.render(1))
+            slot_ends.append(offset)
+        insert_at = slot_ends[rng.randrange(len(slot_ends))]
+        injected_lines = [
+            _pad(1) + line for line in template.instantiate(str(index % 1000))
+        ]
+        body_lines[insert_at:insert_at] = injected_lines
+    lines.extend(body_lines)
+    lines.extend(_Return(result_expr).render(1))
+    lines.append("}")
+    source = "\n".join(lines) + "\n"
+
+    predicted_stdout: Optional[str] = "".join(env.output)
+    predicted_exit: Optional[int] = exit_value
+    injected_name = template.name if template is not None else None
+    family = template.family if template is not None else None
+    expected = template.expected_kinds if template is not None else ()
+    if template is not None:
+        predicted_stdout = None
+        predicted_exit = None
+    if sabotage == "mislabel" and template is not None:
+        # The defect is in the program, but the label says "clean": the
+        # ground-truth oracle must fail on this case.
+        injected_name = None
+        family = None
+        expected = ()
+        predicted_stdout = ""
+        predicted_exit = 0
+    elif sabotage == "wrong-stdout" and template is None:
+        predicted_stdout = (predicted_stdout or "") + "sabotaged\n"
+    return FuzzCase(
+        name=f"fuzz-{seed}-{index}",
+        source=source,
+        seed=seed,
+        index=index,
+        config=config,
+        injected=injected_name,
+        family=family,
+        expected_kinds=tuple(expected),
+        predicted_stdout=predicted_stdout,
+        predicted_exit=predicted_exit,
+    )
+
+
+def generate_cases(
+    seed: int,
+    count: int,
+    *,
+    config: GeneratorConfig = GeneratorConfig(),
+    inject: Optional[str] = "mixed",
+    start_index: int = 0,
+) -> list[FuzzCase]:
+    """Generate ``count`` cases; case ``i`` depends only on ``(seed, i)``."""
+    return [
+        generate_case(seed, index, config=config, inject=inject)
+        for index in range(start_index, start_index + count)
+    ]
+
+
+def regenerate(case_dict: dict[str, Any]) -> FuzzCase:
+    """Rebuild a case from a corpus entry's ``(seed, index, config)`` triple."""
+    config = GeneratorConfig.from_dict(case_dict.get("config", {}))
+    inject = case_dict.get("inject_mode", "mixed")
+    return generate_case(
+        case_dict["seed"],
+        case_dict["index"],
+        config=config,
+        inject=inject,
+    )
+
+
+__all__ = [
+    "DOMAIN",
+    "FuzzCase",
+    "GeneratorConfig",
+    "GeneratorInvariantError",
+    "INJECTION_TEMPLATES",
+    "InjectionTemplate",
+    "UNGENERATED",
+    "generate_case",
+    "generate_cases",
+    "injection_families",
+    "regenerate",
+    "template_for",
+]

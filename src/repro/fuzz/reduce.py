@@ -1,0 +1,380 @@
+"""Delta-debugging reduction: shrink a mismatching program, keep its failure.
+
+``reduce_source(source, predicate)`` returns the smallest program this
+reducer can find for which ``predicate(smaller_source)`` still holds.  The
+predicate is a property of the *source text alone* (typically "the oracle
+stack still reports the same failure signature" —
+:func:`make_failure_predicate`), which is what lets a fuzz finding land in
+the repository as a minimal, self-contained regression case.
+
+The reducer alternates two deterministic passes to a fixpoint:
+
+* a **ddmin pass** (Zeller's delta debugging) over the removable statement
+  slots of the AST — top-level declarations, statements in every compound —
+  removing the largest subsets that preserve the failure;
+* a **structural simplification pass** over single nodes: an ``if`` becomes
+  its taken-or-either branch, a loop becomes its body, a binary expression
+  becomes one operand, a return value becomes a literal, a call's arguments
+  become literals.
+
+Every candidate is re-rendered with :func:`repro.cfront.to_c_source`, must
+re-parse, and must still satisfy the predicate; reduction therefore can
+never "wander" into a different bug unless the predicate says that bug is
+the same one.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from repro.cfront import ast as c_ast
+from repro.cfront import parse, to_c_source
+from repro.cfront.printer import PrinterError
+from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
+from repro.errors import CParseError, UnsupportedFeatureError
+
+Predicate = Callable[[str], bool]
+
+
+# ---------------------------------------------------------------------------
+# Predicate factory: "the oracles still report this failure signature"
+# ---------------------------------------------------------------------------
+
+
+def make_failure_predicate(
+    case,
+    signature: str,
+    *,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+    oracle_config=None,
+) -> Predicate:
+    """A predicate holding a reduction to one oracle-failure signature.
+
+    ``case`` is the original :class:`~repro.fuzz.generator.FuzzCase`; each
+    candidate source is re-labeled with the case's ground truth **minus**
+    the output prediction (statement removal legitimately changes stdout,
+    and holding the reduction to the stale prediction would pin every
+    print statement in place).  The candidate fails "the same way" when any
+    of its oracle failures carries ``signature``.
+
+    Consequence: the pure output-drift signatures (``clean-stdout-drift``,
+    ``clean-exit-drift``) cannot be reduced — their failure *is* the
+    dropped prediction — so the campaign driver skips reduction for them
+    and keeps the full generated program as the repro.
+    """
+    import dataclasses
+
+    from repro.fuzz.oracles import OracleConfig, run_oracles
+
+    oracle_config = oracle_config if oracle_config is not None else OracleConfig()
+
+    def predicate(source: str) -> bool:
+        # Only the verdict-level ground truth survives reduction; the
+        # stdout/exit predictions are dropped (see the docstring).
+        candidate = dataclasses.replace(
+            case,
+            source=source,
+            predicted_stdout=None,
+            predicted_exit=None,
+        )
+        report = run_oracles(
+            candidate,
+            options=options,
+            oracle_config=oracle_config,
+        )
+        return any(failure.signature == signature for failure in report.failures)
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Generic ddmin
+# ---------------------------------------------------------------------------
+
+
+def ddmin(items: list, test: Callable[[list], bool]) -> list:
+    """Zeller's ddmin: a 1-minimal sublist of ``items`` still passing ``test``.
+
+    ``test(subset)`` must be True for the full list; the result is a subset
+    for which every single-element removal makes ``test`` fail.
+    """
+    assert test(items), "ddmin requires the full configuration to pass"
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        starts = range(0, len(items), chunk)
+        subsets = [items[start : start + chunk] for start in starts]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            lo = index * chunk
+            hi = lo + len(subset)
+            complement = [
+                item for position, item in enumerate(items) if not lo <= position < hi
+            ]
+            if complement and test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+# ---------------------------------------------------------------------------
+# AST surgery
+# ---------------------------------------------------------------------------
+
+
+def _compounds_of(unit: c_ast.TranslationUnit) -> list[c_ast.Compound]:
+    compounds = []
+    for node in c_ast.walk(unit):
+        if isinstance(node, c_ast.Compound):
+            compounds.append(node)
+    return compounds
+
+
+def _statement_slots(unit: c_ast.TranslationUnit) -> list[tuple]:
+    """Every removable slot: ``("top", i)`` or ``("stmt", compound, i)``.
+
+    ``main`` itself and the final ``return`` of each function body stay, so
+    the reduced program remains a runnable program.
+    """
+    slots: list[tuple] = []
+    for index, declaration in enumerate(unit.declarations):
+        if isinstance(declaration, c_ast.FunctionDef) and declaration.name == "main":
+            continue
+        slots.append(("top", index))
+    for compound in _compounds_of(unit):
+        for index, item in enumerate(compound.items):
+            if isinstance(item, c_ast.Return) and index == len(compound.items) - 1:
+                continue
+            slots.append(("stmt", id(compound), index))
+    return slots
+
+
+def _apply_removals(
+    unit: c_ast.TranslationUnit,
+    removed: set[tuple],
+) -> c_ast.TranslationUnit:
+    clone = copy.deepcopy(unit)
+    # Rebuild the id() mapping on the clone by walking both trees in step.
+    originals = _compounds_of(unit)
+    clones = _compounds_of(clone)
+    id_map = {id(original): cloned for original, cloned in zip(originals, clones)}
+    by_compound: dict[int, list[int]] = {}
+    top_level: list[int] = []
+    for slot in removed:
+        if slot[0] == "top":
+            top_level.append(slot[1])
+        else:
+            by_compound.setdefault(slot[1], []).append(slot[2])
+    for compound_id, indices in by_compound.items():
+        compound = id_map.get(compound_id)
+        if compound is None:
+            continue
+        for index in sorted(indices, reverse=True):
+            if index < len(compound.items):
+                del compound.items[index]
+    for index in sorted(top_level, reverse=True):
+        del clone.declarations[index]
+    return clone
+
+
+def _render(unit: c_ast.TranslationUnit) -> Optional[str]:
+    try:
+        text = to_c_source(unit)
+        parse(text)  # must stay parseable
+        return text
+    except (PrinterError, CParseError, UnsupportedFeatureError, RecursionError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Structural single-node simplifications
+# ---------------------------------------------------------------------------
+
+
+def _simplification_candidates(unit: c_ast.TranslationUnit):
+    """Yield one clone per applicable single-node simplification.
+
+    Lazy on purpose: the caller stops at the first accepted candidate, and
+    each clone is a whole-unit deepcopy — materializing all of them up
+    front would pay O(nodes) tree copies per accepted step.
+    """
+    nodes = list(c_ast.walk(unit))
+    for position, node in enumerate(nodes):
+        for replacement in _replacements_for(node):
+            clone = copy.deepcopy(unit)
+            clone_nodes = list(c_ast.walk(clone))
+            target = clone_nodes[position]
+            _replace_node(clone, target, replacement(target))
+            yield clone
+
+
+_Replacement = Callable[[c_ast.Node], Optional[c_ast.Node]]
+
+
+def _replacements_for(node: c_ast.Node) -> list[_Replacement]:
+    out: list[_Replacement] = []
+    if isinstance(node, c_ast.If):
+        if node.then is not None:
+            out.append(lambda n: n.then)
+        if node.otherwise is not None:
+            out.append(lambda n: n.otherwise)
+    elif isinstance(node, (c_ast.While, c_ast.DoWhile, c_ast.For)):
+        if node.body is not None:
+            out.append(lambda n: n.body)
+    elif isinstance(node, c_ast.BinaryOp):
+        out.append(lambda n: n.left)
+        out.append(lambda n: n.right)
+    elif isinstance(node, c_ast.Conditional):
+        out.append(lambda n: n.then)
+        out.append(lambda n: n.otherwise)
+    elif isinstance(node, c_ast.Call):
+        interesting = any(
+            not isinstance(argument, c_ast.IntegerLiteral)
+            for argument in node.arguments
+        )
+        if node.arguments and interesting:
+
+            def _literalize(n):
+                n.arguments = [c_ast.IntegerLiteral(value=1) for _ in n.arguments]
+                return n
+
+            out.append(_literalize)
+    elif isinstance(node, c_ast.Comma):
+        if node.right is not None:
+            out.append(lambda n: n.right)
+    elif isinstance(node, c_ast.Return):
+        if node.value is not None and not isinstance(node.value, c_ast.IntegerLiteral):
+
+            def _zero(n):
+                n.value = c_ast.IntegerLiteral(value=0)
+                return n
+
+            out.append(_zero)
+    return out
+
+
+_EXPR_FIELDS = {
+    c_ast.UnaryOp: ("operand",),
+    c_ast.BinaryOp: ("left", "right"),
+    c_ast.Assignment: ("target", "value"),
+    c_ast.Conditional: ("condition", "then", "otherwise"),
+    c_ast.Comma: ("left", "right"),
+    c_ast.Cast: ("operand",),
+    c_ast.Call: ("function",),
+    c_ast.ArraySubscript: ("array", "index"),
+    c_ast.Member: ("object",),
+    c_ast.ExpressionStmt: ("expression",),
+    c_ast.If: ("condition", "then", "otherwise"),
+    c_ast.While: ("condition", "body"),
+    c_ast.DoWhile: ("body", "condition"),
+    c_ast.For: ("init", "condition", "step", "body"),
+    c_ast.Return: ("value",),
+    c_ast.Switch: ("expression", "body"),
+    c_ast.Case: ("expression", "statement"),
+    c_ast.Default: ("statement",),
+    c_ast.Label: ("statement",),
+    c_ast.Declaration: ("initializer",),
+    c_ast.StaticAssert: ("condition",),
+}
+
+
+def _replace_node(
+    unit: c_ast.TranslationUnit,
+    target: c_ast.Node,
+    replacement: Optional[c_ast.Node],
+) -> None:
+    """Replace ``target`` with ``replacement`` wherever it hangs in ``unit``."""
+    if replacement is None or replacement is target:
+        return
+    for node in c_ast.walk(unit):
+        for field_name in _EXPR_FIELDS.get(type(node), ()):
+            if getattr(node, field_name, None) is target:
+                setattr(node, field_name, replacement)
+                return
+        items = getattr(node, "items", None)
+        if isinstance(items, list):
+            for index, item in enumerate(items):
+                if item is target:
+                    items[index] = replacement
+                    return
+        arguments = getattr(node, "arguments", None)
+        if isinstance(arguments, list):
+            for index, argument in enumerate(arguments):
+                if argument is target:
+                    arguments[index] = replacement
+                    return
+
+
+# ---------------------------------------------------------------------------
+# The reducer
+# ---------------------------------------------------------------------------
+
+
+def reduce_source(source: str, predicate: Predicate, *, max_rounds: int = 8) -> str:
+    """Shrink ``source`` while ``predicate`` keeps holding.
+
+    Returns the smallest source found (the input itself if the predicate
+    does not hold on it, so callers need not special-case unreducible
+    input).  Deterministic: the same input and predicate always produce the
+    same reduction.
+    """
+    if not predicate(source):
+        return source
+    current = source
+    for _round in range(max_rounds):
+        before = current
+        current = _ddmin_statements(current, predicate)
+        current = _simplify_nodes(current, predicate)
+        if current == before:
+            break
+    return current
+
+
+def _ddmin_statements(source: str, predicate: Predicate) -> str:
+    unit = parse(source)
+    slots = _statement_slots(unit)
+    if not slots:
+        return source
+
+    render_cache: dict[frozenset, Optional[str]] = {}
+
+    def render_without(removed: frozenset) -> Optional[str]:
+        if removed not in render_cache:
+            render_cache[removed] = _render(_apply_removals(unit, set(removed)))
+        return render_cache[removed]
+
+    def test(kept: list) -> bool:
+        removed = frozenset(slot for slot in slots if slot not in set(kept))
+        text = render_without(removed)
+        return text is not None and predicate(text)
+
+    kept = set(ddmin(slots, test))
+    text = render_without(frozenset(slot for slot in slots if slot not in kept))
+    return text if text is not None else source
+
+
+def _simplify_nodes(source: str, predicate: Predicate) -> str:
+    current = source
+    progress = True
+    while progress:
+        progress = False
+        unit = parse(current)
+        for candidate in _simplification_candidates(unit):
+            text = _render(candidate)
+            if text is None or len(text) >= len(current):
+                continue
+            if predicate(text):
+                current = text
+                progress = True
+                break
+    return current
+
+
+__all__ = ["ddmin", "make_failure_predicate", "reduce_source"]

@@ -22,12 +22,12 @@ of an arbitrary run function without an interpreter attached.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.kframework.strategy import ScriptedStrategy
+from repro.seeding import derive_rng
 
 #: ``SearchResult.stop_reason`` values.  ``exhausted`` is the only one that
 #: means every discovered alternative was explored (or proven equivalent to
@@ -304,7 +304,9 @@ class RandomFrontier(Frontier):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self._rng = random.Random(seed)
+        # Derived through the shared helper (repro.seeding) so `search --seed`
+        # and `fuzz --seed` expand one master seed the same documented way.
+        self._rng = derive_rng(seed, "search", "frontier")
         self._items: list[tuple[int, ...]] = []
 
     def _push(self, script: tuple[int, ...]) -> None:

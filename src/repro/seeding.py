@@ -1,0 +1,60 @@
+"""Deterministic seed derivation shared by every seeded subsystem.
+
+Both user-facing ``--seed`` knobs — ``kcc-check search --seed`` (the random
+search frontier) and ``kcc-check fuzz --seed`` (the program generator and
+campaign driver) — derive their PRNG streams through this module, so one
+master seed expands into an arbitrary tree of *independent, reproducible*
+streams:
+
+* the same ``(master, labels...)`` pair always yields the same stream, on
+  every platform and Python version (the derivation is SHA-256, not
+  ``hash()``);
+* distinct label paths yield statistically independent streams, so a
+  campaign can hand shard ``i`` the stream ``derive_rng(seed, "case", i)``
+  and the result is byte-identical whether the shards run serially, or
+  round-robin over ``jobs=N`` worker processes, or in any other partition.
+
+That per-*item* (not per-*worker*) derivation is the whole trick behind the
+``jobs=N``-equals-serial guarantees: a work item's randomness depends only
+on its identity, never on which worker popped it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+#: Streams are derived as 64-bit integers; plenty for seeding ``random.Random``.
+_SEED_BITS = 64
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """A 64-bit seed deterministically derived from ``master`` and a label path.
+
+    Labels may be strings or integers (anything with a stable ``repr`` of
+    those two types); the derivation is collision-resistant in the label
+    path, so ``derive_seed(s, "case", 12)`` and ``derive_seed(s, "case", 1, 2)``
+    are unrelated streams.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(master)).encode("ascii"))
+    for label in labels:
+        if not isinstance(label, (str, int)):
+            raise TypeError(
+                f"seed labels must be str or int, got {type(label).__name__}"
+            )
+        # Length-prefix each label so ("ab", "c") != ("a", "bc").
+        text = f"{type(label).__name__}:{label}"
+        hasher.update(f"\x1f{len(text)}\x1f".encode("ascii"))
+        hasher.update(text.encode("utf-8"))
+    return int.from_bytes(hasher.digest()[: _SEED_BITS // 8], "big")
+
+
+def derive_rng(master: int, *labels: object) -> random.Random:
+    """A fresh :class:`random.Random` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(master, *labels))
+
+
+def spawn_seeds(master: int, label: str, count: int) -> list[int]:
+    """``count`` independent child seeds under one label (one per work item)."""
+    return [derive_seed(master, label, index) for index in range(count)]

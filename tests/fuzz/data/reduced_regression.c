@@ -1,0 +1,6 @@
+int main(void)
+{
+    int inj_zero_0 = 0;
+    int inj_boom_0 = 19 / inj_zero_0;
+    return 0;
+}

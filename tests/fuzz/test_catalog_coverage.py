@@ -1,0 +1,73 @@
+"""Catalog coverage: no dynamic UB entry may silently escape fuzzing.
+
+Every *dynamic* entry of :data:`repro.ub.catalog.UB_CATALOG` must either be
+exercised by at least one injection template (via the template's
+``catalog_ids``) or appear — with a documented reason — in the
+:data:`repro.fuzz.generator.UNGENERATED` allowlist.  Adding a catalog entry
+without deciding which bucket it belongs to fails this test, which is the
+point: fuzz coverage decisions are explicit, never accidental.
+"""
+
+from repro.events import FAMILIES
+from repro.fuzz.generator import INJECTION_TEMPLATES, UNGENERATED
+from repro.ub.catalog import UB_CATALOG
+
+
+def _covered_ids() -> set[str]:
+    covered: set[str] = set()
+    for template in INJECTION_TEMPLATES:
+        covered.update(template.catalog_ids)
+    return covered
+
+
+def test_every_dynamic_catalog_entry_is_covered_or_allowlisted():
+    covered = _covered_ids()
+    unaccounted = [entry.identifier for entry in UB_CATALOG
+                   if entry.is_dynamic
+                   and entry.identifier not in covered
+                   and entry.identifier not in UNGENERATED]
+    assert not unaccounted, (
+        "dynamic UB catalog entries with neither an injection template nor "
+        f"an UNGENERATED reason: {unaccounted}")
+
+
+def test_allowlist_entries_are_documented_and_real():
+    identifiers = {entry.identifier for entry in UB_CATALOG}
+    for identifier, reason in UNGENERATED.items():
+        assert identifier in identifiers, (
+            f"UNGENERATED names a nonexistent catalog entry: {identifier!r}")
+        assert reason and len(reason) > 10, (
+            f"UNGENERATED[{identifier!r}] needs a real reason, got {reason!r}")
+
+
+def test_allowlist_does_not_shadow_covered_entries():
+    # An entry both covered by a template and allowlisted would let the
+    # template rot silently if it stopped covering the entry.
+    overlap = _covered_ids() & set(UNGENERATED)
+    assert not overlap, f"entries both covered and allowlisted: {sorted(overlap)}"
+
+
+def test_template_catalog_ids_exist():
+    identifiers = {entry.identifier for entry in UB_CATALOG}
+    for template in INJECTION_TEMPLATES:
+        unknown = set(template.catalog_ids) - identifiers
+        assert not unknown, (
+            f"template {template.name} references unknown catalog ids: {unknown}")
+
+
+def test_template_families_are_real_check_families():
+    for template in INJECTION_TEMPLATES:
+        if template.family is not None:
+            assert template.family in FAMILIES, template.name
+            assert template.gated, (
+                f"{template.name}: a family-tagged template must be gated")
+        else:
+            assert not template.gated, (
+                f"{template.name}: terminal templates cannot claim ablation")
+
+
+def test_every_check_family_has_a_template():
+    # The ablation oracle needs at least one defect per check family.
+    families_with_templates = {template.family for template in INJECTION_TEMPLATES
+                               if template.family is not None}
+    assert families_with_templates == set(FAMILIES)

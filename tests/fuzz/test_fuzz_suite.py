@@ -1,0 +1,55 @@
+"""FuzzCorpusSuite: generated ground truth through the PR-3 harness."""
+
+from repro.analyzers.registry import make_tools
+from repro.suites.fuzzcorpus import FuzzCorpusSuite, generate_fuzz_suite
+from repro.suites.harness import EvaluationHarness
+
+SEED = 4242
+
+
+def test_suite_generation_is_deterministic_and_labeled():
+    suite = generate_fuzz_suite(seed=SEED, count=30)
+    again = generate_fuzz_suite(seed=SEED, count=30)
+    assert [case.source for case in suite.cases] == \
+           [case.source for case in again.cases]
+    assert isinstance(suite, FuzzCorpusSuite)
+    assert len(suite) == 30
+    kinds = {case.is_bad for case in suite.cases}
+    assert kinds == {True, False}
+    for case in suite.cases:
+        assert case.category.startswith("fuzz:")
+        assert case.stage == "dynamic"
+        if case.is_bad:
+            assert case.expected_kinds, case.name
+
+
+def test_kcc_scores_perfectly_against_generated_ground_truth():
+    # The acceptance bar in miniature: the full checker must detect every
+    # planted defect and flag no clean program — generated ground truth
+    # scores the probe-backed tools exactly like a hand-written suite does.
+    suite = generate_fuzz_suite(seed=SEED, count=24)
+    harness = EvaluationHarness(make_tools(["kcc"]))
+    comparison = harness.run_suite(suite)
+    score = comparison.score_for("kcc")
+    assert score.detection_rate() == 1.0
+    assert score.false_positive_rate() == 0.0
+
+
+def test_restricted_tools_score_below_kcc_per_family():
+    # A tool modeling only memory errors must miss non-memory families —
+    # i.e. the generated labels discriminate between detection profiles.
+    suite = generate_fuzz_suite(seed=SEED, count=40, inject="sequencing")
+    harness = EvaluationHarness(make_tools(["kcc", "valgrind"]))
+    comparison = harness.run_suite(suite)
+    kcc = comparison.score_for("kcc").detection_rate()
+    valgrind = comparison.score_for("Valgrind").detection_rate()
+    assert kcc == 1.0
+    assert valgrind is not None and valgrind < kcc
+
+
+def test_families_listing():
+    suite = generate_fuzz_suite(seed=SEED, count=40)
+    families = suite.families()
+    assert families == sorted(families)
+    assert "clean" not in families
+    assert families  # mixed corpora always plant something

@@ -1,0 +1,126 @@
+"""The generator's ground-truth contract.
+
+Clean programs must be well-defined by construction — DEFINED verdict with
+exactly the simulated stdout and exit code, on both engines.  Injected
+programs must carry exactly one defect, detected as one of the template's
+expected kinds, on the executed path.
+"""
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.core.kcc import KccTool, check_program
+from repro.errors import OutcomeKind
+from repro.fuzz.generator import (
+    GeneratorConfig,
+    INJECTION_TEMPLATES,
+    generate_case,
+    generate_cases,
+    injection_families,
+    template_for,
+)
+
+SEED = 20260729
+
+
+def test_generation_is_deterministic():
+    first = generate_case(SEED, 5, inject="mixed")
+    second = generate_case(SEED, 5, inject="mixed")
+    assert first.source == second.source
+    assert first.injected == second.injected
+    assert first.predicted_stdout == second.predicted_stdout
+    # Different indices (and seeds) give different programs.
+    assert generate_case(SEED, 6, inject="mixed").source != first.source
+    assert generate_case(SEED + 1, 5, inject="mixed").source != first.source
+
+
+@pytest.mark.parametrize("index", range(25))
+def test_clean_programs_match_their_simulation(index):
+    case = generate_case(SEED, index, inject=None)
+    assert case.predicted_stdout is not None and case.predicted_exit is not None
+    report = check_program(case.source)
+    assert report.outcome.kind is OutcomeKind.DEFINED, (
+        f"{case.name}: {report.outcome.describe()}\n{case.source}")
+    assert report.outcome.exit_code == case.predicted_exit
+    assert report.outcome.stdout == case.predicted_stdout
+
+
+@pytest.mark.parametrize("index", range(8))
+def test_clean_programs_match_on_the_legacy_walker(index):
+    case = generate_case(SEED, index, inject=None)
+    tool = KccTool(CheckerOptions(enable_lowering=False))
+    report = tool.check(case.source)
+    assert report.outcome.kind is OutcomeKind.DEFINED
+    assert report.outcome.exit_code == case.predicted_exit
+    assert report.outcome.stdout == case.predicted_stdout
+
+
+@pytest.mark.parametrize("template", INJECTION_TEMPLATES,
+                         ids=lambda t: t.name)
+def test_every_template_is_detected_in_context(template):
+    for index in range(3):
+        case = generate_case(SEED, index, inject=template.name)
+        assert case.injected == template.name
+        assert case.predicted_stdout is None  # injected cases carry no prediction
+        report = check_program(case.source)
+        assert report.outcome.flagged, (
+            f"{template.name} not flagged at index {index}:\n{case.source}")
+        assert any(kind in template.expected_kinds
+                   for kind in report.outcome.ub_kinds), (
+            f"{template.name} detected as {report.outcome.ub_kinds}")
+
+
+@pytest.mark.parametrize("template",
+                         [t for t in INJECTION_TEMPLATES if t.gated],
+                         ids=lambda t: t.name)
+def test_gated_templates_ablate(template):
+    # Disabling the planted family's check must un-detect the defect.
+    case = generate_case(SEED, 1, inject=template.name)
+    ablated = CheckerOptions().without(**{f"check_{template.family}": False})
+    report = check_program(case.source, ablated)
+    assert not any(kind in template.expected_kinds
+                   for kind in report.outcome.ub_kinds), (
+        f"check_{template.family}=False still reports "
+        f"{report.outcome.describe()}")
+
+
+def test_family_injection_draws_from_that_family():
+    for family in injection_families():
+        case = generate_case(SEED, 2, inject=family)
+        assert case.is_bad
+        assert (template_for(case.injected).family or "terminal") == family
+
+
+def test_mixed_mode_produces_both_labels():
+    cases = generate_cases(SEED, 40, inject="mixed")
+    labels = {case.is_bad for case in cases}
+    assert labels == {True, False}
+    # ... and clean cases still verify.
+    clean = next(case for case in cases if not case.is_bad)
+    report = check_program(clean.source)
+    assert report.outcome.stdout == clean.predicted_stdout
+
+
+def test_case_round_trips_through_dict():
+    from repro.fuzz.generator import FuzzCase
+
+    case = generate_case(SEED, 3, inject="memory")
+    rebuilt = FuzzCase.from_dict(case.to_dict())
+    assert rebuilt.source == case.source
+    assert rebuilt.expected_kinds == case.expected_kinds
+    assert rebuilt.config == case.config
+
+
+def test_sabotage_mislabel_plants_an_unlabeled_defect():
+    config = GeneratorConfig(sabotage="mislabel")
+    case = generate_case(SEED, 0, config=config, inject=None)
+    assert not case.is_bad and case.expected_kinds == ()
+    assert check_program(case.source).outcome.flagged  # the defect is real
+
+
+def test_sabotage_wrong_stdout_corrupts_the_prediction():
+    config = GeneratorConfig(sabotage="wrong-stdout")
+    case = generate_case(SEED, 0, config=config, inject=None)
+    report = check_program(case.source)
+    assert report.outcome.kind is OutcomeKind.DEFINED
+    assert report.outcome.stdout != case.predicted_stdout

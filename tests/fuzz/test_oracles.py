@@ -1,0 +1,79 @@
+"""The differential oracle stack: what passes, and what must not."""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.generator import GeneratorConfig, generate_case
+from repro.fuzz.oracles import OracleConfig, run_oracles
+
+SEED = 7070
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_generated_cases_pass_every_oracle(index):
+    case = generate_case(SEED, index, inject="mixed")
+    report = run_oracles(case)
+    assert report.ok, [failure.to_dict() for failure in report.failures]
+    if case.is_bad:
+        assert report.verdict in ("undefined", "static-error")
+        assert report.detected_kind is not None
+    else:
+        assert report.verdict == "defined"
+
+
+def test_search_oracle_agrees_on_generated_cases():
+    config = OracleConfig(check_search=True, search_max_paths=8)
+    for index in range(3):
+        case = generate_case(SEED, index, inject="mixed")
+        report = run_oracles(case, oracle_config=config)
+        assert report.ok, [failure.to_dict() for failure in report.failures]
+
+
+def test_wrong_stdout_prediction_fails_ground_truth():
+    case = generate_case(SEED, 1, config=GeneratorConfig(sabotage="wrong-stdout"),
+                         inject=None)
+    report = run_oracles(case)
+    assert not report.ok
+    assert report.failures[0].oracle == "ground-truth"
+    assert report.failures[0].signature == "clean-stdout-drift"
+
+
+def test_mislabeled_defect_fails_ground_truth():
+    case = generate_case(SEED, 0, config=GeneratorConfig(sabotage="mislabel"),
+                         inject=None)
+    report = run_oracles(case)
+    assert not report.ok
+    assert report.failures[0].oracle == "ground-truth"
+    assert report.failures[0].signature.startswith("clean-flagged:")
+
+
+def test_wrong_expected_kind_fails_ground_truth():
+    case = generate_case(SEED, 2, inject="division-by-zero")
+    from repro.errors import UBKind
+
+    wrong = dataclasses.replace(case, expected_kinds=(UBKind.SIGNED_OVERFLOW,))
+    report = run_oracles(wrong)
+    assert any(failure.signature.startswith("wrong-kind:")
+               for failure in report.failures)
+
+
+def test_unparseable_program_is_a_generator_failure():
+    case = generate_case(SEED, 0, inject=None)
+    broken = dataclasses.replace(case, source="int main(void) { return 0")
+    report = run_oracles(broken)
+    assert report.failures[0].oracle == "generator-wellformed"
+    assert report.failures[0].signature == "parse-error"
+
+
+def test_oracles_can_be_selectively_disabled():
+    case = generate_case(SEED, 3, inject="memory")
+    config = OracleConfig(check_events=False, check_observed=False,
+                          check_ablation=False)
+    report = run_oracles(case, oracle_config=config)
+    assert report.ok
+
+
+def test_oracle_config_round_trips():
+    config = OracleConfig(check_search=True, search_max_paths=4)
+    assert OracleConfig.from_dict(config.to_dict()) == config

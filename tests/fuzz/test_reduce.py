@@ -1,0 +1,88 @@
+"""The ddmin reducer: shrinks, preserves the failure, stays deterministic.
+
+The committed artifact ``data/reduced_regression.c`` is the acceptance
+case: a deliberately seeded oracle failure (a mislabeled defect), shrunk by
+the reducer to its minimal form and kept as a regression test — both that
+the minimal program still fails the same way, and that the reducer still
+produces exactly this artifact from the original generated program.
+"""
+
+import json
+import pathlib
+
+from repro.core.kcc import check_program
+from repro.errors import UBKind
+from repro.fuzz.generator import GeneratorConfig, generate_case
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.reduce import ddmin, make_failure_predicate, reduce_source
+
+DATA = pathlib.Path(__file__).parent / "data"
+ARTIFACT = DATA / "reduced_regression.c"
+MANIFEST = json.loads((DATA / "reduced_regression.json").read_text())
+
+
+def test_ddmin_finds_a_one_minimal_subset():
+    # Classic: the test passes iff both 3 and 7 are present.
+    def test_fn(items):
+        return 3 in items and 7 in items
+
+    result = ddmin(list(range(10)), test_fn)
+    assert sorted(result) == [3, 7]
+
+
+def test_reducer_preserves_an_undefinedness_failure():
+    case = generate_case(MANIFEST["seed"], MANIFEST["index"],
+                         config=GeneratorConfig(sabotage=MANIFEST["sabotage"]),
+                         inject=MANIFEST["inject"])
+    report = run_oracles(case)
+    assert not report.ok
+    signature = report.failures[0].signature
+    assert signature == MANIFEST["signature"]
+
+    predicate = make_failure_predicate(case, signature)
+    reduced = reduce_source(case.source, predicate)
+    assert len(reduced) < len(case.source) / 2
+    assert predicate(reduced)  # the shrunk program fails the same way
+    # Determinism: the committed artifact is exactly what the reducer makes.
+    assert reduced == ARTIFACT.read_text()
+
+
+def test_committed_regression_case_still_reproduces():
+    # The minimal case must keep tripping the checker the recorded way: a
+    # division by zero on what the (sabotaged) label called a clean program.
+    report = check_program(ARTIFACT.read_text())
+    assert report.outcome.flagged
+    assert UBKind.DIVISION_BY_ZERO in report.outcome.ub_kinds
+    # Minimality in the large: the defect core plus main's scaffolding.
+    assert len(ARTIFACT.read_text().splitlines()) <= 8
+
+
+def test_reducer_returns_input_when_predicate_never_holds():
+    source = "int main(void) { return 0; }\n"
+    assert reduce_source(source, lambda text: False) == source
+
+
+def test_reducer_handles_non_failing_statement_interleavings():
+    # A failure that depends on *two* separated statements: ddmin must keep
+    # both while removing the noise between them.
+    source = """
+int main(void) {
+    int keep_a = 0;
+    int noise1 = 1;
+    int noise2 = 2;
+    int noise3 = noise1 + noise2;
+    int keep_b = 5 / keep_a;
+    int noise4 = 4;
+    noise4 = noise3;
+    return keep_b;
+}
+"""
+
+    def still_divides_by_zero(text: str) -> bool:
+        report = check_program(text)
+        return UBKind.DIVISION_BY_ZERO in report.outcome.ub_kinds
+
+    reduced = reduce_source(source, still_divides_by_zero)
+    assert still_divides_by_zero(reduced)
+    assert "noise1" not in reduced and "noise4" not in reduced
+    assert len(reduced.splitlines()) <= 6

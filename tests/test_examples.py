@@ -24,7 +24,7 @@ def test_examples_are_present():
     names = {path.name for path in EXAMPLES}
     assert {"quickstart.py", "undefined_gallery.py", "evaluation_order_search.py",
             "juliet_scan.py", "implementation_profiles.py",
-            "custom_probe.py"} <= names
+            "custom_probe.py", "fuzz_campaign.py"} <= names
 
 
 def test_quickstart_output():
@@ -81,6 +81,15 @@ def test_custom_probe_output(extra):
     assert "fib() invocations:  276" in output
     assert "trace events:" in output
     assert "defined (exit code 34)" in output
+
+
+def test_fuzz_campaign_output():
+    output = run_example("fuzz_campaign.py", "--count", "12")
+    assert "0 oracle mismatch(es)" in output
+    assert "kcc vs generated ground truth: detection 100%" in output
+    assert "false positives 0%" in output
+    assert "fails oracle 'ground-truth'" in output
+    assert "reducer:" in output and "lines ->" in output
 
 
 def test_examples_report_identically_with_and_without_lowering():

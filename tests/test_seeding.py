@@ -1,0 +1,65 @@
+"""The shared seed-derivation helper: one master seed, many streams.
+
+``search --seed`` and ``fuzz --seed`` both expand their seeds through
+:mod:`repro.seeding`; these tests pin the properties both rely on —
+determinism, label independence, and platform stability.
+"""
+
+import pytest
+
+from repro.seeding import derive_rng, derive_seed, spawn_seeds
+
+
+def test_derivation_is_deterministic():
+    assert derive_seed(0, "fuzz", "case", 3) == derive_seed(0, "fuzz", "case", 3)
+    rng_a = derive_rng(5, "x")
+    rng_b = derive_rng(5, "x")
+    assert [rng_a.random() for _ in range(8)] == [rng_b.random() for _ in range(8)]
+
+
+def test_label_paths_are_independent():
+    seen = {derive_seed(0, "case", index) for index in range(100)}
+    assert len(seen) == 100
+    # Length prefixing: grouping must matter.
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+    assert derive_seed(0, "case", 12) != derive_seed(0, "case", 1, 2)
+    # The label's type matters too (int 1 vs str "1").
+    assert derive_seed(0, 1) != derive_seed(0, "1")
+
+
+def test_derivation_is_platform_stable():
+    # SHA-256-based, not hash()-based: the exact values are part of the
+    # contract (a corpus entry replayed on another machine must regenerate
+    # the same program).
+    assert derive_seed(0) == 6912158355717386040
+    assert derive_seed(42, "fuzz", "case", 0) == 16536239248686439050
+    assert derive_seed(0, "search", "frontier") == 12086472096668521139
+
+
+def test_spawn_seeds():
+    seeds = spawn_seeds(7, "shard", 5)
+    assert len(seeds) == 5 and len(set(seeds)) == 5
+    assert seeds[2] == derive_seed(7, "shard", 2)
+
+
+def test_labels_are_typed():
+    with pytest.raises(TypeError):
+        derive_seed(0, 3.14)
+
+
+def test_search_random_frontier_uses_the_shared_derivation():
+    # The random search strategy must be reproducible from its --seed alone.
+    from repro.kframework.search import make_frontier
+
+    def drain(frontier):
+        for script in [(0,), (1,), (2,), (3,), (4,)]:
+            frontier.push(script)
+        out = []
+        while True:
+            item = frontier.pop()
+            if item is None:
+                return out
+            out.append(item)
+
+    assert drain(make_frontier("random", 9)) == drain(make_frontier("random", 9))
+    assert drain(make_frontier("random", 9)) != drain(make_frontier("random", 10))
