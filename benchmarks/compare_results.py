@@ -5,7 +5,14 @@ Compares the machine-independent *ratio* metrics of the committed
 
 * ``interp_speed.json`` — per-program ``speedup`` (lowered vs legacy walker);
 * ``search_speed.json`` — per-program ``reduction_factor`` (seed DFS runs
-  from ``main`` vs the search engine's).
+  from ``main`` vs the search engine's);
+* ``fuzz_speed.json`` / ``pool_speed.json`` — ``parallel_speedup`` of the
+  warm worker pool at ``jobs=N``.  Unlike the pure ratio metrics above,
+  these are only meaningful when the host actually has ``N`` CPUs, so each
+  entry records ``host_cpus`` and ``jobs``: on an undersized host the gate
+  prints a SKIP with the reason and the row stays informational.  On a
+  big-enough host an absolute floor (>= 3.0 at jobs=4) applies on top of
+  the usual regression check.
 
 Absolute throughput numbers (runs/sec) vary with the host and are reported
 but never gated; a ratio regressing by more than ``--max-regression``
@@ -29,15 +36,36 @@ import sys
 GATED_METRICS = {
     "interp_speed.json": ("speedup",),
     "search_speed.json": ("reduction_factor",),
+    "fuzz_speed.json": ("parallel_speedup",),
+    "pool_speed.json": ("parallel_speedup",),
 }
 
-#: file name -> ratio metrics *reported* but never gated.  The fuzz
-#: campaign's pool speedup depends on host core count and oracle mix; it is
-#: tracked from day one so a real scaling regression is visible in the CI
-#: logs, without letting runner topology fail the build.
-INFORMATIONAL_METRICS = {
-    "fuzz_speed.json": ("parallel_speedup",),
+#: metric -> absolute floor, applied in addition to the regression check.
+#: ``parallel_speedup`` entries also carry ``host_cpus``/``jobs`` and are
+#: skipped (with a printed reason) when the host has fewer CPUs than jobs:
+#: a 4-worker pool on a 1-CPU runner cannot beat serial, and gating that
+#: ratio would only measure runner topology.
+ABSOLUTE_FLOORS = {
+    "parallel_speedup": 3.0,
 }
+
+#: file name -> ratio metrics *reported* but never gated.  ``warm_speedup``
+#: (warm batch vs cold spawn-paying batch) is always > 1 but its magnitude
+#: tracks import cost, not checker performance, so it stays informational.
+INFORMATIONAL_METRICS = {
+    "pool_speed.json": ("warm_speedup",),
+}
+
+
+def parallelism_skip_reason(entry: dict) -> str | None:
+    """Why ``entry``'s parallelism ratio cannot be gated (``None`` if it can)."""
+    host_cpus = entry.get("host_cpus")
+    jobs = entry.get("jobs")
+    if not isinstance(host_cpus, int) or not isinstance(jobs, int):
+        return "entry lacks host_cpus/jobs fields"
+    if host_cpus < jobs:
+        return f"host_cpus={host_cpus} < jobs={jobs}; ratio not meaningful"
+    return None
 
 
 def load(path: pathlib.Path) -> dict | None:
@@ -61,36 +89,63 @@ def compare_file(
         failures.append(f"{name}: fresh results missing (benchmark did not run)")
         return failures
     if baseline is None:
-        print(f"{name}: no committed baseline yet; gate passes vacuously")
-        return failures
+        print(f"{name}: no committed baseline yet; only absolute floors apply")
+        baseline = {}
     for program in sorted(set(baseline) - set(fresh)):
         # A silently vanished program would disable its gate while CI
         # stays green; renames must update the committed baseline too.
         failures.append(f"{name}: baseline program {program!r} missing from fresh run")
     for program, fresh_entry in sorted(fresh.items()):
         base_entry = baseline.get(program)
-        if not isinstance(base_entry, dict) or not isinstance(fresh_entry, dict):
+        if not isinstance(base_entry, dict):
+            base_entry = {}
+        if not isinstance(fresh_entry, dict):
             continue
         for metric in GATED_METRICS[name]:
             base_value = base_entry.get(metric)
             fresh_value = fresh_entry.get(metric)
-            if not isinstance(base_value, (int, float)):
+            has_base = isinstance(base_value, (int, float))
+            if not has_base and metric not in ABSOLUTE_FLOORS:
                 continue
             if not isinstance(fresh_value, (int, float)):
-                failures.append(f"{name}: {program}.{metric} missing in fresh run")
+                if has_base:
+                    failures.append(f"{name}: {program}.{metric} missing in fresh run")
                 continue
-            floor = base_value * (1.0 - max_regression)
+            if metric in ABSOLUTE_FLOORS:
+                reason = parallelism_skip_reason(fresh_entry)
+                if reason is not None:
+                    print(
+                        f"SKIP {name}: {program}.{metric} "
+                        f"fresh={fresh_value:.3f} ({reason}; "
+                        f"informational on this host)"
+                    )
+                    continue
+            floor = None
+            if has_base:
+                if parallelism_skip_reason(base_entry) is None \
+                        or metric not in ABSOLUTE_FLOORS:
+                    floor = base_value * (1.0 - max_regression)
+                else:
+                    print(
+                        f"NOTE {name}: {program}.{metric} baseline recorded "
+                        f"on an undersized host; only the absolute floor "
+                        f"applies"
+                    )
+            if metric in ABSOLUTE_FLOORS:
+                absolute = ABSOLUTE_FLOORS[metric]
+                floor = absolute if floor is None else max(floor, absolute)
+            if floor is None:
+                continue
+            base_text = f"baseline={base_value:.3f} " if has_base else ""
             status = "OK " if fresh_value >= floor else "REG"
             print(
                 f"{status} {name}: {program}.{metric} "
-                f"baseline={base_value:.3f} fresh={fresh_value:.3f} "
-                f"floor={floor:.3f}"
+                f"{base_text}fresh={fresh_value:.3f} floor={floor:.3f}"
             )
             if fresh_value < floor:
                 failures.append(
-                    f"{name}: {program}.{metric} regressed "
-                    f"{base_value:.3f} -> {fresh_value:.3f} "
-                    f"(> {max_regression:.0%} drop)"
+                    f"{name}: {program}.{metric} = {fresh_value:.3f} "
+                    f"below floor {floor:.3f}"
                 )
     return failures
 

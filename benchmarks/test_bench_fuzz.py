@@ -9,9 +9,11 @@ Two results come out of this module:
   ``jobs=4`` — the generated-workload analogue of the hand-written suites'
   guarantees;
 * ``fuzz_speed.{txt,json}`` — generation+oracle throughput (programs/sec),
-  serial vs ``jobs=N``, with the ``parallel_speedup`` ratio registered in
-  ``benchmarks/compare_results.py`` as an *informational* (non-gating) row
-  so the trajectory is tracked from day one.
+  serial vs ``jobs=N``.  The ``parallel_speedup`` ratio is **gated** by
+  ``benchmarks/compare_results.py`` (absolute floor 3.0 at ``jobs=4``),
+  but only on hosts with at least ``jobs`` CPUs; each entry records
+  ``host_cpus`` and ``effective_parallelism`` so undersized runners skip
+  the gate with the reason in the log instead of failing on topology.
 """
 
 import json
@@ -92,6 +94,8 @@ def test_fuzz_throughput(capsys):
     serial_rate = SPEED_COUNT / serial_elapsed
     parallel_rate = SPEED_COUNT / parallel_elapsed
     speedup = parallel_rate / serial_rate if serial_rate else 0.0
+    host_cpus = os.cpu_count() or 1
+    effective = min(SPEED_JOBS, host_cpus)
     results = {
         "campaign": {
             "count": SPEED_COUNT,
@@ -99,19 +103,23 @@ def test_fuzz_throughput(capsys):
             "serial_programs_per_sec": round(serial_rate, 2),
             "parallel_programs_per_sec": round(parallel_rate, 2),
             "parallel_speedup": round(speedup, 3),
-            "host_cpus": os.cpu_count(),
+            "host_cpus": host_cpus,
+            "effective_parallelism": effective,
         },
     }
     table = render_table(
         ["configuration", "programs/sec"],
         [["serial", f"{serial_rate:.1f}"],
          [f"jobs={SPEED_JOBS}", f"{parallel_rate:.1f}"],
-         ["speedup", f"{speedup:.2f}x"]],
+         ["speedup", f"{speedup:.2f}x"],
+         ["effective parallelism", f"{effective}/{SPEED_JOBS} "
+          f"(host_cpus={host_cpus})"]],
         title=f"Fuzz campaign throughput ({SPEED_COUNT} programs, "
               "generation + full oracle stack)")
     publish("fuzz_speed.txt", table, capsys)
     (RESULTS_DIR / "fuzz_speed.json").write_text(
         json.dumps(results, indent=2) + "\n", encoding="utf-8")
-    # Sanity only (informational metric — compare_results.py never gates
-    # it): pooled fan-out must not be pathologically slower than serial.
+    # Local sanity only: pooled fan-out must not be pathologically slower
+    # than serial.  The real >= 3.0 floor is enforced by compare_results.py
+    # on hosts with >= SPEED_JOBS CPUs.
     assert speedup > 0.5

@@ -1,12 +1,14 @@
-"""Batch checking: fan a list of programs out over a process pool.
+"""Batch checking: fan a list of programs out over the warm worker pool.
 
 ``check_many`` / ``iter_check_many`` take plain source strings or
 ``(filename, source)`` pairs, run each through the same staged pipeline the
 serial API uses, and hand verdicts back **in input order**.  With ``jobs=1``
 (the default) everything runs in the calling process through the session's
-compile cache; with ``jobs>1`` the work fans out over a
-:class:`concurrent.futures.ProcessPoolExecutor` and results stream back as
-they complete.
+compile cache; with ``jobs>1`` the work fans out over the process-wide warm
+pool (:mod:`repro.service.pool`): long-lived workers that pre-import the
+engine, keep the shared compile cache across batches, receive work as
+chunked tasks (the per-batch configuration is pickled once per chunk, not
+once per program), and take large corpora by file-backed reference.
 
 Reports that cross a process boundary are identical to serial reports except
 that the parsed AST (``CheckReport.unit``) is dropped — shipping a full
@@ -16,18 +18,29 @@ classify outcomes, they do not re-run units.
 
 from __future__ import annotations
 
-import os
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
 from repro.core.kcc import CheckReport, KccTool
+from repro.service.pool import (
+    get_pool,
+    resolve_jobs,
+    run_pooled,
+    run_staged,
+)
 
 SourceSpec = Union[str, Tuple[str, str]]
 
-#: How many programs each pool task carries; larger chunks amortize pickling.
+#: How many programs each pool chunk carries; larger chunks amortize pickling.
 DEFAULT_CHUNKSIZE = 4
+
+__all__ = [
+    "DEFAULT_CHUNKSIZE",
+    "check_many",
+    "iter_check_many",
+    "resolve_jobs",
+    "run_pooled",
+]
 
 
 def _normalize(sources: Iterable[SourceSpec]) -> list[tuple[str, str]]:
@@ -53,67 +66,31 @@ def _strip_for_ipc(report: CheckReport) -> CheckReport:
                        search=report.search, unit=None, filename=report.filename)
 
 
-def _check_one(task: tuple) -> CheckReport:
-    """Pool worker: check one program.  Must stay module-level (picklable)."""
-    (options, search_evaluation_order, run_static_checks, search_options,
-     filename, source) = task
-    tool = KccTool(options, search_evaluation_order=search_evaluation_order,
-                   run_static_checks=run_static_checks,
-                   search_options=search_options)
-    return _strip_for_ipc(tool.check(source, filename=filename))
+def check_header(options: CheckerOptions, search_evaluation_order: bool,
+                 run_static_checks: bool, search_options) -> tuple:
+    """The per-batch configuration a check chunk ships once, not per item."""
+    return (options, search_evaluation_order, run_static_checks,
+            search_options)
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """``None`` means one worker per CPU; values are clamped to >= 1."""
-    if jobs is None:
-        return os.cpu_count() or 1
-    return max(1, int(jobs))
+def check_pair(header: tuple, pair: tuple[str, str]) -> CheckReport:
+    """Pool worker: check one (filename, source) pair.
 
-
-def _probe() -> bool:  # pragma: no cover - runs in the worker process
-    return True
-
-
-def _make_pool(workers: int) -> Optional[ProcessPoolExecutor]:
-    """A process pool, or ``None`` where the host forbids subprocesses.
-
-    ``ProcessPoolExecutor`` spawns its workers lazily on first submit, so
-    constructing one proves nothing; submit a probe task and wait for it,
-    forcing the spawn here where the fallback can catch a refusal.
+    Module-level (picklable); routes the compile through the worker's
+    process-wide shared cache and the run through the memoized per-config
+    tool, so a warm worker re-parses a program it has seen before in *any*
+    earlier batch exactly never.
     """
-    pool = None
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        pool.submit(_probe).result()
-        return pool
-    except (OSError, PermissionError, BrokenExecutor):  # pragma: no cover
-        if pool is not None:
-            try:
-                pool.shutdown(wait=False, cancel_futures=True)
-            except Exception:
-                pass
-        # The degradation must be observable: a caller who asked for jobs=N
-        # should not attribute a serial run's wall time to the tool.
-        warnings.warn("cannot spawn worker processes; running serially",
-                      RuntimeWarning, stacklevel=3)
-        return None
+    from repro.api.session import compile_shared, tool_for
 
-
-def run_pooled(fn, tasks: Sequence, *, jobs: Optional[int],
-               chunksize: int = DEFAULT_CHUNKSIZE) -> list:
-    """Map ``fn`` over ``tasks`` on a process pool, preserving order.
-
-    Falls back to the calling process when ``jobs`` resolves to 1 or the
-    host cannot spawn workers.  ``fn`` and the tasks must be picklable.
-    """
-    worker_count = resolve_jobs(jobs)
-    if worker_count <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    pool = _make_pool(min(worker_count, len(tasks)))
-    if pool is None:  # pragma: no cover - sandboxed hosts
-        return [fn(task) for task in tasks]
-    with pool:
-        return list(pool.map(fn, tasks, chunksize=max(1, chunksize)))
+    options, search_evaluation_order, run_static_checks, search_options = header
+    filename, source = pair
+    tool = tool_for(options,
+                    search_evaluation_order=search_evaluation_order,
+                    run_static_checks=run_static_checks,
+                    search_options=search_options)
+    compiled = compile_shared(source, filename=filename, options=options)
+    return _strip_for_ipc(tool.run_unit(compiled))
 
 
 def iter_check_many(sources: Iterable[SourceSpec], *,
@@ -145,10 +122,7 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
                                 checker=checker, probe_factory=probe_factory,
                                 search_options=search_options)
         return
-    tasks = [(options, search_evaluation_order, run_static_checks,
-              search_options, filename, source)
-             for filename, source in pairs]
-    pool = _make_pool(min(worker_count, len(tasks)))
+    pool = get_pool(min(worker_count, len(pairs)))
     if pool is None:  # pragma: no cover - sandboxed hosts
         yield from _iter_serial(pairs, options=options,
                                 search_evaluation_order=search_evaluation_order,
@@ -156,24 +130,26 @@ def iter_check_many(sources: Iterable[SourceSpec], *,
                                 checker=checker,
                                 search_options=search_options)
         return
-    # Not `with pool:` — map() submits every task up front, and the context
-    # manager's shutdown(wait=True) would make an abandoned iterator (e.g.
-    # the consumer's `| head -1` closing the pipe) block until the whole
-    # remaining batch finished.  Cancel the queue instead when torn down early.
-    completed = False
+    header = check_header(options, search_evaluation_order,
+                          run_static_checks, search_options)
+    chunks = [pairs[start:start + DEFAULT_CHUNKSIZE]
+              for start in range(0, len(pairs), DEFAULT_CHUNKSIZE)]
+    futures = [pool.submit_staged_chunk(check_pair, header, chunk)
+               for chunk in chunks]
     try:
-        for report in pool.map(_check_one, tasks, chunksize=DEFAULT_CHUNKSIZE):
-            if checker is not None:
-                # The workers ran the programs, but the session owns the
-                # batch: keep run_count independent of the jobs value.
-                checker.stats.bump("run_count")
-            yield report
-        completed = True
+        for future in futures:
+            for report in future.result():
+                if checker is not None:
+                    # The workers ran the programs, but the session owns the
+                    # batch: keep run_count independent of the jobs value.
+                    checker.stats.bump("run_count")
+                yield report
     finally:
-        # wait=True even on early teardown: with the queue cancelled the
-        # wait is bounded by the in-flight chunk, and skipping it races
-        # concurrent.futures' atexit hook into "Exception ignored" noise.
-        pool.shutdown(wait=True, cancel_futures=not completed)
+        # An abandoned iterator (e.g. the consumer's `| head -1` closing
+        # the pipe) cancels the not-yet-started tail; the pool itself stays
+        # warm for the next batch.
+        for future in futures:
+            future.cancel()
 
 
 def _iter_serial(pairs: Sequence[tuple[str, str]], *, options: CheckerOptions,
@@ -208,9 +184,19 @@ def check_many(sources: Sequence[SourceSpec], *,
                probe_factory=None,
                search_options=None) -> list[CheckReport]:
     """Check a batch of programs; the list is ordered like the input."""
-    return list(iter_check_many(sources, options=options,
-                                search_evaluation_order=search_evaluation_order,
-                                run_static_checks=run_static_checks,
-                                jobs=jobs, checker=checker,
-                                probe_factory=probe_factory,
-                                search_options=search_options))
+    pairs = _normalize(sources)
+    worker_count = resolve_jobs(jobs)
+    if probe_factory is not None or worker_count <= 1 or len(pairs) <= 1:
+        return list(_iter_serial(
+            pairs, options=options,
+            search_evaluation_order=search_evaluation_order,
+            run_static_checks=run_static_checks, checker=checker,
+            probe_factory=probe_factory, search_options=search_options))
+    header = check_header(options, search_evaluation_order,
+                          run_static_checks, search_options)
+    reports = run_staged(check_pair, header, pairs, jobs=worker_count,
+                         chunksize=DEFAULT_CHUNKSIZE)
+    if checker is not None:
+        for _ in reports:
+            checker.stats.bump("run_count")
+    return reports

@@ -12,6 +12,7 @@
     kcc-check tools                                  # registered analyzers
     kcc-check fuzz --seed 0 --count 2000 --jobs 4    # differential fuzzing
     kcc-check fuzz --inject memory --reduce --corpus corpus/
+    kcc-check serve --socket /tmp/kcc.sock --jobs 4  # long-lived service
 
     python -m repro check prog.c                     # same CLI, module form
 
@@ -38,7 +39,7 @@ from repro.core.kcc import CheckReport, KccTool
 from repro.errors import OutcomeKind
 from repro.api.batch import iter_check_many
 
-SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz")
+SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz", "serve")
 
 EXIT_DEFINED = 0
 EXIT_FLAGGED = 1
@@ -161,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="small deterministic CI campaign (overrides "
                            "--count to 40)")
     _add_common_options(fuzz)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived checking service (check/fuzz/search "
+                      "jobs as newline-delimited JSON over a socket)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="listen on a unix socket at PATH")
+    serve.add_argument("--host", default=None, metavar="HOST",
+                       help="listen on TCP (default 127.0.0.1 when no --socket)")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="TCP port (default: ephemeral, printed on startup)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="warm-pool worker processes (default: one per CPU)")
     return parser
 
 
@@ -379,6 +392,33 @@ def _cmd_tools(arguments: argparse.Namespace, *, out) -> int:
     return EXIT_DEFINED
 
 
+def _cmd_serve(arguments: argparse.Namespace, *, out) -> int:
+    """Run the checking service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import contextlib
+    import signal as signal_module
+
+    from repro.service.server import CheckService
+
+    service = CheckService(socket_path=arguments.socket, host=arguments.host,
+                           port=arguments.port, jobs=arguments.jobs)
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"kcc-check serve: listening on {service.endpoint}", file=out,
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, service.request_stop)
+        await service.serve_forever()
+
+    asyncio.run(_serve())
+    print("kcc-check serve: drained (jobs finished, workers reaped)", file=out,
+          flush=True)
+    return EXIT_DEFINED
+
+
 def main(argv: Optional[list[str]] = None, *, out=None) -> int:
     out = out if out is not None else sys.stdout
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -397,6 +437,8 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
             return _cmd_tools(arguments, out=out)
         if arguments.command == "fuzz":
             return _cmd_fuzz(arguments, out=out)
+        if arguments.command == "serve":
+            return _cmd_serve(arguments, out=out)
         assert arguments.command == "bench"
         return _cmd_bench(arguments, out=out)
     except CliInputError as error:

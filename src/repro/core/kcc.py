@@ -460,7 +460,7 @@ class KccTool:
         """
         import dataclasses as _dc
 
-        from repro.api.batch import run_pooled
+        from repro.service.pool import run_staged
 
         strategy = ScriptedStrategy()
         strategy.reset()
@@ -484,9 +484,11 @@ class KccTool:
             return result
         jobs = max(1, int(search.jobs))
         shards = [scripts[i::jobs] for i in range(jobs) if scripts[i::jobs]]
-        tasks = [(compiled.source, compiled.filename, self.options,
-                  host.argv, host.stdin, serial, shard) for shard in shards]
-        for shard_result in run_pooled(_search_shard, tasks, jobs=len(shards)):
+        header = (compiled.source, compiled.filename, self.options,
+                  host.argv, host.stdin, serial)
+        shard_results = run_staged(_search_shard, header, shards,
+                                   jobs=len(shards), chunksize=1)
+        for shard_result in shard_results:
             result.absorb(shard_result)
             # Shards dedup in separate processes, so a state their
             # subtrees converge to is counted once per shard: the sum is
@@ -569,18 +571,21 @@ class _SearchHost:
         return outcome
 
 
-def _search_shard(task: tuple) -> SearchResult:
+def _search_shard(header: tuple, scripts) -> SearchResult:
     """Pool worker: explore one shard of the interleaving tree.
 
-    Must stay module-level (picklable).  The worker re-compiles the source
-    (workers share nothing), seeds its frontier with the shard's divergence
-    scripts, and runs the same serial engine the parent would.
+    Must stay module-level (picklable).  ``header`` carries the program and
+    configuration — staged submission ships it once per chunk, so the
+    source text no longer travels once per shard.  Warm workers compile
+    through the process-wide shared cache, so every shard after the first
+    (and every later search of the same program) reuses the parse.
     """
-    source, filename, options, argv, stdin, search, scripts = task
+    source, filename, options, argv, stdin, search = header
+    from repro.api.session import compile_shared, tool_for
     from repro.kframework.engine import SearchEngine
 
-    tool = KccTool(options)
-    compiled = tool.compile_unit(source, filename=filename)
+    tool = tool_for(options)
+    compiled = compile_shared(source, filename=filename, options=options)
     assert compiled.unit is not None, "shard worker got an uncompilable program"
     host = _SearchHost(tool, compiled, argv=argv, stdin=stdin,
                        instrument=search.prune_commuting)

@@ -202,10 +202,48 @@ def _examine_case(
     return record
 
 
-def _campaign_shard(task: tuple) -> list[CaseRecord]:
-    """Pool worker: examine one shard of indices (module-level, picklable)."""
-    config, options, indices = task
-    return [_examine_case(config, index, options) for index in indices]
+def worker_config(config: CampaignConfig) -> CampaignConfig:
+    """The per-worker view of a campaign config.
+
+    Workers examine cases; corpus streaming and reduction happen once, in
+    the driver, so the worker copy drops them (and its ``jobs``, which only
+    the driver interprets).
+    """
+    return replace(config, jobs=1, corpus_dir=None, reduce_failures=False)
+
+
+def examine_case(task_header: tuple, index: int) -> CaseRecord:
+    """Pool worker: examine one case (module-level, picklable).
+
+    ``task_header`` is ``(config, options)`` — shipped once per chunk by the
+    warm pool's staged submission, never once per case.  Case ``index``
+    derives all of its randomness from ``(config.seed, index)``, so the
+    record is identical whichever worker (or the driver itself) runs it.
+    """
+    config, options = task_header
+    return _examine_case(config, index, options)
+
+
+def finalize_campaign(
+    config: CampaignConfig,
+    records: list[CaseRecord],
+    *,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+    elapsed_seconds: float = 0.0,
+) -> CampaignResult:
+    """Assemble a result from examined records; reduce/stream the corpus.
+
+    Split out of :func:`run_campaign` so drivers that schedule their own
+    spans — the checking service streams progress and honors cancellation
+    between chunks — share the exact corpus/reduction semantics.
+    """
+    result = CampaignResult(config=config, records=records)
+    result.elapsed_seconds = elapsed_seconds
+    if config.reduce_failures:
+        _reduce_mismatches(result, options)
+    if config.corpus_dir is not None:
+        _write_corpus(result, options)
+    return result
 
 
 def run_campaign(
@@ -214,33 +252,21 @@ def run_campaign(
     options: CheckerOptions = DEFAULT_OPTIONS,
 ) -> CampaignResult:
     """Run one campaign; ``jobs=N`` output is byte-identical to serial."""
-    from repro.api.batch import run_pooled
+    from repro.service.pool import run_staged
 
     start = time.perf_counter()
     indices = list(range(config.count))
     jobs = max(1, int(config.jobs))
+    header = (worker_config(config), options)
     if jobs <= 1:
-        records = [_examine_case(config, index, options) for index in indices]
+        records = [examine_case(header, index) for index in indices]
     else:
-        shards = [indices[off::jobs] for off in range(jobs) if indices[off::jobs]]
-        worker_config = replace(
-            config,
-            jobs=1,
-            corpus_dir=None,
-            reduce_failures=False,
-        )
-        tasks = [(worker_config, options, shard) for shard in shards]
-        sharded = run_pooled(_campaign_shard, tasks, jobs=len(shards), chunksize=1)
-        merged = [record for shard_records in sharded for record in shard_records]
-        records = sorted(merged, key=lambda record: record.index)
-    result = CampaignResult(config=config, records=records)
-    result.elapsed_seconds = time.perf_counter() - start
-
-    if config.reduce_failures:
-        _reduce_mismatches(result, options)
-    if config.corpus_dir is not None:
-        _write_corpus(result, options)
-    return result
+        # Contiguous chunks over the warm pool: per-case seed derivation
+        # makes placement irrelevant to the bytes, so the simple in-order
+        # chunking both preserves record order and streams results early.
+        records = run_staged(examine_case, header, indices, jobs=jobs)
+    return finalize_campaign(config, records, options=options,
+                             elapsed_seconds=time.perf_counter() - start)
 
 
 # ---------------------------------------------------------------------------
@@ -347,7 +373,10 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CaseRecord",
+    "examine_case",
+    "finalize_campaign",
     "replay_corpus_entry",
     "run_campaign",
+    "worker_config",
     "write_corpus_entry",
 ]

@@ -1,0 +1,261 @@
+"""Blocking client for the ``kcc-check serve`` checking service.
+
+:class:`ServiceClient` connects to an endpoint string — ``unix:/path`` or
+``tcp:host:port``, exactly what ``kcc-check serve`` prints and
+:func:`repro.service.serve_in_background` yields — and exposes the three
+job kinds as ordinary method calls that block until the job's terminal
+``done`` frame::
+
+    with ServiceClient(endpoint) as client:
+        reports = client.check(["int main(void){return 0;}"])
+        campaign = client.fuzz(seed=7, count=40)
+
+Payloads are the service's JSON dicts (the same ``to_dict()`` shapes the
+CLI prints); the client never rehydrates report objects.  ``on_event``
+callbacks observe ``accepted``/``progress`` frames as they stream.
+
+Sends are lock-protected, so :meth:`cancel` may be called from another
+thread while a job call is blocked in its receive loop — the driving call
+then raises :class:`JobCancelled` carrying whatever reports arrived before
+the job stopped.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.config import CheckerOptions
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """The service reported an error, or the connection failed."""
+
+    def __init__(self, message: str, *, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class JobCancelled(ServiceError):
+    """A job ended with ``status="cancelled"``; partial results attached."""
+
+    def __init__(self, message: str, *, partial: list) -> None:
+        super().__init__(message, code=protocol.STATUS_CANCELLED)
+        self.partial = partial
+
+
+def _connect(endpoint: str, timeout: Optional[float]) -> socket.socket:
+    try:
+        if endpoint.startswith("unix:"):
+            if not hasattr(socket, "AF_UNIX"):
+                raise ServiceError("unix-socket endpoints need AF_UNIX support")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(endpoint[len("unix:") :])
+            return sock
+        if endpoint.startswith("tcp:"):
+            endpoint = endpoint[len("tcp:") :]
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            raise ServiceError(
+                f"bad endpoint {endpoint!r}; expected unix:PATH or HOST:PORT",
+            )
+        return socket.create_connection((host, int(port)), timeout=timeout)
+    except OSError as error:
+        raise ServiceError(f"cannot connect to {endpoint!r}: {error}") from None
+
+
+class ServiceClient:
+    """A blocking NDJSON client; one in-flight job call per instance.
+
+    The receive loop is single-threaded by design: drive one job at a time
+    per client, and open more clients for concurrency (the service
+    multiplexes all of them over one warm pool).  The only method safe to
+    call concurrently with a running job is :meth:`cancel`.
+    """
+
+    def __init__(self, endpoint: str, *, timeout: Optional[float] = 300.0) -> None:
+        self.endpoint = endpoint
+        self._sock = _connect(endpoint, timeout)
+        self._file = self._sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.hello = self._read_frame()
+        if self.hello.get("event") != "hello":
+            raise ServiceError(f"expected hello frame, got {self.hello!r}")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, frame: dict[str, Any]) -> None:
+        with self._send_lock:
+            self._sock.sendall(protocol.encode_frame(frame))
+
+    def _read_frame(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by the service")
+        return json.loads(line)
+
+    def next_job_id(self) -> str:
+        return f"job-{next(self._ids)}"
+
+    # -- the job receive loop ----------------------------------------------
+
+    def _drive(
+        self,
+        job_id: str,
+        *,
+        on_event: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> tuple[list[dict[str, Any]], Optional[dict[str, Any]]]:
+        """Read frames until ``job_id`` terminates; return (reports, result).
+
+        Frames addressed to other jobs — e.g. a stale ``done`` left over
+        from a cancelled call, or an ``error`` for a bad ``cancel`` — are
+        skipped: this loop owns the connection only for its own job.
+        """
+        reports: dict[int, dict[str, Any]] = {}
+        result: Optional[dict[str, Any]] = None
+        while True:
+            frame = self._read_frame()
+            if frame.get("job") != job_id:
+                continue
+            event = frame.get("event")
+            if on_event is not None and event in ("accepted", "progress"):
+                on_event(frame)
+            if event == "report":
+                reports[frame["index"]] = frame["report"]
+            elif event == "result":
+                result = frame["result"]
+            elif event == "error":
+                raise ServiceError(frame.get("message", "?"), code=frame.get("code"))
+            elif event == "done":
+                ordered = [reports[index] for index in sorted(reports)]
+                status = frame.get("status")
+                if status == protocol.STATUS_OK:
+                    return ordered, result
+                if status == protocol.STATUS_CANCELLED:
+                    raise JobCancelled(
+                        f"job {job_id} cancelled after {len(ordered)} report(s)",
+                        partial=ordered,
+                    )
+                raise ServiceError(f"job {job_id} failed", code=status)
+
+    # -- job kinds ----------------------------------------------------------
+
+    def check(
+        self,
+        sources: Iterable[Any],
+        *,
+        options: Optional[CheckerOptions] = None,
+        search: bool = False,
+        budget: Optional[str] = None,
+        job: Optional[str] = None,
+        on_event: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> list[dict[str, Any]]:
+        """Check a batch; returns one report dict per input, in order."""
+        job_id = job if job is not None else self.next_job_id()
+        self._send(
+            protocol.check_request(
+                job_id,
+                sources,
+                options=options,
+                search=search,
+                budget=budget,
+            ),
+        )
+        reports, _ = self._drive(job_id, on_event=on_event)
+        return reports
+
+    def fuzz(
+        self,
+        *,
+        seed: int = 0,
+        count: int = 100,
+        inject: Optional[str] = "mixed",
+        options: Optional[CheckerOptions] = None,
+        job: Optional[str] = None,
+        on_event: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> dict[str, Any]:
+        """Run a fuzz campaign; returns the campaign result dict."""
+        job_id = job if job is not None else self.next_job_id()
+        self._send(
+            protocol.fuzz_request(
+                job_id,
+                seed=seed,
+                count=count,
+                inject=inject,
+                options=options,
+            ),
+        )
+        _, result = self._drive(job_id, on_event=on_event)
+        if result is None:
+            raise ServiceError(f"fuzz job {job_id} returned no result")
+        return result
+
+    def search(
+        self,
+        source: str,
+        *,
+        filename: str = "<input>",
+        strategy: str = "dfs",
+        seed: int = 0,
+        budget: Optional[str] = None,
+        options: Optional[CheckerOptions] = None,
+        job: Optional[str] = None,
+        on_event: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> dict[str, Any]:
+        """Search one program's evaluation orders; returns its report dict."""
+        job_id = job if job is not None else self.next_job_id()
+        self._send(
+            protocol.search_request(
+                job_id,
+                source,
+                filename=filename,
+                strategy=strategy,
+                seed=seed,
+                budget=budget,
+                options=options,
+            ),
+        )
+        reports, _ = self._drive(job_id, on_event=on_event)
+        if not reports:
+            raise ServiceError(f"search job {job_id} returned no report")
+        return reports[0]
+
+    # -- control ops --------------------------------------------------------
+
+    def cancel(self, job: str) -> None:
+        """Ask the service to stop ``job`` at its next chunk boundary."""
+        self._send({"op": "cancel", "id": job})
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        while True:
+            if self._read_frame().get("event") == "pong":
+                return True
+
+    def stats(self) -> dict[str, Any]:
+        self._send({"op": "stats"})
+        while True:
+            frame = self._read_frame()
+            if frame.get("event") == "stats":
+                return frame
+
+
+__all__ = ["JobCancelled", "ServiceClient", "ServiceError"]

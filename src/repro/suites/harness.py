@@ -265,9 +265,15 @@ def analyze_case(tools: Sequence[AnalysisTool], source: str,
     return [results[id(tool)] for tool in tools]
 
 
-def _analyze_case_task(task: tuple) -> list[ToolResult]:
-    """Pool worker: one case, all tools.  Must stay module-level (picklable)."""
-    tools, source, filename = task
+def _analyze_case_task(tools: Sequence[AnalysisTool],
+                       case: tuple[str, str]) -> list[ToolResult]:
+    """Pool worker: one case, all tools.  Must stay module-level (picklable).
+
+    ``tools`` is the staged-chunk header: the warm pool pickles the lineup
+    once per chunk, so a grid of N cases ships the tool objects ``ceil(N /
+    chunksize)`` times instead of N times.
+    """
+    source, filename = case
     return analyze_case(tools, source, filename)
 
 
@@ -300,11 +306,10 @@ class EvaluationHarness:
 
     def _run_grid(self, selected: Sequence[TestCase], *,
                   jobs: Optional[int]) -> list[list[ToolResult]]:
-        from repro.api.batch import run_pooled
+        from repro.service.pool import run_staged
 
-        tools = self.tools
-        tasks = [(tools, case.source, case.name) for case in selected]
-        return run_pooled(_analyze_case_task, tasks, jobs=jobs)
+        cases = [(case.source, case.name) for case in selected]
+        return run_staged(_analyze_case_task, self.tools, cases, jobs=jobs)
 
 
 def run_comparison(suite: TestSuite, tools: Optional[Sequence[AnalysisTool]] = None,
