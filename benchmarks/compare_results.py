@@ -3,7 +3,10 @@
 Compares the machine-independent *ratio* metrics of the committed
 ``benchmarks/results/*.json`` baselines against a freshly generated set:
 
-* ``interp_speed.json`` — per-program ``speedup`` (lowered vs legacy walker);
+* ``interp_speed.json`` — per-program ``speedup`` (lowered closures vs
+  legacy walker) and ``compiled_speedup`` (register-bytecode VM vs lowered
+  closures; ~1.0 on programs outside the bytecode's native subset, which
+  run on the closure fallback);
 * ``search_speed.json`` — per-program ``reduction_factor`` (seed DFS runs
   from ``main`` vs the search engine's);
 * ``fuzz_speed.json`` / ``pool_speed.json`` — ``parallel_speedup`` of the
@@ -34,7 +37,7 @@ import sys
 
 #: file name -> ratio metrics gated within each top-level program entry.
 GATED_METRICS = {
-    "interp_speed.json": ("speedup",),
+    "interp_speed.json": ("speedup", "compiled_speedup"),
     "search_speed.json": ("reduction_factor",),
     "fuzz_speed.json": ("parallel_speedup",),
     "pool_speed.json": ("parallel_speedup",),

@@ -61,6 +61,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="run the dynamic stage on the legacy AST walker "
                              "instead of the lowered fast path (escape hatch; "
                              "verdicts are identical)")
+    parser.add_argument("--engine", default="compiled",
+                        choices=("walker", "lowered", "compiled"),
+                        help="dynamic-stage engine: the flat register-"
+                             "bytecode VM (default), the lowered closure "
+                             "trees, or the legacy AST walker; verdicts are "
+                             "identical across all three")
     parser.add_argument("--format", default="text", choices=("text", "json"),
                         help="report format")
 
@@ -191,7 +197,8 @@ def _read_source(path: str) -> str:
 
 def _options_for(arguments: argparse.Namespace) -> CheckerOptions:
     return CheckerOptions(profile=ct.PROFILES[arguments.profile],
-                          enable_lowering=not getattr(arguments, "no_lowering", False))
+                          enable_lowering=not getattr(arguments, "no_lowering", False),
+                          engine=getattr(arguments, "engine", "compiled"))
 
 
 def _batch_exit_code(reports: list[CheckReport]) -> int:

@@ -57,11 +57,36 @@ class CheckerOptions:
     #: the CLI) falls back to the legacy recursive AST walker.
     enable_lowering: bool = True
 
+    #: Dynamic-stage engine: ``"compiled"`` (flat register bytecode on the
+    #: VM of :mod:`repro.core.vm`, falling back per function to the lowered
+    #: closures), ``"lowered"`` (closure trees only), or ``"walker"`` (the
+    #: legacy recursive AST walker).  Verdicts are identical across all
+    #: three (held to by the three-way differential matrix in
+    #: ``tests/core/test_engine_matrix.py``).  The compiled engine applies
+    #: to single non-search runs; evaluation-order search always keeps the
+    #: walker's decision points, and runs whose probes subscribe to events
+    #: use the instrumented closure engine.
+    engine: str = "compiled"
+
     #: Evaluation-order strategy: "left-to-right", "right-to-left" or
     #: "search" (explore orders of unsequenced subexpressions, §2.5.2).
     evaluation_order: str = "left-to-right"
     #: Bound on the number of evaluation orders explored in search mode.
     max_search_paths: int = 64
+
+    def effective_engine(self) -> str:
+        """The dynamic-stage engine this configuration selects.
+
+        ``enable_lowering=False`` (the historical ``--no-lowering`` ablation)
+        forces the walker regardless of :attr:`engine`, so existing ablation
+        call sites keep their meaning.
+        """
+        if self.engine not in ("walker", "lowered", "compiled"):
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"expected 'walker', 'lowered' or 'compiled'")
+        if not self.enable_lowering:
+            return "walker"
+        return self.engine
 
     def without(self, **flags: bool) -> "CheckerOptions":
         """Return a copy with the given check flags overridden (for ablations)."""

@@ -30,6 +30,7 @@ from repro.core.eval_expr import ExpressionEvaluatorMixin
 from repro.core.eval_stmt import StatementExecutorMixin
 from repro.core.memory import Memory, StorageKind
 from repro.core.stdlib import BUILTIN_IMPLEMENTATIONS
+from repro.core.vm import run_native
 from repro.core.values import (
     Byte,
     ConcreteByte,
@@ -92,11 +93,20 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
     def __init__(self, unit: c_ast.TranslationUnit,
                  options: CheckerOptions = DEFAULT_OPTIONS, *,
                  strategy: Optional[EvaluationStrategy] = None,
-                 stdin: str = "", lowered=None) -> None:
+                 stdin: str = "", lowered=None, compiled=None) -> None:
         self.unit = unit
         self.options = options
         self.profile = options.profile
-        self.memory = Memory(options)
+        # The compiled engine addresses object bytes as flat integer offsets,
+        # so pair it with the contiguous arena store; everything else keeps
+        # the per-object dict store.
+        self.memory = Memory(options,
+                             store="arena" if compiled is not None else "dict")
+        #: Compiled register-bytecode of the unit
+        #: (:class:`repro.core.bytecode.CompiledProgram`), or None.  Functions
+        #: present in ``compiled.functions`` run on the VM; everything else
+        #: falls back to the lowered closures (or the walker).
+        self.compiled = compiled
         #: Attached :class:`repro.events.ProbeSet`, or None (the common case).
         #: Set via :meth:`attach_probes`; every emission site is guarded on it.
         self.events: Optional[ProbeSet] = None
@@ -200,7 +210,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                 name=declaration.name, base=obj.base, type=ctype,
                 is_const=self._is_const_object(ctype))
         # Static storage duration objects start out zero-initialized (§6.7.9:10).
-        obj.data = [ConcreteByte(0) for _ in range(obj.size)]
+        obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
         if declaration.initializer is not None:
             pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
             was_const = obj.base in self.memory.not_writable
@@ -406,7 +416,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         if declaration.initializer is not None:
             pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
             if self._initializer_is_constant_zero_fill(ctype, declaration.initializer):
-                obj.data = [ConcreteByte(0) for _ in range(obj.size)]
+                obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
             self._initialize_into(pointer, ctype, declaration.initializer, declaration.line)
         if self._is_const_object(ctype):
             self.memory.mark_not_writable(obj.base)
@@ -428,7 +438,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
             obj = self.memory.allocate(size, StorageKind.STATIC, name=declaration.name,
                                        declared_type=ctype,
                                        is_const=self._is_const_object(ctype))
-            obj.data = [ConcreteByte(0) for _ in range(obj.size)]
+            obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
             binding = ObjectBinding(name=declaration.name, base=obj.base, type=ctype,
                                     is_const=self._is_const_object(ctype))
             self._static_locals[key] = binding
@@ -525,7 +535,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         frame = self.current_frame()
         obj = self.memory.allocate(size, StorageKind.AUTO, name="<compound-literal>",
                                    declared_type=ctype, frame=frame.frame_id)
-        obj.data = [ConcreteByte(0) for _ in range(size)]
+        obj.data[:] = [ConcreteByte(0) for _ in range(size)]
         frame.scopes[-1].owned_bases.append(obj.base)
         pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
         self._initialize_into(pointer, ctype, initializer, line)
@@ -777,17 +787,25 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                                        declared_type=param_type, frame=frame.frame_id)
             if index < len(arguments):
                 data = encode_value(arguments[index], param_type, self.profile)
-                obj.data = data
+                obj.data[:] = data
             binding = ObjectBinding(name=param_name, base=obj.base, type=param_type)
             frame.declare(binding)
+        compiled_fn = (self.compiled.functions.get(definition.name)
+                       if self.compiled is not None else None)
         lowered_body = (self.lowered.functions.get(definition.name)
                         if self.lowered is not None else None)
         try:
-            if lowered_body is not None:
+            if compiled_fn is not None:
+                return_value: Optional[CValue] = run_native(
+                    self, self.compiled, compiled_fn)
+            elif lowered_body is not None:
                 lowered_body.run_body(self)
+                return_value = None
             elif definition.body is not None:
                 self.exec_compound(definition.body, new_scope=False)
-            return_value: Optional[CValue] = None
+                return_value = None
+            else:
+                return_value = None
         except ReturnSignal as signal:
             return_value = signal.value
         except GotoSignal as signal:

@@ -57,6 +57,22 @@ def content_hash(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
+def _probes_need_events(probes) -> bool:
+    """Whether any probe actually subscribes to execution events.
+
+    A probe whose ``subscribes`` is an empty tuple only wants ``finish``
+    (the run's end), so the run can keep an uninstrumented engine; a probe
+    that continues past UB needs the observed trajectory either way.
+    """
+    for probe in probes:
+        if getattr(probe, "continue_past_ub", False):
+            return True
+        subscribes = getattr(probe, "subscribes", None)
+        if subscribes is None or len(subscribes) > 0:
+            return True
+    return False
+
+
 @dataclass
 class CompiledUnit:
     """The reusable result of the compile stage (parse + static checks).
@@ -80,6 +96,8 @@ class CompiledUnit:
     #: folding honors the check flags, so one unit may carry one lowered
     #: form per checker configuration that runs it.
     _lowered: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Lazily computed register-bytecode programs, keyed by options.
+    _bytecode: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -112,6 +130,27 @@ class CompiledUnit:
             except Exception:  # pragma: no cover - safety net, not expected
                 self._lowered[key] = None
         return self._lowered[key]
+
+    def compiled_for(self, options: CheckerOptions):
+        """The register-bytecode program of this unit for ``options``
+        (memoized), or None.
+
+        Functions outside the compiler's native subset are simply absent
+        from the returned program and run on the lowered closures instead;
+        a compiler defect can therefore cost speed but never a verdict.
+        Returns None outright on parse failure, for evaluation orders the
+        bytecode does not pre-resolve, or if compilation itself fails.
+        """
+        if self.unit is None:
+            return None
+        if options not in self._bytecode:
+            from repro.core.bytecode import compile_unit_bytecode
+            try:
+                self._bytecode[options] = compile_unit_bytecode(self.unit,
+                                                                options)
+            except Exception:  # pragma: no cover - safety net, not expected
+                self._bytecode[options] = None
+        return self._bytecode[options]
 
     def diagnostics(self) -> list[Diagnostic]:
         found: list[Diagnostic] = []
@@ -271,11 +310,20 @@ class KccTool:
         if self.search_evaluation_order:
             report = self._check_with_search(compiled, argv=argv, stdin=stdin)
         else:
-            lowered = (compiled.lowered_for(self.options, instrument=bool(probes))
-                       if self.options.enable_lowering else None)
+            engine = self.options.effective_engine()
+            # Pay-per-subscription instrumentation: probes that subscribe to
+            # no event kinds (and do not continue past UB) cost nothing —
+            # the run keeps the uninstrumented stream of whichever engine is
+            # selected.  Any subscribed kind needs the event-emitting
+            # closure IR, whose stream is walker-identical.
+            instrument = bool(probes) and _probes_need_events(probes)
+            lowered = (compiled.lowered_for(self.options, instrument=instrument)
+                       if engine != "walker" else None)
+            native = (compiled.compiled_for(self.options)
+                      if engine == "compiled" and not instrument else None)
             outcome, result = self._run_once(compiled.unit, strategy=None,
                                              argv=argv, stdin=stdin, lowered=lowered,
-                                             probes=probes)
+                                             native=native, probes=probes)
             report = CheckReport(outcome=outcome, result=result, unit=compiled.unit)
         report.filename = compiled.filename
         return report
@@ -301,9 +349,10 @@ class KccTool:
                              argv=argv, stdin=stdin)
 
     def _run_once(self, unit: c_ast.TranslationUnit, *, strategy, argv, stdin,
-                  lowered=None, probes=None) -> tuple[Outcome, Optional[ExecutionResult]]:
+                  lowered=None, native=None, probes=None,
+                  ) -> tuple[Outcome, Optional[ExecutionResult]]:
         interpreter = Interpreter(unit, self.options, strategy=strategy, stdin=stdin,
-                                  lowered=lowered)
+                                  lowered=lowered, compiled=native)
         probe_set = ProbeSet(probes) if probes else None
         recorder = None
         if probe_set is not None:

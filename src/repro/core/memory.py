@@ -27,6 +27,7 @@ from repro.cfront import ctypes as ct
 from repro.core.config import CheckerOptions
 from repro.core.values import (
     Byte,
+    ConcreteByte,
     PointerValue,
     unknown_bytes,
 )
@@ -77,6 +78,133 @@ class MemoryObject:
             self.data = unknown_bytes(self.size)
 
 
+class ArenaBytes:
+    """A ``list[Byte]``-compatible view of one object's bytes, backed by a
+    contiguous shared ``bytearray`` arena plus a sparse ``exotic`` overlay.
+
+    The common case — concrete bytes — lives as plain integers in the arena
+    (one machine byte per C byte, integer addressed); symbolic bytes
+    (:class:`UnknownByte`, :class:`PointerByte`, :class:`FloatByte`) live in
+    the per-object ``exotic`` dict keyed by offset and shadow the arena cell.
+    The compiled VM reads and writes the arena directly via
+    :meth:`read_int` / :meth:`write_int`; every generic byte-level path
+    (``read_bytes`` slices, ``write_bytes`` slice assignment, probes
+    iterating ``obj.data``) goes through the sequence protocol below and
+    observes exactly what the dict-backed list store would hold.
+    """
+
+    __slots__ = ("arena", "start", "size", "exotic")
+
+    def __init__(self, arena: bytearray, initial: list) -> None:
+        self.arena = arena
+        self.start = len(arena)
+        size = len(initial)
+        self.size = size
+        exotic: dict = {}
+        buffer = bytearray(size)
+        for index, byte in enumerate(initial):
+            if type(byte) is ConcreteByte:
+                buffer[index] = byte.value
+            else:
+                exotic[index] = byte
+        arena += buffer
+        self.exotic = exotic
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.size)
+            exotic = self.exotic
+            base = self.start
+            arena = self.arena
+            if not exotic:
+                return [ConcreteByte(v) for v in arena[base + start:base + stop:step]]
+            result = []
+            for i in range(start, stop, step):
+                byte = exotic.get(i)
+                result.append(ConcreteByte(arena[base + i]) if byte is None else byte)
+            return result
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError("ArenaBytes index out of range")
+        byte = self.exotic.get(index)
+        return ConcreteByte(self.arena[self.start + index]) if byte is None else byte
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.size)
+            if step != 1:
+                raise ValueError("ArenaBytes only supports contiguous slices")
+            values = list(value)
+            if len(values) != stop - start:
+                raise ValueError("ArenaBytes slice assignment must preserve length")
+            for offset, byte in zip(range(start, stop), values):
+                self._set_byte(offset, byte)
+            return
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError("ArenaBytes index out of range")
+        self._set_byte(index, value)
+
+    def _set_byte(self, index: int, byte) -> None:
+        if type(byte) is ConcreteByte:
+            self.arena[self.start + index] = byte.value
+            if self.exotic:
+                self.exotic.pop(index, None)
+        else:
+            self.exotic[index] = byte
+
+    def __iter__(self):
+        exotic = self.exotic
+        base = self.start
+        arena = self.arena
+        for index in range(self.size):
+            byte = exotic.get(index)
+            yield ConcreteByte(arena[base + index]) if byte is None else byte
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (ArenaBytes, list, tuple)):
+            return NotImplemented
+        if len(other) != self.size:
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __repr__(self) -> str:
+        return f"ArenaBytes({list(self)!r})"
+
+    # -- integer fast path (the compiled VM's MLOAD/MSTORE) ----------------
+    def read_int(self, offset: int, size: int, signed: bool):
+        """Decode ``size`` little-endian bytes at ``offset`` as an integer,
+        or None when any byte in range is exotic (symbolic)."""
+        exotic = self.exotic
+        if exotic:
+            for index in range(offset, offset + size):
+                if index in exotic:
+                    return None
+        start = self.start + offset
+        value = int.from_bytes(self.arena[start:start + size], "little")
+        if signed:
+            half = 1 << (size * 8 - 1)
+            if value >= half:
+                value -= half << 1
+        return value
+
+    def write_int(self, offset: int, size: int, unsigned_value: int) -> None:
+        """Store ``size`` little-endian bytes of an already-masked
+        (non-negative) integer at ``offset``, clearing any exotic overlay."""
+        start = self.start + offset
+        self.arena[start:start + size] = unsigned_value.to_bytes(size, "little")
+        exotic = self.exotic
+        if exotic:
+            for index in range(offset, offset + size):
+                if index in exotic:
+                    del exotic[index]
+
+
 class ByteLocation(typing.NamedTuple):
     """A single byte address ``sym(base) + offset``.
 
@@ -93,10 +221,14 @@ class ByteLocation(typing.NamedTuple):
 class Memory:
     """Symbolic memory plus the auxiliary undefinedness-tracking cells."""
 
-    def __init__(self, options: CheckerOptions) -> None:
+    def __init__(self, options: CheckerOptions, store: str = "dict") -> None:
         self.options = options
         self.profile = options.profile
         self.objects: dict[int, MemoryObject] = {}
+        #: ``store="arena"`` keeps every object's concrete bytes in one shared
+        #: ``bytearray`` (integer addressed, see :class:`ArenaBytes`); the
+        #: default list-of-Byte store stays for the walker/lowered engines.
+        self._arena: Optional[bytearray] = bytearray() if store == "arena" else None
         #: Attached :class:`repro.events.ProbeSet`, or None (the common case);
         #: every emission below is guarded so unprobed runs construct nothing.
         self.events = None
@@ -131,6 +263,12 @@ class Memory:
             declared_type=declared_type,
             effective_type=declared_type.unqualified() if declared_type is not None else None,
             frame=frame, is_const=is_const)
+        if self._arena is not None and obj.size > 0:
+            # __post_init__ has already filled fresh unknown bytes (or kept
+            # the provided data); wrapping re-homes those same Byte objects,
+            # so symbolic-byte identity (e.g. UnknownByte origins) matches
+            # the list store exactly.
+            obj.data = ArenaBytes(self._arena, obj.data)
         self.objects[base] = obj
         if frame is not None and kind is StorageKind.AUTO:
             self._frame_objects.setdefault(frame, []).append(base)

@@ -313,6 +313,12 @@ class Probe:
     name = "probe"
     #: Whether this probe needs execution to continue past gated checks.
     continue_past_ub = False
+    #: Event kinds this probe wants (a tuple of ``Event.kind`` strings), or
+    #: None for everything.  Subscription is pay-per-use: kinds outside the
+    #: set are never delivered to :meth:`on_event`, and a probe subscribing
+    #: to *no* kinds (``subscribes = ()``) lets the checker keep the
+    #: uninstrumented engine — only :meth:`finish` is called.
+    subscribes: Optional[tuple[str, ...]] = None
 
     def on_event(self, event: Event) -> None:
         """Called for every event, in execution order."""
@@ -331,10 +337,21 @@ class ProbeSet:
     sandboxed plugins.
     """
 
-    __slots__ = ("probes",)
+    __slots__ = ("probes", "_broadcast", "_by_kind")
 
     def __init__(self, probes: Sequence[Probe]) -> None:
         self.probes = list(probes)
+        # Pre-split the fan-out by subscription so emit() stays a plain
+        # loop: probes subscribing to everything, then a kind-keyed map of
+        # selective subscribers.
+        self._broadcast = [probe for probe in self.probes
+                           if getattr(probe, "subscribes", None) is None]
+        self._by_kind: dict[str, list[Probe]] = {}
+        for probe in self.probes:
+            subscribes = getattr(probe, "subscribes", None)
+            if subscribes is not None:
+                for kind in subscribes:
+                    self._by_kind.setdefault(kind, []).append(probe)
 
     def __len__(self) -> int:
         return len(self.probes)
@@ -342,9 +359,19 @@ class ProbeSet:
     def __iter__(self) -> Iterator[Probe]:
         return iter(self.probes)
 
+    def subscribed_kinds(self) -> Optional[frozenset]:
+        """The union of the probes' subscriptions; None means everything."""
+        if self._broadcast:
+            return None
+        return frozenset(self._by_kind)
+
     def emit(self, event: Event) -> None:
-        for probe in self.probes:
+        for probe in self._broadcast:
             probe.on_event(event)
+        selective = self._by_kind.get(event.kind)
+        if selective is not None:
+            for probe in selective:
+                probe.on_event(event)
 
     def finish(self, end: RunEnd) -> None:
         for probe in self.probes:

@@ -4,10 +4,13 @@ Each generated case is pushed through a battery of *oracles*; any oracle
 failure is a mismatch worth a corpus entry, because every one of them is a
 hard invariant of the system:
 
-* ``engine-differential`` — the lowered fast path and the legacy walker
-  must produce the same verdict, the same structured diagnostics, the same
-  stdout, and the same exit code (PR 2's guarantee, now under generated
-  load instead of the fixed suites);
+* ``engine-differential`` — the lowered fast path, the compiled bytecode
+  VM, and the legacy walker must produce the same verdict, the same
+  structured diagnostics, the same stdout, and the same exit code (PR 2's
+  two-engine guarantee, extended to three engines by PR 7, under generated
+  load instead of the fixed suites).  The compiled leg runs *unprobed* —
+  probed runs route to the instrumented lowered IR, so only an unprobed
+  run actually exercises the register-bytecode VM;
 * ``event-stream`` — with trace probes attached, the two engines must emit
   the identical execution-event sequence (PR 3's guarantee);
 * ``ground-truth`` — a clean case must be DEFINED with exactly the stdout
@@ -133,8 +136,9 @@ def run_oracles(
 ) -> OracleReport:
     """Run the full oracle stack over one generated case."""
     report = OracleReport(case=case)
-    lowered_tool = KccTool(options)
+    lowered_tool = KccTool(options.without(engine="lowered"))
     walker_tool = KccTool(options.without(enable_lowering=False))
+    vm_tool = KccTool(options.without(engine="compiled"))
 
     compiled = lowered_tool.compile_unit(case.source, filename=case.name)
     if compiled.parse_error is not None:
@@ -176,6 +180,23 @@ def run_oracles(
             "engine-differential",
             f"walker and lowered engines disagree on {', '.join(drift)}: "
             f"lowered={lowered_report.outcome.describe()!r} "
+            f"walker={walker_report.outcome.describe()!r}",
+            signature=signature,
+        )
+
+    # The third leg: an unprobed run on the compiled VM (per-function
+    # bytecode with closure fallback), held to the same walker facts.
+    vm_report = vm_tool.run_unit(compiled)
+    vm_facts = _verdict_facts(vm_report)
+    if vm_facts != walker_facts:
+        drift = [key for key in vm_facts if vm_facts[key] != walker_facts[key]]
+        signature = (
+            f"engine-compiled:{','.join(drift)}:{diagnostic_signature(vm_report)}"
+        )
+        report.add(
+            "engine-differential",
+            f"compiled VM disagrees with the walker on {', '.join(drift)}: "
+            f"compiled={vm_report.outcome.describe()!r} "
             f"walker={walker_report.outcome.describe()!r}",
             signature=signature,
         )

@@ -1,0 +1,149 @@
+"""Three-way differential matrix: walker vs lowered closures vs compiled VM.
+
+PR 7 adds the register-bytecode engine (:mod:`repro.core.bytecode` +
+:mod:`repro.core.vm`).  Like the lowered fast path before it, the compiled
+engine must never change a verdict: for every program, the outcome kind,
+the full structured diagnostics, stdout, and the exit code must be
+identical across all three engines — over the fixed suites, a fixed-seed
+fuzz corpus, and under ablated option sets (each ablation removes checks,
+which shifts which fast paths the VM may take, so equality must hold per
+configuration, not just for the default one).
+
+This is the contract that lets ``--engine`` be an escape hatch rather than
+three different tools.
+"""
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.core.kcc import KccTool
+from repro.fuzz.generator import generate_cases
+from repro.suites.juliet import generate_juliet_suite
+from repro.suites.ubsuite import generate_undefinedness_suite
+
+ENGINES = ("walker", "lowered", "compiled")
+
+#: Fixed-seed fuzz corpus: 500 programs, mixed clean/injected.  Any change
+#: to the seed or count is a deliberate corpus change, not noise.
+FUZZ_SEED = 20260808
+FUZZ_COUNT = 500
+
+#: Ablated configurations: every check off (the paper's positive-semantics
+#: starting point), and single-family ablations of the checks whose fast
+#: paths the VM specializes hardest (uninitialized reads gate the register
+#: file, sequencing gates the flat stores, arithmetic gates the inlined
+#: plans, memory gates the array fast path).
+ABLATIONS = {
+    "default": CheckerOptions(),
+    "all-disabled": CheckerOptions.all_disabled(),
+    "no-uninitialized": CheckerOptions(check_uninitialized=False),
+    "no-sequencing": CheckerOptions(check_sequencing=False),
+    "no-arithmetic": CheckerOptions(check_arithmetic=False),
+    "no-memory": CheckerOptions(check_memory=False),
+}
+
+
+def _tools(options: CheckerOptions) -> dict[str, KccTool]:
+    return {engine: KccTool(options.without(engine=engine))
+            for engine in ENGINES}
+
+
+TOOLS = {label: _tools(options) for label, options in ABLATIONS.items()}
+
+
+def facts(report):
+    """What the matrix holds equal across engines."""
+    outcome = report.outcome
+    return (outcome.kind.name,
+            [diagnostic.to_dict() for diagnostic in outcome.diagnostics()],
+            outcome.stdout,
+            outcome.exit_code)
+
+
+def assert_matrix(source: str, name: str, tools: dict[str, KccTool],
+                  label: str = "default") -> None:
+    reports = {engine: tool.check(source, filename=name)
+               for engine, tool in tools.items()}
+    expected = facts(reports["walker"])
+    for engine in ("lowered", "compiled"):
+        assert facts(reports[engine]) == expected, (
+            f"{engine} engine disagrees with the walker on {name} "
+            f"under options {label!r}:\n"
+            f"  {engine}: {facts(reports[engine])}\n"
+            f"  walker:  {expected}")
+
+
+@pytest.fixture(scope="module")
+def ubsuite():
+    return generate_undefinedness_suite()
+
+
+@pytest.fixture(scope="module")
+def juliet():
+    return generate_juliet_suite()
+
+
+@pytest.fixture(scope="module")
+def fuzz_corpus():
+    return generate_cases(FUZZ_SEED, FUZZ_COUNT, inject="mixed")
+
+
+def test_compiled_engine_is_actually_used():
+    """Guard against a silent fallback: native functions must be present
+    in the bytecode program, and the compiled tool must select them."""
+    tool = TOOLS["default"]["compiled"]
+    unit = tool.compile_unit(
+        "int main(void){ int i, s = 0; for (i = 0; i < 9; i++) s += i; "
+        "return s > 0 ? 0 : 1; }")
+    program = unit.compiled_for(tool.options)
+    assert program is not None
+    assert "main" in program.functions
+    # And a function outside the native subset stays absent (per-function
+    # fallback), without poisoning the rest of the program.
+    mixed = tool.compile_unit(
+        "int f(int *p){ return *p; }\n"
+        "int g(void){ return 7; }\n"
+        "int main(void){ int x = 1; return f(&x) - g() + 6; }")
+    mixed_program = mixed.compiled_for(tool.options)
+    assert mixed_program is not None
+    assert "f" not in mixed_program.functions
+    assert "g" in mixed_program.functions
+
+
+def test_engine_option_validation():
+    with pytest.raises(ValueError):
+        CheckerOptions(engine="jit").effective_engine()
+    # The historical --no-lowering ablation still forces the walker.
+    assert CheckerOptions(enable_lowering=False).effective_engine() == "walker"
+    assert CheckerOptions().effective_engine() == "compiled"
+
+
+def test_every_ubsuite_case_is_engine_equivalent(ubsuite):
+    for case in ubsuite.cases:
+        assert_matrix(case.source, case.name, TOOLS["default"])
+
+
+def test_every_juliet_case_is_engine_equivalent(juliet):
+    for case in juliet.cases:
+        assert_matrix(case.source, case.name, TOOLS["default"])
+
+
+def test_fuzz_corpus_is_engine_equivalent(fuzz_corpus):
+    for case in fuzz_corpus:
+        assert_matrix(case.source, case.name, TOOLS["default"])
+
+
+@pytest.mark.parametrize("label", [k for k in ABLATIONS if k != "default"])
+def test_ubsuite_matrix_under_ablation(ubsuite, label):
+    for case in ubsuite.cases:
+        assert_matrix(case.source, case.name, TOOLS[label], label)
+
+
+@pytest.mark.parametrize("label", [k for k in ABLATIONS if k != "default"])
+def test_fuzz_sample_under_ablation(fuzz_corpus, label):
+    # The full 500-case corpus runs under the default options above; each
+    # ablation re-runs a fixed slice (every 5th case) to keep the matrix
+    # affordable while still crossing every template family with every
+    # ablated fast-path configuration.
+    for case in fuzz_corpus[::5]:
+        assert_matrix(case.source, case.name, TOOLS[label], label)
