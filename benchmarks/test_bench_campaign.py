@@ -1,0 +1,145 @@
+"""E8 — the 2,000-program resumable-campaign acceptance run.
+
+The campaign subsystem's contract, held at the acceptance scale of E6's
+fuzz campaign (fixed seed, 2,000 generated programs):
+
+* an uninterrupted journaled run is the reference;
+* the same campaign launched as a real ``kcc-check campaign run``
+  subprocess and **SIGKILLed** mid-run must, after ``resume``, produce
+  findings and per-family tables **byte-identical** to the reference with
+  **zero** completed units re-executed (the journal's ``duplicate_done``
+  counter and the executed/skipped split prove it);
+* two independently-run half-campaigns (disjoint ``--units`` slices) must
+  ``merge`` — in either input order — to the same canonical result;
+* the per-family rates must match the committed
+  ``results/campaign_baseline.json`` exactly (delta 0.0 per family).
+
+Published as ``campaign_acceptance.txt``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.campaign.journal import load_journal
+from repro.campaign.scheduler import (
+    ScheduleConfig,
+    merge_campaign_journals,
+    run_campaign_spec,
+    resume_campaign,
+)
+from repro.campaign.workunit import CampaignSpec
+from repro.reporting import render_table
+
+from benchmarks.conftest import RESULTS_DIR, publish
+
+#: The acceptance-campaign shape: fixed seed, 2,000 mixed programs.  The
+#: committed ``campaign_baseline.json`` was generated from exactly this
+#: spec, so every family delta must be 0.0.
+SEED = 20260729
+COUNT = 2000
+UNIT_SIZE = 100
+
+BASELINE = RESULTS_DIR / "campaign_baseline.json"
+
+
+def _done_units(journal) -> int:
+    if not journal.exists():
+        return 0
+    return sum(
+        1
+        for line in journal.read_bytes().split(b"\n")
+        if line.startswith(b'{"digest"') and b'"t":"done"' in line
+    )
+
+
+def _spawn(journal) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [env.get("PYTHONPATH"), "src"] if p
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "run",
+         "--journal", str(journal), "--kind", "fuzz",
+         "--seed", str(SEED), "--count", str(COUNT),
+         "--unit-size", str(UNIT_SIZE), "--quiet"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env,
+    )
+
+
+def test_campaign_acceptance(tmp_path, capsys):
+    spec = CampaignSpec(seed=SEED, count=COUNT, unit_size=UNIT_SIZE,
+                        inject="mixed")
+    units_total = spec.units_estimate()
+
+    # 1. The uninterrupted reference.
+    reference = run_campaign_spec(spec, tmp_path / "reference.jsonl")
+    canonical = reference.to_dict()
+    assert canonical["cases"] == COUNT
+    assert canonical["units_done"] == units_total
+
+    # 2. SIGKILL a real subprocess campaign at ~half its units.
+    killed = tmp_path / "killed.jsonl"
+    child = _spawn(killed)
+    try:
+        deadline = time.monotonic() + 900
+        while time.monotonic() < deadline:
+            assert child.poll() is None, "campaign finished before the kill"
+            if _done_units(killed) >= units_total // 2:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("campaign never reached the kill point")
+    finally:
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+    survived = _done_units(killed)
+    assert 0 < survived < units_total
+
+    # 3. Resume: byte-identical, zero completed units re-executed.
+    resumed = resume_campaign(killed)
+    assert resumed.complete
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+        canonical, sort_keys=True)
+    state, _ = load_journal(killed)
+    assert state.duplicate_done == 0, (
+        f"{state.duplicate_done} completed unit(s) re-executed on resume")
+    assert resumed.skipped == survived
+    assert resumed.executed == units_total - survived
+
+    # 4. Two independent half-campaigns merge to the same result, in
+    #    either input order.
+    half = units_total // 2
+    a, b = tmp_path / "half-a.jsonl", tmp_path / "half-b.jsonl"
+    run_campaign_spec(spec, a, ScheduleConfig(units_slice=(0, half)))
+    run_campaign_spec(spec, b, ScheduleConfig(units_slice=(half, units_total)))
+    merged_ab = merge_campaign_journals([a, b], tmp_path / "ab.jsonl")
+    merged_ba = merge_campaign_journals([b, a], tmp_path / "ba.jsonl")
+    assert (tmp_path / "ab.jsonl").read_bytes() == (
+        tmp_path / "ba.jsonl").read_bytes()
+    assert merged_ab.to_dict() == canonical
+    assert merged_ba.to_dict() == canonical
+
+    # 5. Every family rate matches the committed baseline exactly.
+    baseline = json.loads(BASELINE.read_text())
+    assert canonical["families"] == baseline["families"]
+    assert canonical["result_digest"] == baseline["result_digest"]
+
+    rows = [[family, row["cases"], row["correct"],
+             f"{row['rate']:.0%}" if row["rate"] is not None else "—"]
+            for family, row in canonical["families"].items()]
+    rows.append(["—", "", "", ""])
+    rows.append(["units (total / killed-at / resumed)", units_total,
+                 survived, resumed.executed])
+    rows.append(["re-executed after resume", 0, "", ""])
+    rows.append(["distinct findings", len(canonical["findings"]), "", ""])
+    publish("campaign_acceptance.txt",
+            render_table(
+                ["family", "cases", "ground truth upheld", "rate"], rows,
+                title=(f"Campaign acceptance: seed={SEED} count={COUNT} "
+                       f"SIGKILL+resume byte-identical; halves merge "
+                       f"(digest {canonical['result_digest'][:16]})")),
+            capsys)

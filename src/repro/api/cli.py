@@ -13,6 +13,9 @@
     kcc-check fuzz --seed 0 --count 2000 --jobs 4    # differential fuzzing
     kcc-check fuzz --inject memory --reduce --corpus corpus/
     kcc-check serve --socket /tmp/kcc.sock --jobs 4  # long-lived service
+    kcc-check campaign run --journal c.jsonl --count 2000   # journaled campaign
+    kcc-check campaign run --resume-from c.jsonl            # survive restarts
+    kcc-check campaign merge -o all.jsonl a.jsonl b.jsonl   # combine shards
 
     python -m repro check prog.c                     # same CLI, module form
 
@@ -39,7 +42,8 @@ from repro.core.kcc import CheckReport, KccTool
 from repro.errors import OutcomeKind
 from repro.api.batch import iter_check_many
 
-SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz", "serve")
+SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz", "serve",
+               "campaign")
 
 EXIT_DEFINED = 0
 EXIT_FLAGGED = 1
@@ -180,6 +184,107 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (default: ephemeral, printed on startup)")
     serve.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="warm-pool worker processes (default: one per CPU)")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="journaled, resumable, distributed work-unit "
+                         "campaigns with a live results plane")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _campaign_drive_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="execute units over N warm-pool workers "
+                              "(1: inline; byte-identical either way)")
+        sub.add_argument("--endpoint", action="append", default=[],
+                         metavar="EP", dest="endpoints",
+                         help="dispatch units to a kcc-check serve endpoint "
+                              "(repeatable; unix:PATH or HOST:PORT)")
+        sub.add_argument("--units", default=None, metavar="LO:HI",
+                         help="run only units with partition index in "
+                              "[LO, HI) — disjoint slices on different "
+                              "machines merge back together")
+        sub.add_argument("--bias", action="store_true",
+                         help="coverage-guided scheduling: prefer injection "
+                              "families with the fewest distinct finding "
+                              "signatures (execution order only; the result "
+                              "is identical)")
+        sub.add_argument("--no-records", action="store_true",
+                         help="journal only summaries and findings, not "
+                              "per-case records (for very large campaigns)")
+        sub.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="retry a failed unit N times with backoff")
+        sub.add_argument("--baseline", default=None, metavar="PATH",
+                         help="family-rate baseline JSON for regression "
+                              "deltas (e.g. benchmarks/results/"
+                              "campaign_baseline.json)")
+        sub.add_argument("--quiet", action="store_true",
+                         help="suppress per-unit progress lines")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="partition a fresh campaign into journaled work units "
+                    "and drive them to completion")
+    campaign_run.add_argument("file", nargs="?", default=None,
+                              help="C source file (search campaigns only)")
+    campaign_run.add_argument("--journal", default=None, metavar="PATH",
+                              help="journal file to create (must not exist)")
+    campaign_run.add_argument("--resume-from", default=None, metavar="PATH",
+                              dest="resume_from",
+                              help="journal path that may already exist: "
+                                   "resume it if it does, create it if not")
+    campaign_run.add_argument("--kind", default="fuzz",
+                              choices=("fuzz", "suite", "search"),
+                              help="campaign kind")
+    campaign_run.add_argument("--seed", type=int, default=0,
+                              help="master seed (fuzz campaigns)")
+    campaign_run.add_argument("--count", type=int, default=200, metavar="N",
+                              help="fuzz: programs; suite: case cap "
+                                   "(0 = every case)")
+    campaign_run.add_argument("--unit-size", type=int, default=25, metavar="N",
+                              dest="unit_size",
+                              help="cases (or search scripts) per work unit")
+    campaign_run.add_argument("--inject", default="mixed", metavar="MODE",
+                              help="fuzz injection: none, mixed, rotate "
+                                   "(one family per unit, round-robin), a "
+                                   "family, or a template name")
+    campaign_run.add_argument("--suite", default="ubsuite",
+                              choices=("ubsuite", "juliet"),
+                              help="suite campaigns: which suite")
+    campaign_run.add_argument("--budget", default=None, metavar="SPEC",
+                              help="search campaigns: per-unit budget, e.g. "
+                                   "paths=256,seconds=5")
+    _campaign_drive_options(campaign_run)
+    _add_common_options(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="recover a journal (crash-truncated tails are fine) "
+                       "and finish the missing units")
+    campaign_resume.add_argument("--journal", required=True, metavar="PATH",
+                                 help="journal file to resume")
+    _campaign_drive_options(campaign_resume)
+    campaign_resume.add_argument("--format", default="text",
+                                 choices=("text", "json"), help="report format")
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="read-only view of a journal: progress, per-family "
+                       "rates, findings")
+    campaign_status.add_argument("--journal", required=True, metavar="PATH",
+                                 help="journal file to inspect")
+    campaign_status.add_argument("--baseline", default=None, metavar="PATH",
+                                 help="family-rate baseline JSON for deltas")
+    campaign_status.add_argument("--format", default="text",
+                                 choices=("text", "json"), help="report format")
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="merge shard journals of one campaign into a single "
+                      "canonical journal")
+    campaign_merge.add_argument("inputs", nargs="+",
+                                help="shard journal files to merge")
+    campaign_merge.add_argument("-o", "--out", required=True, metavar="PATH",
+                                help="merged journal to write")
+    campaign_merge.add_argument("--baseline", default=None, metavar="PATH",
+                                help="family-rate baseline JSON for deltas")
+    campaign_merge.add_argument("--format", default="text",
+                                choices=("text", "json"), help="report format")
     return parser
 
 
@@ -399,6 +504,157 @@ def _cmd_tools(arguments: argparse.Namespace, *, out) -> int:
     return EXIT_DEFINED
 
 
+def _parse_units_slice(text: Optional[str]) -> Optional[tuple[int, int]]:
+    if text is None:
+        return None
+    lo, sep, hi = text.partition(":")
+    if not sep or not lo.isdigit() or not hi.isdigit() or int(lo) >= int(hi):
+        raise CliInputError(
+            f"bad --units value {text!r}; expected LO:HI with LO < HI")
+    return int(lo), int(hi)
+
+
+def _campaign_schedule(arguments: argparse.Namespace, *, out):
+    from repro.campaign.scheduler import ScheduleConfig
+
+    def progress(snapshot: dict) -> None:
+        findings = len(snapshot.get("findings", ()))
+        print(f"  unit {snapshot.get('unit', '?')}: "
+              f"{snapshot['units_done']}/{snapshot['units_total']} units, "
+              f"{snapshot['cases']} cases, {findings} finding(s), "
+              f"{snapshot.get('throughput') or '—'} cases/sec",
+              file=out, flush=True)
+
+    quiet = getattr(arguments, "quiet", False)
+    wants_json = getattr(arguments, "format", "text") == "json"
+    return ScheduleConfig(
+        jobs=max(1, arguments.jobs),
+        endpoints=tuple(arguments.endpoints),
+        retries=max(0, arguments.retries),
+        bias=arguments.bias,
+        store_records=not arguments.no_records,
+        units_slice=_parse_units_slice(arguments.units),
+        baseline=arguments.baseline,
+        progress=None if (quiet or wants_json) else progress,
+    )
+
+
+def _render_campaign_outcome(outcome, *, out) -> None:
+    from repro.reporting import render_table
+
+    payload = outcome.to_dict()
+    rows = []
+    for family, row in payload["families"].items():
+        rate = f"{row['rate']:.0%}" if row["rate"] is not None else "—"
+        rows.append([family, row["cases"], row["correct"], rate])
+    print(render_table(
+        ["family", "cases", "ground truth upheld", "rate"],
+        rows,
+        title=(f"Campaign {payload['campaign'][:12]}: "
+               f"{payload['units_done']}/{payload['units_total']} units, "
+               f"{payload['cases']} cases"),
+    ), file=out)
+    findings = payload["findings"]
+    print(f"\n{len(findings)} distinct finding(s); "
+          f"result digest {payload['result_digest'][:16]}", file=out)
+    for finding in findings[:20]:
+        print(f"  {finding['signature']} "
+              f"(family {finding.get('family') or '—'}, "
+              f"case {finding.get('case', '?')})", file=out)
+    if len(findings) > 20:
+        print(f"  ... and {len(findings) - 20} more", file=out)
+    deltas = payload.get("deltas")
+    if deltas:
+        moved = {family: entry for family, entry in deltas.items()
+                 if entry.get("delta")}
+        if moved:
+            print("regression deltas vs baseline:", file=out)
+            for family, entry in moved.items():
+                print(f"  {family}: {entry['delta']:+.4f} "
+                      f"(now {entry['rate']}, baseline {entry['baseline']})",
+                      file=out)
+        else:
+            print("no family rate moved against the baseline", file=out)
+
+
+def _campaign_exit(outcome, arguments, *, out) -> int:
+    if getattr(arguments, "format", "text") == "json":
+        print(json.dumps(outcome.to_dict(), indent=2), file=out)
+    else:
+        _render_campaign_outcome(outcome, out=out)
+    return EXIT_FLAGGED if outcome.to_dict()["findings"] else EXIT_DEFINED
+
+
+def _cmd_campaign(arguments: argparse.Namespace, *, out) -> int:
+    """Journaled campaigns: run / resume / status / merge."""
+    from repro.campaign import CampaignSpec
+    from repro.campaign.scheduler import (
+        CampaignError,
+        campaign_status,
+        merge_campaign_journals,
+        resume_campaign,
+        run_campaign_spec,
+    )
+
+    command = arguments.campaign_command
+    try:
+        if command == "status":
+            outcome = campaign_status(arguments.journal,
+                                      baseline=arguments.baseline)
+            return _campaign_exit(outcome, arguments, out=out)
+        if command == "merge":
+            outcome = merge_campaign_journals(arguments.inputs, arguments.out,
+                                              baseline=arguments.baseline)
+            print(f"merged {len(arguments.inputs)} journal(s) into "
+                  f"{arguments.out}", file=out)
+            return _campaign_exit(outcome, arguments, out=out)
+        schedule = _campaign_schedule(arguments, out=out)
+        if command == "resume":
+            outcome = resume_campaign(arguments.journal, schedule)
+            return _campaign_exit(outcome, arguments, out=out)
+        assert command == "run"
+        import pathlib
+
+        from repro.service.protocol import options_to_dict
+
+        journal = arguments.journal or arguments.resume_from
+        if journal is None:
+            raise CliInputError(
+                "campaign run needs --journal PATH (or --resume-from PATH "
+                "to pick up an existing journal)")
+        inject: Optional[str] = arguments.inject
+        if inject in ("none", ""):
+            inject = None
+        source = None
+        if arguments.kind == "search":
+            if arguments.file is None:
+                raise CliInputError("search campaigns need a C source file")
+            source = _read_source(arguments.file)
+        try:
+            spec = CampaignSpec(
+                kind=arguments.kind,
+                seed=arguments.seed,
+                count=arguments.count,
+                unit_size=arguments.unit_size,
+                inject=inject,
+                options=options_to_dict(_options_for(arguments)),
+                suite=arguments.suite,
+                source=source,
+                filename=arguments.file or "<input>",
+                budget=arguments.budget,
+            )
+        except ValueError as error:
+            raise CliInputError(str(error)) from None
+        path = pathlib.Path(journal)
+        if arguments.resume_from and path.exists() and path.stat().st_size:
+            outcome = resume_campaign(path, schedule)
+        else:
+            outcome = run_campaign_spec(spec, path, schedule)
+        return _campaign_exit(outcome, arguments, out=out)
+    except CampaignError as error:
+        raise CliInputError(str(error)) from None
+
+
 def _cmd_serve(arguments: argparse.Namespace, *, out) -> int:
     """Run the checking service until SIGTERM/SIGINT, then drain."""
     import asyncio
@@ -446,6 +702,8 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
             return _cmd_fuzz(arguments, out=out)
         if arguments.command == "serve":
             return _cmd_serve(arguments, out=out)
+        if arguments.command == "campaign":
+            return _cmd_campaign(arguments, out=out)
         assert arguments.command == "bench"
         return _cmd_bench(arguments, out=out)
     except CliInputError as error:

@@ -1,0 +1,189 @@
+"""The incremental results plane: what a campaign knows while it runs.
+
+:class:`CampaignAggregate` folds unit results in **any arrival order** —
+live completion order during a run, unit order during a journal replay,
+shard order during a merge — and produces two views:
+
+* :meth:`snapshot` — the live view (units done, throughput, per-family
+  rates so far, distinct findings, regression deltas against a committed
+  baseline).  This is the payload of the service's ``campaign-progress``
+  frames and of ``kcc-check campaign status``.  It may include wall-clock
+  throughput, which is honest telemetry but not deterministic.
+* :meth:`to_dict` — the canonical view: strictly order-independent and
+  timing-free, so an interrupted-and-resumed campaign, a merged pair of
+  half-campaigns, and an uninterrupted run all produce **byte-identical**
+  JSON.  Family counters are sums (commutative), findings are deduped by
+  signature keeping the lowest ``(unit index, case)`` sighting, and the
+  campaign result digest hashes the per-unit result digests in partition
+  order.
+
+Regression deltas compare per-family correct rates against a committed
+baseline (``benchmarks/results/campaign_baseline.json`` by default), the
+same stance as ``benchmarks/compare_results.py``: the trajectory of the
+checker is part of the result, not a separate report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.campaign.workunit import canonical_json
+
+#: The default committed baseline the deltas compare against.
+BASELINE_NAME = "campaign_baseline.json"
+
+
+def load_baseline(path: Optional[str | Path]) -> Optional[dict[str, Any]]:
+    """Read a committed family-rate baseline; ``None`` when absent."""
+    if path is None:
+        return None
+    target = Path(path)
+    if not target.exists():
+        return None
+    try:
+        data = json.loads(target.read_text())
+    except ValueError:
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class CampaignAggregate:
+    """Order-independent accumulator over unit results."""
+
+    def __init__(
+        self,
+        spec_digest: str,
+        units_total: int,
+        *,
+        baseline: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.spec_digest = spec_digest
+        self.units_total = units_total
+        self.baseline = baseline
+        self.cases = 0
+        self._families: dict[str, dict[str, int]] = {}
+        #: unit index -> result digest (partition order reconstructs).
+        self._digests: dict[int, str] = {}
+        #: signature -> ((unit index, case), finding dict); min order wins.
+        self._findings: dict[str, tuple[tuple[int, int], dict[str, Any]]] = {}
+        self._started = time.monotonic()
+
+    # -- folding -------------------------------------------------------------
+
+    def add_unit(self, result: dict[str, Any]) -> None:
+        """Fold one unit result (live, replayed, or merged — same effect)."""
+        index = int(result["index"])
+        if index in self._digests:
+            if self._digests[index] != result["digest"]:
+                raise ValueError(
+                    f"unit index {index} folded twice with different digests"
+                )
+            return
+        self._digests[index] = result["digest"]
+        self.cases += int(result["cases"])
+        for family, row in result.get("summary", {}).items():
+            mine = self._families.setdefault(family, {"cases": 0, "correct": 0})
+            mine["cases"] += int(row["cases"])
+            mine["correct"] += int(row["correct"])
+        for finding in result.get("findings", ()):
+            self.add_finding(index, finding)
+
+    def add_finding(self, unit_index: int, finding: dict[str, Any]) -> None:
+        signature = finding.get("signature", "unknown")
+        order = (unit_index, int(finding.get("case", 0)))
+        current = self._findings.get(signature)
+        if current is None or order < current[0]:
+            self._findings[signature] = (order, finding)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def units_done(self) -> int:
+        return len(self._digests)
+
+    def family_table(self) -> dict[str, dict[str, Any]]:
+        """Per-family counters with rates, keys sorted (deterministic)."""
+        table: dict[str, dict[str, Any]] = {}
+        for family in sorted(self._families):
+            row = self._families[family]
+            table[family] = {
+                "cases": row["cases"],
+                "correct": row["correct"],
+                "rate": round(row["correct"] / row["cases"], 6)
+                if row["cases"]
+                else None,
+            }
+        return table
+
+    def findings(self) -> list[dict[str, Any]]:
+        """Distinct findings, sorted by signature (deterministic)."""
+        return [
+            dict(self._findings[signature][1], signature=signature)
+            for signature in sorted(self._findings)
+        ]
+
+    def families_with_fewest_findings(self) -> list[str]:
+        """Families ordered by distinct-signature count, fewest first.
+
+        The scheduler's coverage bias: spend the remaining budget where
+        the campaign has surfaced the least diversity so far.  Ties break
+        alphabetically so the ordering is reproducible.
+        """
+        per_family: dict[str, int] = {}
+        for _, finding in self._findings.values():
+            family = finding.get("family") or "unknown"
+            per_family[family] = per_family.get(family, 0) + 1
+        known = set(per_family) | set(self._families)
+        return sorted(known, key=lambda family: (per_family.get(family, 0), family))
+
+    def deltas(self) -> Optional[dict[str, Any]]:
+        """Per-family rate deltas against the committed baseline."""
+        if not self.baseline:
+            return None
+        base_families = self.baseline.get("families", {})
+        table = self.family_table()
+        out: dict[str, Any] = {}
+        for family in sorted(set(table) | set(base_families)):
+            current = table.get(family, {}).get("rate")
+            base = base_families.get(family, {}).get("rate")
+            entry: dict[str, Any] = {"rate": current, "baseline": base}
+            if current is not None and base is not None:
+                entry["delta"] = round(current - base, 6)
+            out[family] = entry
+        return out
+
+    def result_digest(self) -> str:
+        """Hash of the per-unit result digests, in partition order."""
+        ordered = [self._digests[index] for index in sorted(self._digests)]
+        return hashlib.sha256(canonical_json(ordered).encode("utf-8")).hexdigest()
+
+    def snapshot(self) -> dict[str, Any]:
+        """The live view: progress + rates + throughput (not canonical)."""
+        elapsed = time.monotonic() - self._started
+        payload = self.to_dict()
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        payload["throughput"] = round(self.cases / elapsed, 2) if elapsed else None
+        return payload
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical, order-independent, timing-free result view."""
+        payload: dict[str, Any] = {
+            "campaign": self.spec_digest,
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "cases": self.cases,
+            "families": self.family_table(),
+            "findings": self.findings(),
+            "result_digest": self.result_digest(),
+        }
+        deltas = self.deltas()
+        if deltas is not None:
+            payload["deltas"] = deltas
+        return payload
+
+
+__all__ = ["BASELINE_NAME", "CampaignAggregate", "load_baseline"]

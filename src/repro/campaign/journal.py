@@ -1,0 +1,478 @@
+"""The campaign journal: append-only JSONL, crash-safe, replayable.
+
+Every campaign writes one journal file.  Each line is a self-contained JSON
+record; the file is only ever appended to, so a reader can follow it live
+and a crash can at worst leave a **truncated tail** — half a line where the
+process died mid-write.  :func:`recover_journal` handles exactly that case:
+it drops the partial tail (and truncates the file back to the last complete
+record, so subsequent appends produce a well-formed file again) and returns
+every intact record.  Anything worse — garbage in the *middle* of the file
+— is corruption, not a crash artifact, and raises :class:`JournalError`.
+
+Record vocabulary (the ``t`` field):
+
+==========  =============================================================
+``campaign``  Journal header: the full campaign spec, its digest, and the
+              unit count.  First record, exactly once per journal.
+``unit``      One work unit of the partition (``unit.to_dict()``).  The
+              journal is self-contained: resuming never re-partitions
+              (search partitioning runs the root program — not something
+              a resume should repeat).
+``claim``     A unit was handed to a worker (attempt counter rides along).
+``done``      A unit completed: result digest always, full result payload
+              unless the campaign runs ``store_records=False``.
+``finding``   A deduplicated finding (first sighting of a signature).
+``failed``    A unit attempt raised; the error text is preserved.
+``merged``    A merge pulled in another journal (provenance note).
+==========  =============================================================
+
+Durability: every append is written and flushed to the kernel immediately
+(a SIGKILL after :meth:`JournalWriter.append` returns never loses the
+record), while ``fsync`` is batched — every ``fsync_every`` appends or
+``fsync_interval`` seconds, whichever comes first — so power-loss exposure
+is bounded without paying a disk sync per record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.campaign.workunit import CampaignSpec, WorkUnit, canonical_json
+
+#: Journal format identifier, embedded in the ``campaign`` header record.
+JOURNAL_SCHEMA = "repro.campaign.journal/1"
+
+#: Default fsync batching: at most this many appends between syncs...
+FSYNC_EVERY = 16
+#: ...and at most this many seconds.
+FSYNC_INTERVAL = 0.5
+
+RECORD_TYPES = ("campaign", "unit", "claim", "done", "finding", "failed", "merged")
+
+
+class JournalError(Exception):
+    """The journal is corrupt or inconsistent with the campaign spec."""
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+class JournalWriter:
+    """Append-only writer with kernel-flush-per-record and batched fsync."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every: int = FSYNC_EVERY,
+        fsync_interval: float = FSYNC_INTERVAL,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._fsync_every = max(1, int(fsync_every))
+        self._fsync_interval = fsync_interval
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    def append(self, record: dict[str, Any]) -> None:
+        kind = record.get("t")
+        if kind not in RECORD_TYPES:
+            raise JournalError(f"refusing to journal unknown record type {kind!r}")
+        line = (canonical_json(record) + "\n").encode("utf-8")
+        self._file.write(line)
+        # Flush to the kernel unconditionally: a SIGKILL from here on
+        # cannot lose this record.  fsync (power-loss durability) batches.
+        self._file.flush()
+        self._unsynced += 1
+        now = time.monotonic()
+        if (
+            self._unsynced >= self._fsync_every
+            or now - self._last_sync >= self._fsync_interval
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Record constructors (one place decides the field names)
+# ---------------------------------------------------------------------------
+
+
+def campaign_record(spec: CampaignSpec, units: int) -> dict[str, Any]:
+    return {
+        "t": "campaign",
+        "schema": JOURNAL_SCHEMA,
+        "spec": spec.to_dict(),
+        "digest": spec.digest(),
+        "units": units,
+    }
+
+
+def unit_record(unit: WorkUnit) -> dict[str, Any]:
+    return {"t": "unit", "unit": unit.to_dict()}
+
+
+def claim_record(unit_id: str, attempt: int, worker: str) -> dict[str, Any]:
+    return {"t": "claim", "unit": unit_id, "attempt": attempt, "worker": worker}
+
+
+def done_record(
+    unit_id: str,
+    result: dict[str, Any],
+    *,
+    store_records: bool = True,
+) -> dict[str, Any]:
+    from repro.campaign.workunit import strip_result
+
+    payload = result if store_records else strip_result(result)
+    return {
+        "t": "done",
+        "unit": unit_id,
+        "digest": result["digest"],
+        "result": payload,
+    }
+
+
+def finding_record(unit_id: str, finding: dict[str, Any]) -> dict[str, Any]:
+    return {"t": "finding", "unit": unit_id, "finding": finding}
+
+
+def failed_record(unit_id: str, attempt: int, error: str) -> dict[str, Any]:
+    return {"t": "failed", "unit": unit_id, "attempt": attempt, "error": error}
+
+
+def merged_record(source: str, units: int) -> dict[str, Any]:
+    return {"t": "merged", "source": source, "units": units}
+
+
+# ---------------------------------------------------------------------------
+# Reading and recovery
+# ---------------------------------------------------------------------------
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Every record of a well-formed journal; strict (no tail tolerance)."""
+    records = []
+    with open(path, "rb") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise JournalError(f"{path}:{number}: bad record: {error}") from None
+            if not isinstance(record, dict):
+                raise JournalError(f"{path}:{number}: record is not an object")
+            records.append(record)
+    return records
+
+
+def recover_journal(
+    path: str | Path,
+    *,
+    truncate: bool = True,
+) -> tuple[list[dict[str, Any]], int]:
+    """Read a journal tolerating a crash-truncated tail.
+
+    Returns ``(records, dropped_bytes)``.  A partial or unparseable *final*
+    line is the signature of a process killed mid-append: it is dropped,
+    and with ``truncate=True`` (the default) the file itself is truncated
+    back to the last complete record so the journal is clean for appends.
+    An unparseable line anywhere *before* the final one means real
+    corruption and raises :class:`JournalError`.
+    """
+    raw = Path(path).read_bytes()
+    records: list[dict[str, Any]] = []
+    offset = 0
+    good_end = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break  # partial tail: no terminating newline
+        line = raw[offset:newline]
+        if line.strip():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                record = None
+            if not isinstance(record, dict):
+                if raw.find(b"\n", newline + 1) >= 0 or newline + 1 < len(raw):
+                    raise JournalError(
+                        f"{path}: corrupt record at byte {offset} "
+                        "(not the final line; refusing to recover)"
+                    )
+                break  # final complete line is garbage: crash artifact
+            records.append(record)
+        offset = newline + 1
+        good_end = offset
+    dropped = len(raw) - good_end
+    if dropped and truncate:
+        with open(path, "rb+") as handle:
+            handle.truncate(good_end)
+    return records, dropped
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalState:
+    """Exact campaign state reconstructed from a journal's records."""
+
+    spec: Optional[CampaignSpec] = None
+    spec_digest: Optional[str] = None
+    units_total: int = 0
+    #: unit id -> unit dict, in partition (index) order.
+    units: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: unit id -> attempts claimed so far.
+    claims: dict[str, int] = field(default_factory=dict)
+    #: unit id -> result digest of the completed unit.
+    digests: dict[str, str] = field(default_factory=dict)
+    #: unit id -> journaled result payload (stripped or full).
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: signature -> finding dict, first sighting wins.
+    findings: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: unit id -> error strings from failed attempts.
+    failures: dict[str, list[str]] = field(default_factory=dict)
+    #: provenance notes from ``merge``.
+    merged_from: list[str] = field(default_factory=list)
+    #: ``done`` records seen for already-completed units.  The scheduler
+    #: never re-executes a completed unit, so after any resume this must
+    #: still be zero — the acceptance test pins it.
+    duplicate_done: int = 0
+
+    @property
+    def done_units(self) -> int:
+        return len(self.digests)
+
+    @property
+    def pending(self) -> list[dict[str, Any]]:
+        """Unit dicts not yet completed, in partition order."""
+        return [
+            unit
+            for unit_id, unit in self.units.items()
+            if unit_id not in self.digests
+        ]
+
+    @property
+    def complete(self) -> bool:
+        return self.units_total > 0 and self.done_units >= len(self.units)
+
+    def apply(self, record: dict[str, Any]) -> None:
+        kind = record.get("t")
+        if kind == "campaign":
+            if self.spec is not None:
+                raise JournalError("second campaign header in one journal")
+            self.spec = CampaignSpec.from_dict(record["spec"])
+            self.spec_digest = record["digest"]
+            if self.spec.digest() != self.spec_digest:
+                raise JournalError(
+                    "campaign header digest does not match its own spec"
+                )
+            self.units_total = int(record["units"])
+        elif self.spec is None:
+            raise JournalError(f"{kind!r} record before the campaign header")
+        elif kind == "unit":
+            unit = record["unit"]
+            unit_id = unit["id"]
+            if unit.get("spec") != self.spec_digest:
+                raise JournalError(
+                    f"unit {unit_id} belongs to a different campaign"
+                )
+            self.units.setdefault(unit_id, unit)
+        elif kind == "claim":
+            self._known(record)
+            self.claims[record["unit"]] = max(
+                self.claims.get(record["unit"], 0), int(record["attempt"])
+            )
+        elif kind == "done":
+            unit_id = self._known(record)
+            previous = self.digests.get(unit_id)
+            if previous is not None:
+                if previous != record["digest"]:
+                    raise JournalError(
+                        f"unit {unit_id} completed twice with different "
+                        f"result digests ({previous[:12]} vs "
+                        f"{record['digest'][:12]}): determinism violation"
+                    )
+                self.duplicate_done += 1
+                return
+            self.digests[unit_id] = record["digest"]
+            self.results[unit_id] = record["result"]
+        elif kind == "finding":
+            signature = record["finding"].get("signature", "unknown")
+            self.findings.setdefault(signature, record["finding"])
+        elif kind == "failed":
+            self._known(record)
+            self.failures.setdefault(record["unit"], []).append(record["error"])
+        elif kind == "merged":
+            self.merged_from.append(record["source"])
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+
+    def _known(self, record: dict[str, Any]) -> str:
+        unit_id = record["unit"]
+        if unit_id not in self.units:
+            raise JournalError(
+                f"{record.get('t')!r} record for unknown unit {unit_id}"
+            )
+        return unit_id
+
+
+def replay(records: Iterable[dict[str, Any]]) -> JournalState:
+    """Fold journal records into the campaign state they describe."""
+    state = JournalState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+def load_journal(path: str | Path) -> tuple[JournalState, int]:
+    """Recover a journal file and replay it: ``(state, dropped_bytes)``."""
+    records, dropped = recover_journal(path)
+    return replay(records), dropped
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+
+def merge_journals(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Combine journals of one campaign into a canonical record stream.
+
+    The inputs are shards — e.g. two machines that each ran a disjoint
+    ``--units`` slice — and must share the campaign spec digest.  The
+    output is deterministic regardless of input order or interleaving:
+    header first, units in partition order, ``done`` records in unit
+    order (ties broken by digest equality — a unit completed by two shards
+    must agree, anything else raises), findings sorted by signature with
+    the lowest ``(unit index, case)`` sighting kept.  Replaying the merged
+    stream therefore yields the same :class:`JournalState` no matter how
+    the campaign was split.
+    """
+    paths = list(paths)
+    if not paths:
+        raise JournalError("merge needs at least one journal")
+    header: Optional[dict[str, Any]] = None
+    units: dict[str, dict[str, Any]] = {}
+    dones: dict[str, dict[str, Any]] = {}
+    findings: dict[str, tuple[tuple[int, int], dict[str, Any], str]] = {}
+    sources: list[str] = []
+    for path in paths:
+        records, _ = recover_journal(path, truncate=False)
+        state = replay(records)  # validates internal consistency
+        if state.spec is None:
+            raise JournalError(f"{path}: journal has no campaign header")
+        for record in records:
+            kind = record["t"]
+            if kind == "campaign":
+                if header is None:
+                    header = record
+                elif record["digest"] != header["digest"]:
+                    raise JournalError(
+                        f"{path}: campaign {record['digest'][:12]} does not "
+                        f"match {header['digest'][:12]}; refusing to merge "
+                        "different campaigns"
+                    )
+            elif kind == "unit":
+                units.setdefault(record["unit"]["id"], record)
+            elif kind == "done":
+                previous = dones.get(record["unit"])
+                if previous is None:
+                    dones[record["unit"]] = record
+                elif previous["digest"] != record["digest"]:
+                    raise JournalError(
+                        f"unit {record['unit']} has conflicting results "
+                        "across journals: determinism violation"
+                    )
+            elif kind == "finding":
+                finding = record["finding"]
+                signature = finding.get("signature", "unknown")
+                unit_index = units.get(record["unit"], {}).get("unit", {})
+                order = (
+                    int(unit_index.get("index", 1 << 30)),
+                    int(finding.get("case", 0)),
+                )
+                current = findings.get(signature)
+                if current is None or order < current[0]:
+                    findings[signature] = (order, finding, record["unit"])
+        sources.append(str(path))
+    assert header is not None
+    by_index = sorted(units.values(), key=lambda r: r["unit"]["index"])
+    merged: list[dict[str, Any]] = [header]
+    merged.extend(by_index)
+    merged.extend(
+        {"t": "merged", "source": source, "units": len(units)}
+        for source in sorted(sources)
+    )
+    for record in by_index:
+        done = dones.get(record["unit"]["id"])
+        if done is not None:
+            merged.append(done)
+    for signature in sorted(findings):
+        _, finding, unit_id = findings[signature]
+        merged.append({"t": "finding", "unit": unit_id, "finding": finding})
+    return merged
+
+
+def write_journal(path: str | Path, records: Iterable[dict[str, Any]]) -> None:
+    """Write a fresh journal file from a record stream (used by merge)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "wb") as handle:
+        for record in records:
+            handle.write((canonical_json(record) + "\n").encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+__all__ = [
+    "FSYNC_EVERY",
+    "FSYNC_INTERVAL",
+    "JOURNAL_SCHEMA",
+    "RECORD_TYPES",
+    "JournalError",
+    "JournalState",
+    "JournalWriter",
+    "campaign_record",
+    "claim_record",
+    "done_record",
+    "failed_record",
+    "finding_record",
+    "load_journal",
+    "merge_journals",
+    "merged_record",
+    "read_journal",
+    "recover_journal",
+    "replay",
+    "unit_record",
+    "write_journal",
+]

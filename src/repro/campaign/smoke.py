@@ -1,0 +1,170 @@
+"""``python -m repro.campaign.smoke``: the CI crash-resume gauntlet.
+
+One command that proves the campaign subsystem's whole contract on a small
+fixed-seed workload:
+
+1. run an uninterrupted reference campaign in-process;
+2. launch the same campaign as a subprocess (the real CLI), **SIGKILL** it
+   when its journal shows roughly half the units complete;
+3. resume the killed journal and assert the canonical result is
+   **byte-identical** to the reference, with **zero completed units
+   re-executed** (the resume's executed count plus the units that survived
+   the kill must equal the partition exactly, and the journal's
+   ``duplicate_done`` counter must be zero);
+4. run the campaign again as two disjoint ``--units`` half-slices, merge
+   the two journals both ways, and assert both merged journals are
+   byte-identical to each other and canonically identical to the reference.
+
+Exit status 0 on success.  On failure the journals are left in the work
+directory (``--dir``), which CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _count_done(journal: Path) -> int:
+    """Completed units in a (possibly mid-write) journal; cheap and safe."""
+    if not journal.exists():
+        return 0
+    done = 0
+    for line in journal.read_bytes().split(b"\n"):
+        if line.startswith(b'{"digest"') and b'"t":"done"' in line:
+            done += 1
+    return done
+
+
+def _cli(args: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", *args],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="campaign-smoke",
+                        help="work directory (journals land here)")
+    parser.add_argument("--count", type=int, default=200,
+                        help="campaign size (programs)")
+    parser.add_argument("--unit-size", type=int, default=10, dest="unit_size")
+    parser.add_argument("--seed", type=int, default=20260808)
+    arguments = parser.parse_args(argv)
+
+    from repro.campaign import CampaignSpec, resume_campaign, run_campaign_spec
+    from repro.campaign.journal import load_journal
+    from repro.campaign.scheduler import ScheduleConfig, merge_campaign_journals
+
+    work = Path(arguments.dir)
+    work.mkdir(parents=True, exist_ok=True)
+    spec = CampaignSpec(
+        kind="fuzz",
+        seed=arguments.seed,
+        count=arguments.count,
+        unit_size=arguments.unit_size,
+        inject="rotate",
+    )
+    units_total = spec.units_estimate()
+    print(f"campaign-smoke: {arguments.count} programs, {units_total} units")
+
+    # 1. The uninterrupted reference.
+    reference_path = work / "reference.jsonl"
+    reference_path.unlink(missing_ok=True)
+    started = time.perf_counter()
+    reference = run_campaign_spec(spec, reference_path)
+    canonical = reference.to_dict()
+    print(f"  reference: {canonical['cases']} cases, "
+          f"{len(canonical['findings'])} finding(s), "
+          f"digest {canonical['result_digest'][:16]} "
+          f"({time.perf_counter() - started:.1f}s)")
+
+    # 2. Kill the same campaign at ~50% of its units.
+    killed_path = work / "killed.jsonl"
+    killed_path.unlink(missing_ok=True)
+    child = _cli([
+        "run", "--journal", str(killed_path), "--kind", "fuzz",
+        "--seed", str(arguments.seed), "--count", str(arguments.count),
+        "--unit-size", str(arguments.unit_size), "--inject", "rotate",
+        "--quiet",
+    ])
+    target = max(1, units_total // 2)
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            print("  FAIL: campaign finished before the kill point")
+            return 1
+        if _count_done(killed_path) >= target:
+            break
+        time.sleep(0.05)
+    else:
+        print("  FAIL: campaign never reached the kill point")
+        child.kill()
+        return 1
+    child.send_signal(signal.SIGKILL)
+    child.wait()
+    survived = _count_done(killed_path)
+    print(f"  SIGKILLed at {survived}/{units_total} units")
+
+    # 3. Resume and compare byte-for-byte.
+    resumed = resume_campaign(killed_path)
+    state, _ = load_journal(killed_path)
+    resumed_canonical = resumed.to_dict()
+    if resumed_canonical != canonical:
+        print("  FAIL: resumed result differs from the uninterrupted run")
+        return 1
+    if state.duplicate_done != 0:
+        print(f"  FAIL: {state.duplicate_done} completed unit(s) re-executed")
+        return 1
+    if resumed.executed + resumed.skipped != units_total:
+        print(f"  FAIL: executed {resumed.executed} + skipped "
+              f"{resumed.skipped} != {units_total}")
+        return 1
+    print(f"  resume: byte-identical; {resumed.skipped} units skipped, "
+          f"{resumed.executed} executed, 0 re-executed")
+
+    # 4. Two independent half-campaigns merge to the same result.
+    half = max(1, units_total // 2)
+    half_a, half_b = work / "half-a.jsonl", work / "half-b.jsonl"
+    half_a.unlink(missing_ok=True)
+    half_b.unlink(missing_ok=True)
+    run_campaign_spec(spec, half_a, ScheduleConfig(units_slice=(0, half)))
+    run_campaign_spec(spec, half_b,
+                      ScheduleConfig(units_slice=(half, units_total)))
+    merged_ab, merged_ba = work / "merged-ab.jsonl", work / "merged-ba.jsonl"
+    outcome_ab = merge_campaign_journals([half_a, half_b], merged_ab)
+    merge_campaign_journals([half_b, half_a], merged_ba)
+    if merged_ab.read_bytes() != merged_ba.read_bytes():
+        print("  FAIL: merge is input-order dependent")
+        return 1
+    if outcome_ab.to_dict() != canonical:
+        print("  FAIL: merged halves differ from the uninterrupted run")
+        return 1
+    print("  merge: two half-campaigns merge byte-identically, both orders")
+
+    summary = {
+        "cases": canonical["cases"],
+        "units": units_total,
+        "findings": len(canonical["findings"]),
+        "result_digest": canonical["result_digest"],
+        "killed_at_units": survived,
+        "resume_executed": resumed.executed,
+        "duplicate_done": state.duplicate_done,
+    }
+    (work / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    print("campaign-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -531,8 +531,10 @@ class KccTool:
         scripts = expand_scripts((), strategy.observed_arity)
         if not scripts:
             return result
+        from repro.kframework.engine import shard_scripts
+
         jobs = max(1, int(search.jobs))
-        shards = [scripts[i::jobs] for i in range(jobs) if scripts[i::jobs]]
+        shards = shard_scripts(scripts, jobs)
         header = (compiled.source, compiled.filename, self.options,
                   host.argv, host.stdin, serial)
         shard_results = run_staged(_search_shard, header, shards,
@@ -620,7 +622,7 @@ class _SearchHost:
         return outcome
 
 
-def _search_shard(header: tuple, scripts) -> SearchResult:
+def run_search_shard(header: tuple, scripts) -> SearchResult:
     """Pool worker: explore one shard of the interleaving tree.
 
     Must stay module-level (picklable).  ``header`` carries the program and
@@ -628,6 +630,9 @@ def _search_shard(header: tuple, scripts) -> SearchResult:
     source text no longer travels once per shard.  Warm workers compile
     through the process-wide shared cache, so every shard after the first
     (and every later search of the same program) reuses the parse.
+
+    Public because campaign search units (``repro.campaign.workunit``) run
+    through exactly this worker: a unit's script list is a shard.
     """
     source, filename, options, argv, stdin, search = header
     from repro.api.session import compile_shared, tool_for
@@ -640,6 +645,42 @@ def _search_shard(header: tuple, scripts) -> SearchResult:
                        instrument=search.prune_commuting)
     engine = SearchEngine(host, search, initial_scripts=[tuple(s) for s in scripts])
     return engine.run()
+
+
+#: Backward-compatible name; the staged-submission callers pickle by
+#: reference, so both names resolve to the same function object.
+_search_shard = run_search_shard
+
+
+def search_root_expansion(source: str, *, filename: str = "<input>",
+                          options: CheckerOptions = DEFAULT_OPTIONS,
+                          argv: Optional[list[str]] = None,
+                          stdin: str = "") -> tuple[tuple[int, ...],
+                                                    list[tuple[int, ...]]]:
+    """Run a program's root evaluation order; return (root script, siblings).
+
+    This is the discovery step of :meth:`KccTool._parallel_search`, exposed
+    so the campaign partitioner can turn one search into relocatable root
+    shards: the root script (the all-defaults decision vector) plus every
+    sibling script diverging from it.  Deterministic for a given program
+    and options — the same partition on every machine.
+    """
+    from repro.api.session import compile_shared, tool_for
+
+    tool = tool_for(options)
+    compiled = compile_shared(source, filename=filename, options=options)
+    if compiled.unit is None:
+        raise ValueError(
+            f"cannot search {filename}: program does not compile"
+        )
+    host = _SearchHost(tool, compiled, argv=argv, stdin=stdin or "",
+                       instrument=False)
+    strategy = ScriptedStrategy()
+    strategy.reset()
+    host.run_scripted(strategy)
+    root_script = tuple([0] * len(strategy.observed_arity))
+    scripts = expand_scripts((), strategy.observed_arity)
+    return root_script, scripts
 
 
 # ---------------------------------------------------------------------------

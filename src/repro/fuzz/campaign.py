@@ -92,6 +92,22 @@ class CaseRecord:
             data["reduced_source"] = self.reduced_source
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CaseRecord":
+        """Rehydrate a record from its ``to_dict`` form (journal replay)."""
+        return cls(
+            index=data["index"],
+            name=data["name"],
+            injected=data.get("injected"),
+            family=data.get("family"),
+            verdict=data["verdict"],
+            detected_kind=data.get("detected_kind"),
+            ok=data["ok"],
+            failures=list(data.get("failures", ())),
+            source=data.get("source"),
+            reduced_source=data.get("reduced_source"),
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -250,10 +266,20 @@ def run_campaign(
     config: CampaignConfig,
     *,
     options: CheckerOptions = DEFAULT_OPTIONS,
+    journal: Optional[str] = None,
 ) -> CampaignResult:
-    """Run one campaign; ``jobs=N`` output is byte-identical to serial."""
+    """Run one campaign; ``jobs=N`` output is byte-identical to serial.
+
+    With ``journal`` set, the campaign routes through :mod:`repro.campaign`
+    work units instead of the flat index sweep: progress is journaled to
+    the given path, a journal left by a killed run is resumed (completed
+    units are never re-executed), and the result is still byte-identical —
+    per-case seed derivation makes the slicing invisible.
+    """
     from repro.service.pool import run_staged
 
+    if journal is not None:
+        return run_journaled_campaign(config, journal, options=options)
     start = time.perf_counter()
     indices = list(range(config.count))
     jobs = max(1, int(config.jobs))
@@ -265,6 +291,49 @@ def run_campaign(
         # makes placement irrelevant to the bytes, so the simple in-order
         # chunking both preserves record order and streams results early.
         records = run_staged(examine_case, header, indices, jobs=jobs)
+    return finalize_campaign(config, records, options=options,
+                             elapsed_seconds=time.perf_counter() - start)
+
+
+def run_journaled_campaign(
+    config: CampaignConfig,
+    journal_path: str | pathlib.Path,
+    *,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+) -> CampaignResult:
+    """Run (or resume) a fuzz campaign through ``repro.campaign`` units.
+
+    The campaign is partitioned into journaled work units; an existing
+    journal at ``journal_path`` is resumed (only missing units execute).
+    The per-case records are reconstructed from the journal in unit order,
+    so the returned :class:`CampaignResult` is byte-identical (modulo the
+    documented ``timing`` key) to :func:`run_campaign` without a journal.
+    """
+    from repro.campaign import CampaignSpec, resume_campaign, run_campaign_spec
+    from repro.campaign.scheduler import ScheduleConfig
+    from repro.service.protocol import options_to_dict
+
+    start = time.perf_counter()
+    spec = CampaignSpec(
+        kind="fuzz",
+        seed=config.seed,
+        count=config.count,
+        inject=config.inject,
+        generator=config.generator.to_dict(),
+        oracles=config.oracles.to_dict(),
+        options=options_to_dict(options),
+    )
+    schedule = ScheduleConfig(jobs=max(1, int(config.jobs)))
+    path = pathlib.Path(journal_path)
+    if path.exists() and path.stat().st_size > 0:
+        outcome = resume_campaign(path, schedule)
+    else:
+        outcome = run_campaign_spec(spec, path, schedule)
+    records = [
+        CaseRecord.from_dict(entry)
+        for unit_id in outcome.state.units
+        for entry in outcome.state.results[unit_id].get("records", ())
+    ]
     return finalize_campaign(config, records, options=options,
                              elapsed_seconds=time.perf_counter() - start)
 
@@ -377,6 +446,7 @@ __all__ = [
     "finalize_campaign",
     "replay_corpus_entry",
     "run_campaign",
+    "run_journaled_campaign",
     "worker_config",
     "write_corpus_entry",
 ]

@@ -138,6 +138,20 @@ def resolve_checkpoint(options: SearchOptions) -> bool:
     return checkpoint_supported() and options.strategy == "dfs"
 
 
+def shard_scripts(scripts: list, shards: int) -> list[list]:
+    """Partition sibling scripts into round-robin shards (deterministic).
+
+    Round-robin (``scripts[i::shards]``) rather than contiguous slices:
+    sibling scripts adjacent in expansion order tend to share subtree
+    shape and cost, so striding balances shard work.  The partition is a
+    pure function of ``(scripts, shards)`` — the parallel search driver
+    and the campaign work-unit partitioner both rely on that to produce
+    identical shards for the same program on every machine.
+    """
+    shards = max(1, int(shards))
+    return [scripts[i::shards] for i in range(shards) if scripts[i::shards]]
+
+
 # ---------------------------------------------------------------------------
 # State fingerprinting
 # ---------------------------------------------------------------------------

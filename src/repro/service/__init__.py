@@ -36,7 +36,9 @@ __all__ = [
     "CheckService",
     "JobCancelled",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
+    "ServiceTimeout",
     "WarmPool",
     "get_pool",
     "pool_stats",
@@ -51,7 +53,9 @@ _LAZY = {
     "serve_in_background": "repro.service.server",
     "JobCancelled": "repro.service.client",
     "ServiceClient": "repro.service.client",
+    "ServiceConnectionError": "repro.service.client",
     "ServiceError": "repro.service.client",
+    "ServiceTimeout": "repro.service.client",
 }
 
 

@@ -16,6 +16,11 @@ Request vocabulary (``op``):
 ``search`` ``source``, optional ``filename``, ``strategy``, ``budget``,
            ``seed``, ``options`` — full evaluation-order search of one
            program.
+``unit``   ``spec`` (a campaign spec dict) plus ``unit`` (one work-unit
+           dict): execute one relocatable campaign work unit and return
+           its result — the primitive remote campaign schedulers dispatch.
+``campaign`` ``spec`` only: partition and run a whole campaign on the
+           service, streaming ``campaign-progress`` aggregate snapshots.
 ``cancel`` ``id`` of the job to cancel.
 ``ping``   liveness round-trip.
 ``stats``  server counters plus warm-pool state.
@@ -24,7 +29,9 @@ Request vocabulary (``op``):
 Response vocabulary (``event``): ``hello`` (sent once on connect),
 ``accepted``, ``progress`` (``done``/``total``), ``report`` (one
 ``CheckReport.to_dict()`` per checked program, with its input ``index``),
-``result`` (a fuzz campaign's ``CampaignResult.to_dict()``), ``done``
+``result`` (a fuzz campaign's ``CampaignResult.to_dict()``, a work unit's
+result dict, or a campaign's canonical aggregate), ``campaign-progress``
+(an incremental aggregate snapshot — the live results plane), ``done``
 (terminal; ``status`` is ``ok`` / ``error`` / ``cancelled``), ``error``
 (malformed or failed requests; ``code`` plus ``message``), ``pong``,
 ``stats``.  Report and result payloads reuse the established ``to_dict()``
@@ -48,7 +55,7 @@ from repro.core.config import CheckerOptions, DEFAULT_OPTIONS
 PROTOCOL = "repro.service/1"
 
 #: Ops that start a job (carry an ``id``, end with a ``done`` frame).
-JOB_OPS = ("check", "fuzz", "search")
+JOB_OPS = ("check", "fuzz", "search", "unit", "campaign")
 #: Ops answered inline with a single frame.
 CONTROL_OPS = ("cancel", "ping", "stats")
 
@@ -170,6 +177,39 @@ def _validate_search(frame: dict[str, Any], request: dict[str, Any]) -> None:
     request["seed"] = seed
 
 
+def _validate_unit(frame: dict[str, Any], request: dict[str, Any]) -> None:
+    # Lazy import: protocol is a leaf module; the campaign layer imports it.
+    from repro.campaign.workunit import CampaignSpec, WorkUnit
+
+    try:
+        spec = CampaignSpec.from_dict(frame.get("spec"))
+    except ValueError as error:
+        raise _bad(f"'unit' field 'spec' is invalid: {error}") from None
+    try:
+        unit = WorkUnit.from_dict(frame.get("unit"))
+    except ValueError as error:
+        raise _bad(f"'unit' field 'unit' is invalid: {error}") from None
+    if unit.spec_digest != spec.digest():
+        raise _bad(
+            f"unit {unit.unit_id} does not belong to the request's campaign "
+            f"spec ({unit.spec_digest[:12]} vs {spec.digest()[:12]})"
+        )
+    request["spec"] = spec.to_dict()
+    request["unit"] = unit.to_dict()
+    request["options_dict"] = frame.get("options")
+
+
+def _validate_campaign(frame: dict[str, Any], request: dict[str, Any]) -> None:
+    from repro.campaign.workunit import CampaignSpec
+
+    try:
+        spec = CampaignSpec.from_dict(frame.get("spec"))
+    except ValueError as error:
+        raise _bad(f"'campaign' field 'spec' is invalid: {error}") from None
+    request["spec"] = spec.to_dict()
+    request["options_dict"] = frame.get("options")
+
+
 def validate_request(frame: dict[str, Any]) -> dict[str, Any]:
     """Check a request frame's shape; returns it with defaults filled in.
 
@@ -197,6 +237,10 @@ def validate_request(frame: dict[str, Any]) -> dict[str, Any]:
         _validate_fuzz(frame, request)
     elif op == "search":
         _validate_search(frame, request)
+    elif op == "unit":
+        _validate_unit(frame, request)
+    elif op == "campaign":
+        _validate_campaign(frame, request)
     if frame.get("budget") is not None:
         from repro.kframework.search import SearchBudget
 
@@ -296,6 +340,11 @@ def result_frame(job: str, result: dict[str, Any]) -> dict[str, Any]:
     return {"event": "result", "job": job, "result": result}
 
 
+def campaign_progress_frame(job: str, snapshot: dict[str, Any]) -> dict[str, Any]:
+    """One incremental aggregate snapshot — the live results plane."""
+    return {"event": "campaign-progress", "job": job, "snapshot": snapshot}
+
+
 def done_frame(
     job: str,
     status: str,
@@ -393,6 +442,33 @@ def search_request(
     return frame
 
 
+def unit_request(
+    job: str,
+    spec: dict[str, Any],
+    unit: dict[str, Any],
+    *,
+    options: Optional[CheckerOptions] = None,
+) -> dict[str, Any]:
+    """Execute one campaign work unit remotely."""
+    frame: dict[str, Any] = {"op": "unit", "id": job, "spec": spec, "unit": unit}
+    if options is not None:
+        frame["options"] = options_to_dict(options)
+    return frame
+
+
+def campaign_request(
+    job: str,
+    spec: dict[str, Any],
+    *,
+    options: Optional[CheckerOptions] = None,
+) -> dict[str, Any]:
+    """Run a whole campaign on the service (progress streamed)."""
+    frame: dict[str, Any] = {"op": "campaign", "id": job, "spec": spec}
+    if options is not None:
+        frame["options"] = options_to_dict(options)
+    return frame
+
+
 __all__ = [
     "CONTROL_OPS",
     "ERROR_BAD_REQUEST",
@@ -405,6 +481,8 @@ __all__ = [
     "STATUS_OK",
     "ProtocolError",
     "accepted_frame",
+    "campaign_progress_frame",
+    "campaign_request",
     "check_request",
     "decode_frame",
     "done_frame",
@@ -419,5 +497,6 @@ __all__ = [
     "report_frame",
     "result_frame",
     "search_request",
+    "unit_request",
     "validate_request",
 ]

@@ -270,6 +270,10 @@ class CheckService:
             return len(request["sources"])
         if request["op"] == "fuzz":
             return request["count"]
+        if request["op"] == "campaign":
+            from repro.campaign.workunit import CampaignSpec
+
+            return CampaignSpec.from_dict(request["spec"]).units_estimate()
         return 1
 
     # -- job execution ------------------------------------------------------
@@ -288,6 +292,10 @@ class CheckService:
                 await self._job_check(connection, job, request)
             elif job.op == "fuzz":
                 await self._job_fuzz(connection, job, request)
+            elif job.op == "unit":
+                await self._job_unit(connection, job, request)
+            elif job.op == "campaign":
+                await self._job_campaign(connection, job, request)
             else:
                 await self._job_search(connection, job, request)
             if job.cancelled:
@@ -392,6 +400,64 @@ class CheckService:
             elapsed_seconds=time.perf_counter() - started,
         )
         await connection.send(protocol.result_frame(job.id, result.to_dict()))
+
+    async def _job_unit(
+        self,
+        connection: _Connection,
+        job: _Job,
+        request: dict[str, Any],
+    ) -> None:
+        """Execute one campaign work unit — the remote scheduler's primitive."""
+        from repro.campaign.workunit import execute_unit
+
+        if job.cancelled:
+            return
+        header = (request["spec"], request.get("options_dict"))
+        results = await self._run_chunk(execute_unit, header, [request["unit"]])
+        await connection.send(protocol.result_frame(job.id, results[0]))
+        await connection.send(protocol.progress_frame(job.id, 1, 1))
+
+    async def _job_campaign(
+        self,
+        connection: _Connection,
+        job: _Job,
+        request: dict[str, Any],
+    ) -> None:
+        """Partition and run a whole campaign, streaming aggregate snapshots.
+
+        Unit results fold into a :class:`CampaignAggregate` as they land;
+        every completed unit emits a ``campaign-progress`` frame — the
+        live results plane — and cancellation takes effect at the next
+        unit boundary.  No journal is written server-side: journaled,
+        resumable campaigns are the *client* scheduler's job (it dispatches
+        ``unit`` ops); this op is the convenience form for one-shot runs.
+        """
+        from repro.campaign.aggregate import CampaignAggregate
+        from repro.campaign.workunit import (
+            CampaignSpec,
+            campaign_units,
+            execute_unit,
+        )
+
+        spec = CampaignSpec.from_dict(request["spec"])
+        loop = asyncio.get_running_loop()
+        # Partitioning a search campaign runs the root program; keep the
+        # event loop free while it does.
+        units = await loop.run_in_executor(None, lambda: campaign_units(spec))
+        header = (request["spec"], request.get("options_dict"))
+        aggregate = CampaignAggregate(spec.digest(), len(units))
+        for unit in units:
+            if job.cancelled:
+                return
+            results = await self._run_chunk(execute_unit, header, [unit.to_dict()])
+            aggregate.add_unit(results[0])
+            await connection.send(
+                protocol.campaign_progress_frame(job.id, aggregate.snapshot()),
+            )
+            await connection.send(
+                protocol.progress_frame(job.id, aggregate.units_done, len(units)),
+            )
+        await connection.send(protocol.result_frame(job.id, aggregate.to_dict()))
 
     async def _job_search(
         self,

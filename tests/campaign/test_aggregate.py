@@ -1,0 +1,146 @@
+"""The results plane: order-independent folding, findings, deltas."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.campaign.aggregate import CampaignAggregate, load_baseline
+
+
+def _unit(index, *, family="clean", correct=2, cases=2, findings=()):
+    return {
+        "unit": f"wu-{index:04d}",
+        "index": index,
+        "kind": "fuzz",
+        "cases": cases,
+        "digest": f"{index:064d}",
+        "summary": {family: {"cases": cases, "correct": correct}},
+        "findings": list(findings),
+    }
+
+
+RESULTS = [
+    _unit(0, family="clean"),
+    _unit(
+        1,
+        family="div-by-zero",
+        correct=1,
+        findings=[{"signature": "sig:b", "case": 3, "family": "div-by-zero"}],
+    ),
+    _unit(
+        2,
+        family="div-by-zero",
+        findings=[{"signature": "sig:a", "case": 5, "family": "div-by-zero"}],
+    ),
+]
+
+
+class TestFolding:
+    def test_any_arrival_order_gives_the_same_canonical_view(self):
+        views = []
+        for order in itertools.permutations(RESULTS):
+            aggregate = CampaignAggregate("spec", 3)
+            for result in order:
+                aggregate.add_unit(result)
+            views.append(aggregate.to_dict())
+        assert all(view == views[0] for view in views)
+
+    def test_refolding_the_same_unit_is_idempotent(self):
+        aggregate = CampaignAggregate("spec", 3)
+        aggregate.add_unit(RESULTS[0])
+        aggregate.add_unit(RESULTS[0])
+        assert aggregate.units_done == 1
+        assert aggregate.cases == 2
+
+    def test_conflicting_digests_for_one_index_raise(self):
+        aggregate = CampaignAggregate("spec", 3)
+        aggregate.add_unit(RESULTS[0])
+        with pytest.raises(ValueError, match="different digests"):
+            aggregate.add_unit(dict(RESULTS[0], digest="f" * 64))
+
+    def test_family_table_sums_and_rates(self):
+        aggregate = CampaignAggregate("spec", 3)
+        for result in RESULTS:
+            aggregate.add_unit(result)
+        table = aggregate.family_table()
+        assert list(table) == ["clean", "div-by-zero"]
+        assert table["div-by-zero"] == {"cases": 4, "correct": 3, "rate": 0.75}
+
+
+class TestFindings:
+    def test_sorted_by_signature_with_first_sighting_kept(self):
+        aggregate = CampaignAggregate("spec", 3)
+        for result in RESULTS:
+            aggregate.add_unit(result)
+        aggregate.add_finding(
+            0, {"signature": "sig:a", "case": 1, "family": "div-by-zero"}
+        )
+        findings = aggregate.findings()
+        assert [f["signature"] for f in findings] == ["sig:a", "sig:b"]
+        # The (unit 0, case 1) sighting of sig:a beats the (unit 2, case 5).
+        assert findings[0]["case"] == 1
+
+    def test_families_with_fewest_findings_orders_the_bias(self):
+        aggregate = CampaignAggregate("spec", 3)
+        for result in RESULTS:
+            aggregate.add_unit(result)
+        ranked = aggregate.families_with_fewest_findings()
+        assert ranked[0] == "clean"  # zero findings
+        assert ranked[-1] == "div-by-zero"  # two distinct signatures
+
+
+class TestViews:
+    def test_snapshot_adds_timing_the_canonical_view_omits(self):
+        aggregate = CampaignAggregate("spec", 3)
+        aggregate.add_unit(RESULTS[0])
+        snapshot = aggregate.snapshot()
+        canonical = aggregate.to_dict()
+        assert "elapsed_seconds" in snapshot
+        assert "throughput" in snapshot
+        assert "elapsed_seconds" not in canonical
+        assert canonical["units_done"] == 1
+        assert canonical["units_total"] == 3
+        assert len(canonical["result_digest"]) == 64
+
+    def test_result_digest_tracks_content(self):
+        a = CampaignAggregate("spec", 3)
+        b = CampaignAggregate("spec", 3)
+        a.add_unit(RESULTS[0])
+        b.add_unit(RESULTS[1])
+        assert a.result_digest() != b.result_digest()
+
+
+class TestBaseline:
+    def test_deltas_against_a_committed_baseline(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "families": {
+                        "clean": {"rate": 1.0},
+                        "div-by-zero": {"rate": 1.0},
+                        "retired": {"rate": 0.5},
+                    }
+                }
+            )
+        )
+        aggregate = CampaignAggregate(
+            "spec", 3, baseline=load_baseline(baseline_path)
+        )
+        for result in RESULTS:
+            aggregate.add_unit(result)
+        deltas = aggregate.to_dict()["deltas"]
+        assert deltas["clean"]["delta"] == 0.0
+        assert deltas["div-by-zero"]["delta"] == -0.25
+        # A family only the baseline knows still shows up, without a delta.
+        assert deltas["retired"]["rate"] is None
+        assert "delta" not in deltas["retired"]
+
+    def test_missing_or_bad_baseline_is_silently_none(self, tmp_path):
+        assert load_baseline(None) is None
+        assert load_baseline(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert load_baseline(bad) is None
+        assert CampaignAggregate("spec", 1).deltas() is None

@@ -1,0 +1,173 @@
+"""The ``kcc-check campaign`` subcommand: run, resume, status, merge."""
+
+import io
+import json
+
+import pytest
+
+from repro.api.cli import EXIT_DEFINED, EXIT_USAGE, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _run_args(journal, *extra):
+    return [
+        "campaign",
+        "run",
+        "--journal",
+        str(journal),
+        "--kind",
+        "fuzz",
+        "--seed",
+        "21",
+        "--count",
+        "4",
+        "--unit-size",
+        "2",
+        "--quiet",
+        *extra,
+    ]
+
+
+class TestRun:
+    def test_run_renders_the_family_table(self, tmp_path):
+        code, output = run_cli(*_run_args(tmp_path / "j.jsonl"))
+        assert code == EXIT_DEFINED
+        assert "Campaign" in output
+        assert "2/2 units" in output
+        assert "result digest" in output
+
+    def test_json_format_emits_the_canonical_view(self, tmp_path):
+        code, output = run_cli(
+            *_run_args(tmp_path / "j.jsonl", "--format", "json")
+        )
+        assert code == EXIT_DEFINED
+        payload = json.loads(output)
+        assert payload["units_done"] == payload["units_total"] == 2
+        assert payload["cases"] == 4
+        assert len(payload["result_digest"]) == 64
+
+    def test_progress_lines_stream_unless_quiet(self, tmp_path):
+        argv = _run_args(tmp_path / "j.jsonl")
+        argv.remove("--quiet")
+        _, output = run_cli(*argv)
+        assert output.count("units,") >= 2  # one progress line per unit
+
+    def test_run_without_journal_is_a_usage_error(self):
+        code, _ = run_cli("campaign", "run", "--kind", "fuzz", "--count", "4")
+        assert code == EXIT_USAGE
+
+    def test_run_onto_an_existing_journal_is_a_usage_error(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        assert run_cli(*_run_args(journal))[0] == EXIT_DEFINED
+        code, _ = run_cli(*_run_args(journal))
+        assert code == EXIT_USAGE
+
+    def test_search_kind_requires_a_file(self):
+        code, _ = run_cli(
+            "campaign", "run", "--journal", "x.jsonl", "--kind", "search"
+        )
+        assert code == EXIT_USAGE
+
+    def test_bad_units_slice_is_a_usage_error(self, tmp_path):
+        code, _ = run_cli(*_run_args(tmp_path / "j.jsonl", "--units", "3:1"))
+        assert code == EXIT_USAGE
+
+
+class TestResumeFrom:
+    def test_resume_from_starts_then_picks_up(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        # First invocation: nothing to resume, runs fresh.
+        argv = [
+            "campaign",
+            "run",
+            "--resume-from",
+            str(journal),
+            "--kind",
+            "fuzz",
+            "--seed",
+            "21",
+            "--count",
+            "4",
+            "--unit-size",
+            "2",
+            "--quiet",
+            "--format",
+            "json",
+        ]
+        code, first = run_cli(*argv)
+        assert code == EXIT_DEFINED
+        # Second invocation resumes the complete journal: identical bytes.
+        code, second = run_cli(*argv)
+        assert code == EXIT_DEFINED
+        assert json.loads(first) == json.loads(second)
+
+
+class TestStatusAndMerge:
+    @pytest.fixture()
+    def halves(self, tmp_path):
+        common = [
+            "--kind",
+            "fuzz",
+            "--seed",
+            "21",
+            "--count",
+            "8",
+            "--unit-size",
+            "2",
+            "--quiet",
+        ]
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert (
+            run_cli(
+                "campaign", "run", "--journal", str(a), *common,
+                "--units", "0:2",
+            )[0]
+            == EXIT_DEFINED
+        )
+        assert (
+            run_cli(
+                "campaign", "run", "--journal", str(b), *common,
+                "--units", "2:4",
+            )[0]
+            == EXIT_DEFINED
+        )
+        return a, b
+
+    def test_status_reports_partial_progress(self, halves):
+        a, _ = halves
+        code, output = run_cli(
+            "campaign", "status", "--journal", str(a), "--format", "json"
+        )
+        assert code == EXIT_DEFINED
+        payload = json.loads(output)
+        assert payload["units_done"] == 2
+        assert payload["units_total"] == 4
+
+    def test_merge_combines_shards(self, halves, tmp_path):
+        a, b = halves
+        merged = tmp_path / "merged.jsonl"
+        code, output = run_cli(
+            "campaign",
+            "merge",
+            str(a),
+            str(b),
+            "-o",
+            str(merged),
+            "--format",
+            "json",
+        )
+        assert code == EXIT_DEFINED
+        assert merged.exists()
+        payload = json.loads(output[output.index("{") :])
+        assert payload["units_done"] == payload["units_total"] == 4
+
+    def test_status_of_a_missing_journal_is_a_usage_error(self, tmp_path):
+        code, _ = run_cli(
+            "campaign", "status", "--journal", str(tmp_path / "no.jsonl")
+        )
+        assert code == EXIT_USAGE

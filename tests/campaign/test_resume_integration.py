@@ -1,0 +1,103 @@
+"""SIGKILL a live campaign process mid-run; resume must be byte-identical.
+
+The in-process crash tests truncate journal files by hand; this one kills a
+real ``kcc-check campaign run`` subprocess with SIGKILL (no atexit, no
+flush-on-exit — the hardest stop there is) once its journal shows partial
+progress, then resumes the survivor journal and holds it to the
+uninterrupted run's canonical bytes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, resume_campaign, run_campaign_spec
+from repro.campaign.journal import load_journal
+
+SEED = 20260808
+COUNT = 20
+UNIT_SIZE = 2
+
+
+def _spawn_campaign(journal):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [env.get("PYTHONPATH"), "src"] if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign",
+            "run",
+            "--journal",
+            str(journal),
+            "--kind",
+            "fuzz",
+            "--seed",
+            str(SEED),
+            "--count",
+            str(COUNT),
+            "--unit-size",
+            str(UNIT_SIZE),
+            "--quiet",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+
+
+def _done_units(journal):
+    if not journal.exists():
+        return 0
+    return sum(
+        1
+        for line in journal.read_bytes().split(b"\n")
+        if line.startswith(b'{"digest"') and b'"t":"done"' in line
+    )
+
+
+def test_sigkill_then_resume_is_byte_identical(tmp_path):
+    spec = CampaignSpec(seed=SEED, count=COUNT, unit_size=UNIT_SIZE)
+    units_total = spec.units_estimate()
+
+    reference = run_campaign_spec(spec, tmp_path / "reference.jsonl")
+    canonical = reference.to_dict()
+
+    journal = tmp_path / "killed.jsonl"
+    child = _spawn_campaign(journal)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                pytest.fail("campaign finished before it could be killed")
+            if _done_units(journal) >= max(1, units_total // 3):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("campaign never reached the kill point")
+    finally:
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+
+    survived = _done_units(journal)
+    assert 0 < survived < units_total
+
+    resumed = resume_campaign(journal)
+    assert resumed.complete
+    assert resumed.to_dict() == canonical
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+        canonical, sort_keys=True
+    )
+    # Zero completed units re-executed: the journal's own counters prove it.
+    state, _ = load_journal(journal)
+    assert state.duplicate_done == 0
+    assert resumed.skipped == survived
+    assert resumed.executed == units_total - survived

@@ -1,0 +1,193 @@
+"""ServiceClient transport robustness against a deliberately hostile server.
+
+A scripted TCP server plays one behavior per accepted connection — drop
+after the hello, drop mid-stream after ``accepted``, answer properly, or
+stall forever — so the client's two failure policies can be pinned apart:
+
+* transport loss (dropped connection) → reconnect with capped exponential
+  backoff and re-issue the whole job, up to ``max_retries`` times;
+* request timeout (a frame read exceeding ``request_timeout``) → raise
+  :class:`ServiceTimeout` immediately, with **no** retry (a slow job is
+  not a broken one).
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeout,
+)
+
+PROGRAM = "int main(void) { return 0; }"
+
+
+def _send(conn, frame):
+    conn.sendall((json.dumps(frame) + "\n").encode("utf-8"))
+
+
+class ScriptedServer:
+    """Plays one scripted behavior per accepted connection, in order.
+
+    Behaviors: ``"drop-on-hello"`` closes right after the hello frame,
+    ``"drop-mid-stream"`` accepts the job then drops before its result,
+    ``"serve"`` completes the job, ``"stall"`` accepts and never answers.
+    The final behavior repeats for any extra connections.
+    """
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self.requests = []
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.endpoint = "tcp:127.0.0.1:%d" % self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.behaviors) - 1)
+            behavior = self.behaviors[index]
+            self.connections += 1
+            try:
+                self._play(conn, behavior)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def _play(self, conn, behavior):
+        _send(conn, {"event": "hello", "proto": 1})
+        if behavior == "drop-on-hello":
+            return
+        reader = conn.makefile("rb")
+        line = reader.readline()
+        if not line:
+            return
+        request = json.loads(line)
+        self.requests.append(request)
+        job = request["id"]
+        _send(conn, {"event": "accepted", "job": job, "total": 1})
+        if behavior == "drop-mid-stream":
+            return
+        if behavior == "stall":
+            self._stop.wait(30.0)
+            return
+        assert behavior == "serve"
+        _send(conn, {"event": "report", "job": job, "index": 0,
+                     "report": {"ok": True}})
+        _send(conn, {"event": "done", "job": job, "status": "ok"})
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture()
+def scripted():
+    servers = []
+
+    def start(*behaviors):
+        server = ScriptedServer(behaviors)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestReconnect:
+    def test_mid_stream_drop_reconnects_and_completes(self, scripted):
+        server = scripted("drop-mid-stream", "serve")
+        with ServiceClient(server.endpoint, backoff_base=0.01) as client:
+            reports = client.check([PROGRAM])
+        assert reports == [{"ok": True}]
+        assert client.reconnects == 1
+        # The whole job was re-issued on the fresh connection.
+        assert len(server.requests) == 2
+        assert server.requests[0]["id"] == server.requests[1]["id"]
+
+    def test_repeated_drops_exhaust_retries(self, scripted):
+        server = scripted("drop-mid-stream")
+        client = ServiceClient(
+            server.endpoint, max_retries=2, backoff_base=0.01
+        )
+        with pytest.raises(ServiceConnectionError):
+            client.check([PROGRAM])
+        assert client.reconnects == 2
+        assert server.connections == 3  # initial + two retries
+        client.close()
+
+    def test_drop_before_any_frame_is_retried_too(self, scripted):
+        server = scripted("drop-on-hello", "serve")
+        with ServiceClient(server.endpoint, backoff_base=0.01) as client:
+            assert client.check([PROGRAM]) == [{"ok": True}]
+        assert client.reconnects == 1
+
+    def test_max_retries_zero_fails_fast(self, scripted):
+        server = scripted("drop-mid-stream", "serve")
+        client = ServiceClient(
+            server.endpoint, max_retries=0, backoff_base=0.01
+        )
+        with pytest.raises(ServiceConnectionError):
+            client.check([PROGRAM])
+        assert client.reconnects == 0
+        client.close()
+
+    def test_unreachable_endpoint_raises_connection_error(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here anymore
+        with pytest.raises(ServiceConnectionError):
+            ServiceClient(
+                f"tcp:127.0.0.1:{port}", max_retries=0, backoff_base=0.01
+            )
+
+
+class TestRequestTimeout:
+    def test_stalled_job_raises_timeout_without_retry(self, scripted):
+        server = scripted("stall")
+        client = ServiceClient(
+            server.endpoint, request_timeout=0.3, backoff_base=0.01
+        )
+        with pytest.raises(ServiceTimeout):
+            client.check([PROGRAM])
+        # Never retried: one connection, one request, no reconnects.
+        assert client.reconnects == 0
+        assert server.connections == 1
+        assert len(server.requests) == 1
+        client.close()
+
+    def test_timeout_is_a_service_error_with_its_own_code(self, scripted):
+        server = scripted("stall")
+        client = ServiceClient(server.endpoint, request_timeout=0.2)
+        with pytest.raises(ServiceError) as info:
+            client.check([PROGRAM])
+        assert info.value.code == "timeout"
+        client.close()
+
+
+def test_backoff_schedule_is_capped_exponential():
+    client = ServiceClient.__new__(ServiceClient)
+    client.backoff_base = 0.1
+    client.backoff_cap = 2.0
+    delays = [client._backoff(attempt) for attempt in range(1, 8)]
+    assert delays[:3] == [0.1, 0.2, 0.4]
+    assert max(delays) == 2.0
+    assert delays == sorted(delays)

@@ -1,0 +1,76 @@
+"""The ``unit`` and ``campaign`` service ops: placement-independent results.
+
+A campaign work unit executed over the wire must return byte-identical
+payload to the same unit executed in-process — that is the contract the
+distributed campaign scheduler journals against.  The whole-campaign op
+additionally streams one ``campaign-progress`` snapshot per completed unit
+(the live results plane).
+"""
+
+import pytest
+
+from repro.campaign.scheduler import run_campaign_spec
+from repro.campaign.workunit import CampaignSpec, campaign_units, execute_unit
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import serve_in_background
+
+SPEC = CampaignSpec(seed=23, count=4, unit_size=2, inject="rotate")
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    with serve_in_background(jobs=2) as running:
+        yield running
+
+
+def test_remote_unit_matches_inline_execution(endpoint):
+    unit = campaign_units(SPEC)[0]
+    local = execute_unit((SPEC.to_dict(), None), unit.to_dict())
+    with ServiceClient(endpoint) as client:
+        remote = client.run_unit(SPEC.to_dict(), unit.to_dict())
+    assert remote["digest"] == local["digest"]
+    assert remote["records"] == local["records"]
+    assert remote["summary"] == local["summary"]
+
+
+def test_tampered_unit_is_rejected_by_the_service(endpoint):
+    unit_dict = campaign_units(SPEC)[0].to_dict()
+    unit_dict["params"] = dict(unit_dict["params"], hi=999)
+    with ServiceClient(endpoint) as client:
+        with pytest.raises(ServiceError):
+            client.run_unit(SPEC.to_dict(), unit_dict)
+
+
+def test_unit_of_a_different_spec_is_rejected(endpoint):
+    other = CampaignSpec(seed=99, count=4, unit_size=2)
+    unit_dict = campaign_units(other)[0].to_dict()
+    with ServiceClient(endpoint) as client:
+        with pytest.raises(ServiceError):
+            client.run_unit(SPEC.to_dict(), unit_dict)
+
+
+def test_remote_campaign_matches_the_journaled_run(endpoint, tmp_path):
+    local = run_campaign_spec(SPEC, tmp_path / "local.jsonl")
+    events = []
+    with ServiceClient(endpoint) as client:
+        remote = client.campaign(SPEC.to_dict(), on_event=events.append)
+    assert remote == local.to_dict()
+    snapshots = [e for e in events if e["event"] == "campaign-progress"]
+    assert len(snapshots) == SPEC.units_estimate()
+    assert snapshots[-1]["snapshot"]["units_done"] == SPEC.units_estimate()
+    # Snapshots are the live view: they carry timing the canonical omits.
+    assert "elapsed_seconds" in snapshots[-1]["snapshot"]
+
+
+def test_campaign_over_remote_endpoints_backend(endpoint, tmp_path):
+    """The scheduler's endpoint backend journals remote results exactly."""
+    from repro.campaign.scheduler import ScheduleConfig
+
+    local = run_campaign_spec(SPEC, tmp_path / "inline.jsonl")
+    remote = run_campaign_spec(
+        SPEC,
+        tmp_path / "remote.jsonl",
+        ScheduleConfig(endpoints=(endpoint,)),
+    )
+    assert remote.to_dict() == local.to_dict()
+    assert remote.executed == SPEC.units_estimate()
