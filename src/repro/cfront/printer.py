@@ -107,7 +107,15 @@ class CPrinter:
         if isinstance(ctype, (ct.StructType, ct.UnionType)):
             keyword = "struct" if isinstance(ctype, ct.StructType) else "union"
             if ctype.tag is None:
-                raise PrinterError("cannot render an anonymous record type")
+                # An anonymous record has no name to refer back to, so every
+                # mention must carry the full definition inline.
+                if ctype.fields is None:
+                    raise PrinterError(
+                        "cannot render an anonymous record type without its fields")
+                fields = " ".join(
+                    self.declaration(field.type, field.name) + ";"
+                    for field in ctype.fields)
+                return f"{prefix}{keyword} {{ {fields} }}"
             key = (keyword, ctype.tag)
             if define_records and ctype.fields is not None and key not in self._defined_tags:
                 self._defined_tags.add(key)
@@ -118,7 +126,12 @@ class CPrinter:
             return f"{prefix}{keyword} {ctype.tag}"
         if isinstance(ctype, ct.EnumType):
             if ctype.tag is None:
-                raise PrinterError("cannot render an anonymous enum type")
+                if ctype.enumerators is None:
+                    raise PrinterError(
+                        "cannot render an anonymous enum type without its enumerators")
+                body = ", ".join(f"{name} = {value}"
+                                 for name, value in ctype.enumerators)
+                return f"{prefix}enum {{ {body} }}"
             key = ("enum", ctype.tag)
             if define_records and ctype.enumerators is not None \
                     and key not in self._defined_tags:

@@ -80,7 +80,12 @@ class ExpressionEvaluatorMixin:
             return LValue(pointer=pointer.with_type(ct.PointerType(pointee=array_type)),
                           type=array_type)
         if isinstance(expr, c_ast.Cast):
-            # A cast is not an lvalue in C; accepting it here would hide bugs.
+            if isinstance(expr.operand, c_ast.InitList):
+                # A compound literal is an lvalue (§6.5.2.5); its address can
+                # be taken, and outlives only its enclosing block.
+                return self.compound_literal_lvalue(
+                    expr.target_type, expr.operand, expr.line)
+            # A plain cast is not an lvalue in C; accepting it would hide bugs.
             raise UndefinedBehaviorError(
                 UBKind.BAD_FUNCTION_CALL, "Cast expression used as an lvalue.", line=expr.line)
         if isinstance(expr, c_ast.Comma):
@@ -110,6 +115,12 @@ class ExpressionEvaluatorMixin:
         self.memory.check_alignment(lvalue.pointer, ltype, line)
         data = self.memory.read_bytes(lvalue.pointer, size, line=line, lvalue_type=ltype)
         value = decode_value(data, ltype, self.profile)
+        if type(value) is StructValue:
+            # Remember where the bytes came from so a whole-object store can
+            # detect an overlapping-object assignment (§6.5.16.1:3).
+            value = StructValue(data=value.data, type=value.type,
+                                source_base=lvalue.pointer.base,
+                                source_offset=lvalue.pointer.offset)
         if (isinstance(value, IndeterminateValue) and self.options.check_uninitialized
                 and ltype.is_scalar and not ct.is_character_type(ltype)
                 and any(type(b).__name__ == "UnknownByte" for b in data)):
@@ -133,6 +144,18 @@ class ExpressionEvaluatorMixin:
                 FAMILY_CONST)
         self.memory.check_alignment(lvalue.pointer, ltype, line)
         data = encode_value(value, ltype, self.profile)
+        if (type(value) is StructValue and value.source_base is not None
+                and self.options.check_memory
+                and value.source_base == lvalue.pointer.base):
+            # §6.5.16.1:3 — assignment between inexactly overlapping objects.
+            size = len(data)
+            src = value.source_offset
+            dst = lvalue.pointer.offset
+            if src != dst and src < dst + size and dst < src + size:
+                report_undefined(UndefinedBehaviorError(
+                    UBKind.OVERLAPPING_COPY,
+                    "Assignment between overlapping objects.", line=line),
+                    FAMILY_MEMORY, check="overlap")
         self.memory.write_bytes(lvalue.pointer, data, line=line, lvalue_type=ltype)
 
     # ------------------------------------------------------------------
@@ -516,7 +539,19 @@ class ExpressionEvaluatorMixin:
             element_size = ct.size_of(pointee, self.profile) if not pointee.is_void else 1
         except ct.LayoutError:
             element_size = 1
-        return IntValue((left.offset - right.offset) // max(element_size, 1), ct.LONG)
+        diff = (left.offset - right.offset) // max(element_size, 1)
+        if self.options.check_arithmetic and not ct.fits_in(diff, ct.LONG, self.profile):
+            # §6.5.6:9 — the difference must be representable in ptrdiff_t
+            # (LONG under both supported profiles).
+            report_undefined(UndefinedBehaviorError(
+                UBKind.SIGNED_OVERFLOW,
+                f"Pointer difference {diff} is not representable in ptrdiff_t.",
+                line=line), FAMILY_ARITHMETIC)
+            bits = ct.integer_bits(ct.LONG, self.profile)
+            diff &= (1 << bits) - 1
+            if diff >= 1 << (bits - 1):
+                diff -= 1 << bits
+        return IntValue(diff, ct.LONG)
 
     def _relational(self, op: str, left: CValue, right: CValue, line: int) -> IntValue:
         if isinstance(left, PointerValue) and isinstance(right, PointerValue):

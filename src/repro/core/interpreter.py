@@ -210,7 +210,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
                 name=declaration.name, base=obj.base, type=ctype,
                 is_const=self._is_const_object(ctype))
         # Static storage duration objects start out zero-initialized (§6.7.9:10).
-        obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
+        obj.zero_fill()
         if declaration.initializer is not None:
             pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
             was_const = obj.base in self.memory.not_writable
@@ -416,7 +416,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
         if declaration.initializer is not None:
             pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
             if self._initializer_is_constant_zero_fill(ctype, declaration.initializer):
-                obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
+                obj.zero_fill()
             self._initialize_into(pointer, ctype, declaration.initializer, declaration.line)
         if self._is_const_object(ctype):
             self.memory.mark_not_writable(obj.base)
@@ -438,7 +438,7 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
             obj = self.memory.allocate(size, StorageKind.STATIC, name=declaration.name,
                                        declared_type=ctype,
                                        is_const=self._is_const_object(ctype))
-            obj.data[:] = [ConcreteByte(0) for _ in range(obj.size)]
+            obj.zero_fill()
             binding = ObjectBinding(name=declaration.name, base=obj.base, type=ctype,
                                     is_const=self._is_const_object(ctype))
             self._static_locals[key] = binding
@@ -529,17 +529,23 @@ class Interpreter(ExpressionEvaluatorMixin, StatementExecutorMixin):
             if isinstance(ctype, ct.UnionType):
                 break
 
-    def build_compound_literal(self, ctype: ct.CType, initializer: c_ast.InitList,
-                               line: int) -> CValue:
+    def compound_literal_lvalue(self, ctype: ct.CType, initializer: c_ast.InitList,
+                                line: int) -> LValue:
+        """Materialize a compound literal (§6.5.2.5): an unnamed automatic
+        object whose lifetime ends with the enclosing scope."""
         size = ct.size_of(ctype, self.profile)
         frame = self.current_frame()
         obj = self.memory.allocate(size, StorageKind.AUTO, name="<compound-literal>",
                                    declared_type=ctype, frame=frame.frame_id)
-        obj.data[:] = [ConcreteByte(0) for _ in range(size)]
+        obj.zero_fill()
         frame.scopes[-1].owned_bases.append(obj.base)
         pointer = PointerValue(base=obj.base, offset=0, type=ct.PointerType(pointee=ctype))
         self._initialize_into(pointer, ctype, initializer, line)
-        lvalue = LValue(pointer=pointer, type=ctype)
+        return LValue(pointer=pointer, type=ctype)
+
+    def build_compound_literal(self, ctype: ct.CType, initializer: c_ast.InitList,
+                               line: int) -> CValue:
+        lvalue = self.compound_literal_lvalue(ctype, initializer, line)
         return self.read_lvalue(lvalue, line)
 
     # ------------------------------------------------------------------

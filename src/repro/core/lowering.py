@@ -458,6 +458,11 @@ class _AccessPlanCache:
             return plans[ltype]
         if isinstance(ltype, (ct.ArrayType, ct.FunctionType)):
             plan = None    # decay / function designator: generic path
+        elif ltype.is_record:
+            # Whole-record accesses stay on read_lvalue/write_lvalue: the
+            # generic store attaches copy provenance and runs the
+            # overlapping-assignment check (§6.5.16.1:3).
+            plan = None
         else:
             try:
                 size = ct.size_of(ltype, profile)
@@ -536,6 +541,10 @@ def _binding_access_plan(binding, profile: ct.ImplementationProfile):
                                    type=ct.PointerType(pointee=btype.element))
             plan = (_PLAN_ARRAY, decayed, None, False, False)
         elif isinstance(btype, ct.FunctionType):
+            plan = (_PLAN_GENERIC, None, None, False, False)
+        elif btype.is_record:
+            # Generic path for whole-record loads/stores: provenance and the
+            # overlapping-assignment check live in read/write_lvalue.
             plan = (_PLAN_GENERIC, None, None, False, False)
         else:
             try:
@@ -1720,6 +1729,19 @@ def _lower_lvalue_StringLiteral(expr: c_ast.StringLiteral, L: LoweringContext):
 def _lower_lvalue_Cast(expr: c_ast.Cast, L: LoweringContext):
     line = expr.line
     max_steps = L.max_steps
+
+    if isinstance(expr.operand, c_ast.InitList):
+        target = expr.target_type
+        operand_node = expr.operand
+
+        def run_compound_literal(interp) -> LValue:
+            interp._steps += 1
+            if interp._steps > max_steps:
+                raise ResourceLimitError(f"execution exceeded {max_steps} steps")
+            if line:
+                interp.current_line = line
+            return interp.compound_literal_lvalue(target, operand_node, line)
+        return run_compound_literal
 
     def run(interp) -> LValue:
         interp._steps += 1

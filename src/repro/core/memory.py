@@ -29,6 +29,7 @@ from repro.core.values import (
     Byte,
     ConcreteByte,
     PointerValue,
+    UnknownByte,
     unknown_bytes,
 )
 from repro.errors import UBKind, UndefinedBehaviorError
@@ -54,6 +55,14 @@ class StorageKind(enum.Enum):
     FUNCTION = "function"
 
 
+#: Objects at or above this size never materialize a per-byte store; they get
+#: a :class:`SparseBytes` overlay instead.  Chosen above every array any test
+#: or generated program materializes byte-for-byte, but far below the
+#: larger-than-``PTRDIFF_MAX`` static objects whose pointer differences the
+#: checker must still be able to judge.
+SPARSE_OBJECT_THRESHOLD = 1 << 24
+
+
 @dataclass
 class MemoryObject:
     """One allocated object: ``mem[base] = obj(Len, bytes)`` in the paper."""
@@ -75,7 +84,111 @@ class MemoryObject:
 
     def __post_init__(self) -> None:
         if not self.data:
-            self.data = unknown_bytes(self.size)
+            if self.size >= SPARSE_OBJECT_THRESHOLD:
+                self.data = SparseBytes(self.size, UnknownByte.fresh())
+            else:
+                self.data = unknown_bytes(self.size)
+
+    def zero_fill(self) -> None:
+        """Set every byte to zero (static-storage initialization, §6.7.9:10)."""
+        if isinstance(self.data, SparseBytes):
+            self.data.fill(ConcreteByte(0))
+        else:
+            self.data[:] = [ConcreteByte(0) for _ in range(self.size)]
+
+
+class SparseBytes:
+    """A ``list[Byte]``-compatible store for objects too large to materialize.
+
+    Every byte starts as ``default``; writes land in the ``overlay`` dict
+    keyed by offset.  This is what lets a ``static char vast[> PTRDIFF_MAX]``
+    exist as an addressable object — its pointers, bounds checks, and
+    pointer-difference semantics are exact — without ever allocating its
+    bytes.  Accesses touch only the bytes they name, so reads and writes of
+    reasonable sizes stay O(bytes accessed) regardless of object size.
+    """
+
+    __slots__ = ("size", "default", "overlay")
+
+    def __init__(self, size: int, default: Byte) -> None:
+        self.size = size
+        self.default = default
+        self.overlay: dict = {}
+
+    def fill(self, byte: Byte) -> None:
+        self.default = byte
+        self.overlay.clear()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.size)
+            overlay = self.overlay
+            default = self.default
+            return [overlay.get(i, default) for i in range(start, stop, step)]
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError("SparseBytes index out of range")
+        return self.overlay.get(index, self.default)
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.size)
+            if step != 1:
+                raise ValueError("SparseBytes only supports contiguous slices")
+            values = list(value)
+            if len(values) != stop - start:
+                raise ValueError("SparseBytes slice assignment must preserve length")
+            overlay = self.overlay
+            for offset, byte in zip(range(start, stop), values):
+                overlay[offset] = byte
+            return
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError("SparseBytes index out of range")
+        self.overlay[index] = value
+
+    def __iter__(self):
+        overlay = self.overlay
+        default = self.default
+        for index in range(self.size):
+            yield overlay.get(index, default)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (SparseBytes, list, tuple)):
+            return NotImplemented
+        if len(other) != self.size:
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __repr__(self) -> str:
+        return (f"SparseBytes(size={self.size}, default={self.default!r}, "
+                f"overlaid={len(self.overlay)})")
+
+    # -- integer fast path (same contract as ArenaBytes) -------------------
+    def read_int(self, offset: int, size: int, signed: bool):
+        overlay = self.overlay
+        default = self.default
+        value = 0
+        for index in range(size):
+            byte = overlay.get(offset + index, default)
+            if type(byte) is not ConcreteByte:
+                return None
+            value |= byte.value << (8 * index)
+        if signed:
+            half = 1 << (size * 8 - 1)
+            if value >= half:
+                value -= half << 1
+        return value
+
+    def write_int(self, offset: int, size: int, unsigned_value: int) -> None:
+        overlay = self.overlay
+        for index in range(size):
+            overlay[offset + index] = ConcreteByte((unsigned_value >> (8 * index)) & 0xFF)
 
 
 class ArenaBytes:
@@ -263,11 +376,14 @@ class Memory:
             declared_type=declared_type,
             effective_type=declared_type.unqualified() if declared_type is not None else None,
             frame=frame, is_const=is_const)
-        if self._arena is not None and obj.size > 0:
+        if self._arena is not None and obj.size > 0 \
+                and not isinstance(obj.data, SparseBytes):
             # __post_init__ has already filled fresh unknown bytes (or kept
             # the provided data); wrapping re-homes those same Byte objects,
             # so symbolic-byte identity (e.g. UnknownByte origins) matches
-            # the list store exactly.
+            # the list store exactly.  SparseBytes objects stay sparse: they
+            # are too large for the arena by construction and already expose
+            # the same read_int/write_int fast path.
             obj.data = ArenaBytes(self._arena, obj.data)
         self.objects[base] = obj
         if frame is not None and kind is StorageKind.AUTO:

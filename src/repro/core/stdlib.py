@@ -285,11 +285,17 @@ def _format_output(interp, fmt: str, args: list[CValue], line: int, name: str) -
         arg = args[arg_index]
         arg_index += 1
         if conv in "diouxX":
-            if isinstance(arg, PointerValue) and not arg.is_null and options.check_functions:
-                report_undefined(UndefinedBehaviorError(
-                    UBKind.FORMAT_MISMATCH,
-                    f"{name}(): '%{conv}' conversion given a pointer argument.", line=line),
-                    FAMILY_FUNCTIONS)
+            if isinstance(arg, PointerValue) and not arg.is_null:
+                if options.check_functions:
+                    report_undefined(UndefinedBehaviorError(
+                        UBKind.FORMAT_MISMATCH,
+                        f"{name}(): '%{conv}' conversion given a pointer argument.", line=line),
+                        FAMILY_FUNCTIONS)
+                # Recorded (or ablated): the mismatch is the finding; model
+                # the continuation by rendering the address as '%p' would,
+                # rather than getting stuck on the argument fetch.
+                output.append(str((arg.base or 0) * 4096 + arg.offset))
+                continue
             value = _int_arg(interp, args, arg_index - 1, line, name)
             if conv in "di":
                 output.append(str(value))

@@ -169,10 +169,18 @@ NULL_POINTER = PointerValue(base=None, offset=0, type=ct.PointerType(pointee=ct.
 
 @dataclass(frozen=True)
 class StructValue(CValue):
-    """An aggregate value carried as its raw (possibly symbolic) bytes."""
+    """An aggregate value carried as its raw (possibly symbolic) bytes.
+
+    ``source_base``/``source_offset`` record where the bytes were read from
+    (attached by ``read_lvalue``), so a whole-object assignment can detect a
+    copy between overlapping objects (§6.5.16.1:3) at the store.  They are
+    provenance, not part of the value: excluded from equality.
+    """
 
     data: tuple[Byte, ...] = ()
     type: ct.CType = field(default_factory=lambda: ct.StructType(tag=None))
+    source_base: Optional[int] = field(default=None, compare=False)
+    source_offset: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)

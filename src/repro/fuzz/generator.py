@@ -285,12 +285,18 @@ def _pad(depth: int) -> str:
 
 
 class _DeclInt(_Stmt):
-    def __init__(self, name: str, expr: _Expr) -> None:
+    def __init__(self, name: str, expr: _Expr, compound: bool = False) -> None:
         self.name = name
         self.expr = expr
+        # Spell the initializer as the compound literal ``(int){ expr }``
+        # (§6.5.2.5) — same value, different route through the checker.
+        self.compound = compound
 
     def render(self, depth: int) -> list[str]:
-        return [f"{_pad(depth)}int {self.name} = {self.expr.render()};"]
+        init = self.expr.render()
+        if self.compound:
+            init = f"(int){{ {init} }}"
+        return [f"{_pad(depth)}int {self.name} = {init};"]
 
     def execute(self, env: _Env) -> None:
         env.ints[self.name] = self.expr.eval(env)
@@ -480,6 +486,125 @@ class _Helper:
         return self.result.eval(env)
 
 
+#: Characters allowed as literal text inside a generated format string —
+#: anything needing escapes (``%``, ``"``, ``\``) is deliberately absent.
+_FMT_TEXT = "abcdefghijklmnopqrstuvwxyz0123456789 :=.-_"
+
+
+class _PrintFmt(_Stmt):
+    """``printf`` with a multi-conversion format string.
+
+    Segments are ``("lit", text)`` for literal text or ``(conv, expr)`` for
+    a conversion in ``d u x X o c``.  Every expression is closed over the
+    non-negative domain, so the simulation below mirrors the interpreter's
+    formatter byte for byte.
+    """
+
+    def __init__(self, segments: list[tuple[str, Any]]) -> None:
+        self.segments = segments
+
+    def render(self, depth: int) -> list[str]:
+        fmt: list[str] = []
+        arguments: list[str] = []
+        for kind, payload in self.segments:
+            if kind == "lit":
+                fmt.append(payload)
+            else:
+                fmt.append(f"%{kind}")
+                arguments.append(payload.render())
+        tail = ", " + ", ".join(arguments) if arguments else ""
+        return [f'{_pad(depth)}printf("{"".join(fmt)}\\n"{tail});']
+
+    def execute(self, env: _Env) -> None:
+        out: list[str] = []
+        for kind, payload in self.segments:
+            if kind == "lit":
+                out.append(payload)
+                continue
+            value = payload.eval(env)
+            if kind in ("d", "u"):
+                out.append(str(value))
+            elif kind in ("x", "X"):
+                text = format(value, "x")
+                out.append(text.upper() if kind == "X" else text)
+            elif kind == "o":
+                out.append(format(value, "o"))
+            else:  # "c" — the builder pre-ranges the value to [32, 126]
+                out.append(chr(value))
+        env.output.append("".join(out) + "\n")
+
+
+class _SignedSlice(_Stmt):
+    """A self-contained negative-operand arithmetic slice.
+
+    Declares ``int s = a - b`` (which may be negative) and exercises the
+    C-specific signed edges — negation, truncating division, remainder with
+    the sign of the dividend — then prints all four values.  The local names
+    are never registered with the builder, so the non-negative closure
+    invariant of the surrounding grammar is untouched: nothing else can read
+    a possibly-negative variable.
+    """
+
+    def __init__(
+        self, names: tuple[str, str, str, str], left: _Expr, right: _Expr, divisor: int
+    ) -> None:
+        self.names = names  # (difference, negation, quotient, remainder)
+        self.left = left
+        self.right = right
+        self.divisor = divisor
+
+    def render(self, depth: int) -> list[str]:
+        s, n, q, r = self.names
+        pad = _pad(depth)
+        return [
+            f"{pad}int {s} = ({self.left.render()}) - ({self.right.render()});",
+            f"{pad}int {n} = -{s};",
+            f"{pad}int {q} = {s} / {self.divisor};",
+            f"{pad}int {r} = {s} % {self.divisor};",
+            f'{pad}printf("%d %d %d %d\\n", {s}, {n}, {q}, {r});',
+        ]
+
+    def execute(self, env: _Env) -> None:
+        s = self.left.eval(env) - self.right.eval(env)
+        # C division truncates toward zero; % takes the dividend's sign.
+        q = abs(s) // self.divisor
+        if s < 0:
+            q = -q
+        r = s - q * self.divisor
+        env.output.append(f"{s} {-s} {q} {r}\n")
+
+
+class _FnPtrSlice(_Stmt):
+    """``int (*fp)(int, int) = helper;`` — a clean function-pointer call.
+
+    Self-contained like :class:`_SignedSlice`: the pointer and result names
+    stay private to the slice, and the arguments are pre-masked to the
+    helper's expected [0, 255] domain.
+    """
+
+    def __init__(
+        self, names: tuple[str, str], helper: _Helper, left: _Expr, right: _Expr
+    ) -> None:
+        self.names = names  # (pointer, result)
+        self.helper = helper
+        self.left = left
+        self.right = right
+
+    def render(self, depth: int) -> list[str]:
+        fp, result = self.names
+        pad = _pad(depth)
+        return [
+            f"{pad}int (*{fp})(int, int) = {self.helper.name};",
+            f"{pad}int {result} = "
+            f"{fp}({self.left.render()}, {self.right.render()});",
+            f'{pad}printf("%d\\n", {result});',
+        ]
+
+    def execute(self, env: _Env) -> None:
+        value = self.helper.call([self.left.eval(env), self.right.eval(env)])
+        env.output.append(f"{value}\n")
+
+
 # ---------------------------------------------------------------------------
 # UB-injection templates
 # ---------------------------------------------------------------------------
@@ -554,6 +679,40 @@ INJECTION_TEMPLATES: tuple[InjectionTemplate, ...] = (
             "inj_boom_{u} = inj_boom_{u};",
         ),
     ),
+    InjectionTemplate(
+        "division-quotient-unrepresentable",
+        FAMILY_ARITHMETIC,
+        (UBKind.SIGNED_OVERFLOW,),
+        ("division-quotient-unrepresentable",),
+        (
+            "int inj_min_{u} = (-2147483647 - 1);",
+            "int inj_boom_{u} = inj_min_{u} / -1;",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "abs-of-most-negative",
+        FAMILY_ARITHMETIC,
+        (UBKind.SIGNED_OVERFLOW,),
+        ("abs-of-most-negative",),
+        (
+            "int inj_boom_{u} = abs(-2147483647 - 1);",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "pointer-difference-unrepresentable",
+        FAMILY_ARITHMETIC,
+        (UBKind.SIGNED_OVERFLOW,),
+        ("pointer-difference-unrepresentable",),
+        (
+            "static char inj_vast_{u}[9223372036854775812];",
+            "char *inj_lo_{u} = inj_vast_{u};",
+            "char *inj_hi_{u} = inj_vast_{u} + 9223372036854775810;",
+            "long inj_boom_{u} = inj_hi_{u} - inj_lo_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
     # -- memory -------------------------------------------------------------
     InjectionTemplate(
         "oob-array-write",
@@ -619,6 +778,48 @@ INJECTION_TEMPLATES: tuple[InjectionTemplate, ...] = (
             "free(inj_heap_{u});",
         ),
         gated=False,
+    ),
+    InjectionTemplate(
+        "compound-literal-out-of-scope",
+        FAMILY_MEMORY,
+        (UBKind.DANGLING_DEREFERENCE,),
+        ("compound-literal-in-function-call-return",),
+        (
+            "int *inj_ptr_{u};",
+            "if (1) {{ inj_ptr_{u} = &(int){{21}}; }}",
+            "int inj_boom_{u} = *inj_ptr_{u};",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "overlapping-assignment",
+        FAMILY_MEMORY,
+        (UBKind.OVERLAPPING_COPY,),
+        ("assignment-overlapping-objects",),
+        (
+            "struct inj_pair_{u} {{ int a; int b; }};",
+            "struct inj_pair_{u} inj_arr_{u}[3];",
+            "inj_arr_{u}[0].a = 1;",
+            "inj_arr_{u}[0].b = 2;",
+            "inj_arr_{u}[1].a = 3;",
+            "inj_arr_{u}[1].b = 4;",
+            "struct inj_pair_{u} *inj_src_{u} ="
+            " (struct inj_pair_{u} *)((char *)inj_arr_{u} + 4);",
+            "inj_arr_{u}[0] = *inj_src_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "memcpy-overlapping",
+        FAMILY_MEMORY,
+        (UBKind.OVERLAPPING_COPY,),
+        ("memcpy-overlapping",),
+        (
+            "char inj_buf_{u}[16];",
+            "int inj_i_{u};",
+            "for (inj_i_{u} = 0; inj_i_{u} < 16; inj_i_{u} = inj_i_{u} + 1)"
+            " {{ inj_buf_{u}[inj_i_{u}] = inj_i_{u}; }}",
+            "memcpy(inj_buf_{u} + 2, inj_buf_{u}, 8);",
+        ),
     ),
     # -- sequencing ---------------------------------------------------------
     InjectionTemplate(
@@ -734,58 +935,115 @@ INJECTION_TEMPLATES: tuple[InjectionTemplate, ...] = (
             "inj_boom_{u} = inj_boom_{u};",
         ),
     ),
+    InjectionTemplate(
+        "fnptr-wrong-type-call",
+        FAMILY_FUNCTIONS,
+        (UBKind.BAD_FUNCTION_TYPE,),
+        ("function-pointer-wrong-type-call",),
+        (
+            "int (*inj_fn_{u})(int, int) = (int (*)(int, int))inj_lone;",
+            "int inj_boom_{u} = inj_fn_{u}(3, 4);",
+            "inj_boom_{u} = inj_boom_{u};",
+        ),
+    ),
+    InjectionTemplate(
+        "printf-conversion-mismatch",
+        FAMILY_FUNCTIONS,
+        (UBKind.FORMAT_MISMATCH,),
+        ("printf-conversion-mismatch",),
+        (
+            "int inj_x_{u} = 1;",
+            'printf("%d\\n", &inj_x_{u});',
+        ),
+    ),
+    InjectionTemplate(
+        "printf-insufficient-arguments",
+        FAMILY_FUNCTIONS,
+        (UBKind.FORMAT_MISMATCH,),
+        ("printf-insufficient-arguments",),
+        (
+            "int inj_x_{u} = 7;",
+            'printf("%d %d\\n", inj_x_{u});',
+        ),
+    ),
+)
+
+#: The blocker categories an UNGENERATED reason must name.  Every reason is
+#: ``"<category>: <free text>"`` with a category from this tuple, so the
+#: allowlist states *why* an entry cannot graduate, in a form tests can check:
+#:
+#: * ``host-limit`` — exercising it would exhaust or depend on host resources
+#:   (memory, stack, stdin) the fuzz harness cannot control.
+#: * ``profile-dependent`` — whether the behavior is undefined depends on the
+#:   implementation profile, so no single ground-truth label exists.
+#: * ``out-of-subset`` — the construct is outside the checker's C subset
+#:   (the front end rejects it or the interpreter does not model it).
+#: * ``other-suite's-job`` — deliberately left to a curated suite (Juliet,
+#:   ubsuite) that exercises it with realistic shapes.
+UNGENERATED_CATEGORIES: tuple[str, ...] = (
+    "host-limit",
+    "profile-dependent",
+    "out-of-subset",
+    "other-suite's-job",
 )
 
 #: Dynamic catalog entries no injection template can exercise, with the
-#: reason.  The catalog-coverage test (tests/fuzz/test_catalog_coverage.py)
-#: fails when a dynamic catalog entry is neither covered by a template's
-#: ``catalog_ids`` nor listed here — so new catalog entries cannot silently
-#: escape fuzz coverage.
+#: reason (``"<category>: <detail>"``; see :data:`UNGENERATED_CATEGORIES`).
+#: The catalog-coverage test (tests/fuzz/test_catalog_coverage.py) fails when
+#: a dynamic catalog entry is neither covered by a template's ``catalog_ids``
+#: nor listed here — so new catalog entries cannot silently escape fuzz
+#: coverage — and fails again if a reason's category is not a real blocker.
 UNGENERATED: dict[str, str] = {
-    "program-exceeds-limits": "resource exhaustion is a host limit",
-    "conversion-unrepresentable-fp-int": "needs float inputs outside the domain",
-    "demotion-unrepresentable-fp": "long-double demotion is unsupported",
-    "lvalue-with-incomplete-type": "needs incomplete struct types (not emitted)",
-    "misaligned-pointer-conversion": "alignment punning is profile-dependent",
-    "function-pointer-wrong-type-call": "function pointers are not generated",
-    "compound-literal-in-function-call-return": "compound literals not generated",
-    "division-quotient-unrepresentable": "needs negative operands (domain is >= 0)",
-    "pointer-difference-unrepresentable": "needs objects larger than generated",
-    "assignment-overlapping-objects": "overlapping aggregates are not generated",
-    "volatile-through-nonvolatile": "volatile semantics are not modeled",
-    "restrict-aliasing-violation": "restrict is not modeled by the checker",
-    "restrict-copy-between-overlapping": "restrict is not modeled by the checker",
-    "vla-size-not-positive": "VLAs are rejected by the front end",
-    "missing-return-value-used": "would duplicate the uninitialized-read path",
-    "recursive-main-exit": "exit-handling semantics are not modeled",
-    "setjmp-misused": "setjmp/longjmp are outside the stdlib subset",
-    "va-arg-type-mismatch": "variadic access is outside the generated subset",
-    "va-start-not-matched": "variadic access is outside the generated subset",
-    "library-array-too-small": "library buffer contracts: Juliet suite's job",
-    "printf-conversion-mismatch": "format-string defects: Juliet suite's job",
-    "printf-insufficient-arguments": "format-string defects: Juliet suite's job",
-    "scanf-result-pointer-invalid": "scanf needs stdin the generator lacks",
-    "string-function-unterminated": "string-buffer defects: Juliet suite's job",
-    "memcpy-overlapping": "overlap defects: Juliet suite's job",
-    "abs-of-most-negative": "needs negative operands (domain is >= 0)",
-    "exit-called-twice": "exit-handling semantics are not modeled",
-    "getenv-result-modified": "getenv is outside the stdlib subset",
-    "signal-handler-bad-call": "signals are outside the supported subset",
-    "strtok-null-on-first-call": "strtok is outside the stdlib subset",
-    "fgets-null-or-closed-stream": "streams are outside the supported subset",
-    "fflush-input-stream": "streams are outside the supported subset",
-    "file-position-invalid": "streams are outside the supported subset",
-    "qsort-comparator-inconsistent": "function pointers are not generated",
-    "ungetc-pushback-overflow": "streams are outside the supported subset",
-    "multibyte-invalid-sequence": "multibyte conversion is unsupported",
-    "locale-string-modified": "locales are outside the supported subset",
-    "time-conversion-out-of-range": "time.h is outside the supported subset",
-    "atexit-handler-longjmp": "atexit/longjmp are outside the subset",
-    "wide-char-null-pointer": "wide characters are unsupported",
-    "data-race": "threads are outside the supported subset",
-    "mutex-not-owned-unlock": "threads are outside the supported subset",
-    "thread-storage-after-exit": "threads are outside the supported subset",
-    "condition-variable-different-mutexes": "threads are not supported",
+    "program-exceeds-limits": "host-limit: resource exhaustion exhausts the host too",
+    "conversion-unrepresentable-fp-int": "out-of-subset: needs float inputs outside the domain",
+    "demotion-unrepresentable-fp": "out-of-subset: long-double demotion is unsupported",
+    "lvalue-with-incomplete-type": "out-of-subset: incomplete struct types are not emitted",
+    "misaligned-pointer-conversion": "profile-dependent: alignment punning has no fixed verdict",
+    "volatile-through-nonvolatile": "out-of-subset: volatile semantics are not modeled",
+    "restrict-aliasing-violation": "out-of-subset: restrict is not modeled by the checker",
+    "restrict-copy-between-overlapping": "out-of-subset: restrict is not modeled by the checker",
+    "vla-size-not-positive": "out-of-subset: VLAs are rejected by the front end",
+    "missing-return-value-used": "other-suite's-job: the ubsuite pins this uninitialized path",
+    "recursive-main-exit": "out-of-subset: exit-handling semantics are not modeled",
+    "setjmp-misused": "out-of-subset: setjmp/longjmp are outside the stdlib subset",
+    "va-arg-type-mismatch": "out-of-subset: variadic access is outside the generated subset",
+    "va-start-not-matched": "out-of-subset: variadic access is outside the generated subset",
+    "library-array-too-small": "other-suite's-job: Juliet exercises library buffer contracts",
+    "scanf-result-pointer-invalid": "host-limit: scanf needs stdin the fuzz harness lacks",
+    "string-function-unterminated": "other-suite's-job: Juliet exercises string-buffer defects",
+    "exit-called-twice": "out-of-subset: exit-handling semantics are not modeled",
+    "getenv-result-modified": "out-of-subset: getenv is outside the stdlib subset",
+    "signal-handler-bad-call": "out-of-subset: signals are outside the supported subset",
+    "strtok-null-on-first-call": "out-of-subset: strtok is outside the stdlib subset",
+    "fgets-null-or-closed-stream": "out-of-subset: streams are outside the supported subset",
+    "fflush-input-stream": "out-of-subset: streams are outside the supported subset",
+    "file-position-invalid": "out-of-subset: streams are outside the supported subset",
+    "qsort-comparator-inconsistent": "out-of-subset: qsort is outside the stdlib subset",
+    "ungetc-pushback-overflow": "out-of-subset: streams are outside the supported subset",
+    "multibyte-invalid-sequence": "out-of-subset: multibyte conversion is unsupported",
+    "locale-string-modified": "out-of-subset: locales are outside the supported subset",
+    "time-conversion-out-of-range": "out-of-subset: time.h is outside the supported subset",
+    "atexit-handler-longjmp": "out-of-subset: atexit/longjmp are outside the subset",
+    "wide-char-null-pointer": "out-of-subset: wide characters are unsupported",
+    "data-race": "out-of-subset: threads are outside the supported subset",
+    "mutex-not-owned-unlock": "out-of-subset: threads are outside the supported subset",
+    "thread-storage-after-exit": "out-of-subset: threads are outside the supported subset",
+    "condition-variable-different-mutexes": "out-of-subset: threads are not supported",
+}
+
+#: Catalog entries that graduated out of :data:`UNGENERATED` — each is now
+#: exercised by the named injection template and must never fall back into
+#: the allowlist (pinned by the catalog-coverage test).
+GRADUATED: dict[str, str] = {
+    "division-quotient-unrepresentable": "division-quotient-unrepresentable",
+    "abs-of-most-negative": "abs-of-most-negative",
+    "pointer-difference-unrepresentable": "pointer-difference-unrepresentable",
+    "function-pointer-wrong-type-call": "fnptr-wrong-type-call",
+    "compound-literal-in-function-call-return": "compound-literal-out-of-scope",
+    "assignment-overlapping-objects": "overlapping-assignment",
+    "memcpy-overlapping": "memcpy-overlapping",
+    "printf-conversion-mismatch": "printf-conversion-mismatch",
+    "printf-insufficient-arguments": "printf-insufficient-arguments",
 }
 
 
@@ -1062,7 +1320,7 @@ class _Builder:
         roll = rng.random()
         if roll < 0.55 or not (self.int_names or self.arrays):
             name = self.fresh("v")
-            stmt: _Stmt = _DeclInt(name, self.storable())
+            stmt: _Stmt = _DeclInt(name, self.storable(), compound=rng.random() < 0.2)
             self.scopes[-1][0].append(name)
             return stmt
         if roll < 0.8:
@@ -1162,9 +1420,61 @@ class _Builder:
                 )
                 block.append(escape)
             else:
-                block.append(_Print(self.expr()))
+                block.append(self.output_statement())
         self.pop_scope()
         return block
+
+    def output_statement(self) -> _Stmt:
+        """One of the output-producing statement kinds."""
+        pick = self.rng.random()
+        if pick < 0.4:
+            return _Print(self.expr())
+        if pick < 0.65:
+            return self.print_fmt()
+        if pick < 0.85 or not self.helpers:
+            return self.signed_slice()
+        return self.fnptr_slice()
+
+    def print_fmt(self) -> _PrintFmt:
+        """A printf drawn from the format-string grammar."""
+        rng = self.rng
+        segments: list[tuple[str, Any]] = []
+        for position in range(rng.randrange(1, 4)):
+            if position > 0 or rng.random() < 0.5:
+                text = "".join(
+                    rng.choice(_FMT_TEXT) for _ in range(rng.randrange(1, 5))
+                )
+                segments.append(("lit", text))
+            conv = rng.choice("duxXoc")
+            if conv == "c":
+                # Range the argument into printable ASCII [32, 126].
+                expr: _Expr = _Bin(
+                    "+",
+                    _Lit(32),
+                    _Bin("%", self.storable(1), _Lit(95), 95),
+                    127,
+                )
+            else:
+                expr = self.storable(1)
+            segments.append((conv, expr))
+        return _PrintFmt(segments)
+
+    def signed_slice(self) -> _SignedSlice:
+        names = (
+            self.fresh("sd"),
+            self.fresh("sn"),
+            self.fresh("sq"),
+            self.fresh("sr"),
+        )
+        divisor = self.rng.randrange(2, 10)
+        return _SignedSlice(names, self.storable(1), self.storable(1), divisor)
+
+    def fnptr_slice(self) -> _FnPtrSlice:
+        helper = self.rng.choice(self.helpers)
+        names = (self.fresh("fp"), self.fresh("fr"))
+        left = self.masked(self.expr(1), 255)
+        right = self.masked(self.expr(1), 255)
+        return _FnPtrSlice(names, helper, left, right)
 
     def helper(self) -> _Helper:
         name = self.fresh("mix")
@@ -1194,7 +1504,7 @@ class _Builder:
         statements.extend(
             self.statements(budget, depth=0, in_loop=False, protected=frozenset())
         )
-        statements.append(_Print(self.expr()))
+        statements.append(self.output_statement())
         result = _Bin("%", self.storable(), _Lit(100), 100)
         self.pop_scope()
         return statements, result
@@ -1213,6 +1523,11 @@ _INJ_SUPPORT_FUNCTIONS = {
     "wrong-arg-count": (
         "int inj_pick(int a, int b) {",
         "    return a;",
+        "}",
+    ),
+    "fnptr-wrong-type-call": (
+        "int inj_lone(int a) {",
+        "    return a + 1;",
         "}",
     ),
 }
@@ -1355,9 +1670,11 @@ __all__ = [
     "FuzzCase",
     "GeneratorConfig",
     "GeneratorInvariantError",
+    "GRADUATED",
     "INJECTION_TEMPLATES",
     "InjectionTemplate",
     "UNGENERATED",
+    "UNGENERATED_CATEGORIES",
     "generate_case",
     "generate_cases",
     "injection_families",

@@ -208,7 +208,30 @@ def state_fingerprint(interp: Any) -> bytes:
         tokens.append(
             (base, obj.size, obj.kind.value, obj.alive, obj.freed, obj.is_const)
         )
-        tokens.append(tuple(_byte_token(b) for b in obj.data))
+        data = obj.data
+        if type(data).__name__ == "SparseBytes":
+            # A sparse store is fully determined by its default byte plus the
+            # overlay; tokenizing per byte would be O(object size) — for the
+            # multi-exabyte objects SparseBytes exists for, that never
+            # terminates.  Overlay writes that equal the default are dropped
+            # so explicitly-written-default and never-written states merge.
+            default_token = _byte_token(data.default)
+            tokens.append(
+                (
+                    "sparse",
+                    data.size,
+                    default_token,
+                    tuple(
+                        sorted(
+                            (offset, token)
+                            for offset, byte in data.overlay.items()
+                            if (token := _byte_token(byte)) != default_token
+                        )
+                    ),
+                )
+            )
+        else:
+            tokens.append(tuple(_byte_token(b) for b in data))
         if obj.effective_types:
             tokens.append(
                 tuple(

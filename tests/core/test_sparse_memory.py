@@ -1,0 +1,138 @@
+"""The sparse byte store and the aggregate-copy provenance checks.
+
+Objects at or above ``SPARSE_OBJECT_THRESHOLD`` get an overlay-dict byte
+store (``SparseBytes``) instead of a materialized list, which is what lets
+``static char vast[<huge>]`` exist without allocating petabytes — the
+substrate for the pointer-difference-overflow slice.  Struct reads carry
+``source_base``/``source_offset`` provenance so inexactly-overlapping
+aggregate assignment (§6.5.16.1:3) is detectable on every engine.
+"""
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.core.kcc import check_program
+from repro.core.memory import SPARSE_OBJECT_THRESHOLD, SparseBytes
+from repro.core.values import ConcreteByte, UnknownByte
+from repro.errors import OutcomeKind, UBKind
+
+
+def test_sparse_bytes_list_protocol():
+    store = SparseBytes(100, UnknownByte.fresh())
+    assert len(store) == 100
+    assert isinstance(store[0], UnknownByte)
+    store[3] = ConcreteByte(7)
+    assert store[3] == ConcreteByte(7)
+    assert isinstance(store[4], UnknownByte)
+    with pytest.raises(IndexError):
+        store[100]
+    with pytest.raises(IndexError):
+        store[-101]
+    assert store[-97] == ConcreteByte(7)  # negative indexing reaches overlay
+
+
+def test_sparse_bytes_fill_and_int_io():
+    store = SparseBytes(64, UnknownByte.fresh())
+    store.fill(ConcreteByte(0))
+    assert store.read_int(0, 8, False) == 0
+    store.write_int(16, 4, 0xDEAD)
+    assert store.read_int(16, 4, False) == 0xDEAD
+    # Unwritten-but-filled regions still read as concrete zero.
+    assert store.read_int(32, 4, True) == 0
+    # Unfilled unknown bytes decode to None, never to a fabricated value.
+    fresh = SparseBytes(8, UnknownByte.fresh())
+    assert fresh.read_int(0, 4, False) is None
+
+
+def test_huge_static_object_stays_sparse():
+    # A byte store this large must never materialize; the program below
+    # would otherwise exhaust memory long before producing a verdict.
+    assert SPARSE_OBJECT_THRESHOLD <= 1 << 32
+    report = check_program(
+        "int main(void) {\n"
+        "    static char vast[9223372036854775812];\n"
+        "    char *a = vast;\n"
+        "    char *b = vast + 9223372036854775810;\n"
+        "    long d = b - a;\n"
+        "    d = d;\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    assert report.outcome.flagged
+    assert UBKind.SIGNED_OVERFLOW in report.outcome.ub_kinds
+
+
+def test_overlapping_struct_assignment_is_flagged():
+    source = (
+        "int main(void) {\n"
+        "    struct pair { int a; int b; };\n"
+        "    struct pair arr[3];\n"
+        "    arr[0].a = 1;\n"
+        "    arr[0].b = 2;\n"
+        "    arr[1].a = 3;\n"
+        "    arr[1].b = 4;\n"
+        "    struct pair *src = (struct pair *)((char *)arr + 4);\n"
+        "    arr[0] = *src;\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    report = check_program(source)
+    assert UBKind.OVERLAPPING_COPY in report.outcome.ub_kinds
+    # The check belongs to the memory family: ablating it runs to completion.
+    ablated = check_program(source, CheckerOptions(check_memory=False))
+    assert ablated.outcome.kind is OutcomeKind.DEFINED
+
+
+def test_exactly_aliasing_struct_assignment_is_fine():
+    # Same object, same offset — §6.5.16.1:3 permits exact overlap.
+    report = check_program(
+        "int main(void) {\n"
+        "    struct pair { int a; int b; };\n"
+        "    struct pair p;\n"
+        "    p.a = 1;\n"
+        "    p.b = 2;\n"
+        "    struct pair *q = &p;\n"
+        "    p = *q;\n"
+        "    return p.a - 1;\n"
+        "}\n"
+    )
+    assert report.outcome.kind is OutcomeKind.DEFINED
+
+
+def test_disjoint_struct_assignment_is_fine():
+    report = check_program(
+        "int main(void) {\n"
+        "    struct pair { int a; int b; };\n"
+        "    struct pair arr[2];\n"
+        "    arr[1].a = 3;\n"
+        "    arr[1].b = 4;\n"
+        "    arr[0] = arr[1];\n"
+        "    return arr[0].a - 3;\n"
+        "}\n"
+    )
+    assert report.outcome.kind is OutcomeKind.DEFINED
+
+
+def test_compound_literal_lifetime_ends_with_scope():
+    report = check_program(
+        "int main(void) {\n"
+        "    int *p;\n"
+        "    if (1) { p = &(int){21}; }\n"
+        "    int x = *p;\n"
+        "    x = x;\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    assert UBKind.DANGLING_DEREFERENCE in report.outcome.ub_kinds
+
+
+def test_compound_literal_value_in_scope_is_defined():
+    report = check_program(
+        "int main(void) {\n"
+        "    int v = (int){ 21 };\n"
+        "    int *p = &(int){ 2 };\n"
+        "    return v / *p - 10;\n"
+        "}\n"
+    )
+    assert report.outcome.kind is OutcomeKind.DEFINED
+    assert report.outcome.exit_code == 0

@@ -9,7 +9,13 @@ point: fuzz coverage decisions are explicit, never accidental.
 """
 
 from repro.events import FAMILIES
-from repro.fuzz.generator import INJECTION_TEMPLATES, UNGENERATED
+from repro.fuzz.generator import (
+    GRADUATED,
+    INJECTION_TEMPLATES,
+    UNGENERATED,
+    UNGENERATED_CATEGORIES,
+    template_for,
+)
 from repro.ub.catalog import UB_CATALOG
 
 
@@ -71,3 +77,47 @@ def test_every_check_family_has_a_template():
     families_with_templates = {template.family for template in INJECTION_TEMPLATES
                                if template.family is not None}
     assert families_with_templates == set(FAMILIES)
+
+
+def test_allowlist_reasons_name_a_blocker_category():
+    # Free-text reasons rot; every reason must lead with a real category
+    # ("<category>: <detail>") so the allowlist stays machine-auditable.
+    for identifier, reason in UNGENERATED.items():
+        category, separator, detail = reason.partition(":")
+        assert separator and detail.strip(), (
+            f"UNGENERATED[{identifier!r}] must read '<category>: <detail>', "
+            f"got {reason!r}")
+        assert category in UNGENERATED_CATEGORIES, (
+            f"UNGENERATED[{identifier!r}] names unknown category "
+            f"{category!r}; pick one of {UNGENERATED_CATEGORIES}")
+
+
+def test_graduated_entries_never_return_to_the_allowlist():
+    # Once an entry graduates out of UNGENERATED it stays generated: the
+    # named template must still exist, still claim the entry, and the entry
+    # must never be re-allowlisted.
+    covered = _covered_ids()
+    for identifier, template_name in GRADUATED.items():
+        assert identifier not in UNGENERATED, (
+            f"{identifier!r} graduated out of UNGENERATED and may not return")
+        assert identifier in covered, (
+            f"graduated entry {identifier!r} lost its template coverage")
+        template = template_for(template_name)  # KeyError = template deleted
+        assert identifier in template.catalog_ids, (
+            f"template {template_name!r} no longer claims {identifier!r}")
+
+
+def test_graduated_entries_include_the_issue_targets():
+    # The PR that burned these down promised them generated forever.
+    for identifier in (
+        "division-quotient-unrepresentable",
+        "abs-of-most-negative",
+        "pointer-difference-unrepresentable",
+        "function-pointer-wrong-type-call",
+        "compound-literal-in-function-call-return",
+        "assignment-overlapping-objects",
+        "memcpy-overlapping",
+        "printf-conversion-mismatch",
+        "printf-insufficient-arguments",
+    ):
+        assert identifier in GRADUATED, identifier
