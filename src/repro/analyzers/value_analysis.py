@@ -15,20 +15,26 @@ violations reached through pointers, relational comparison of pointers to
 different objects, strict-aliasing violations, and most statically undefined
 constructs (it assumes the program was accepted by a compiler).
 
-The tool below reproduces that alarm profile on our dynamic semantics.  The
-:class:`IntervalDomain` class provides the value-set abstraction the real
-tool uses; it is exercised by the unit tests and available for building
-non-interpreter-mode analyses, keeping the substitution honest about what the
-original tool is.
+The tool below reproduces that alarm profile on our dynamic semantics, in
+interpreter mode for the benchmark tables.  The interval abstraction the
+real tool is built on is no longer a standalone illustration: it lives in
+:mod:`repro.symbolic.domain` (re-exported here as :class:`Interval` for
+compatibility) where it powers the actual abstract engine, and
+:meth:`ValueAnalysisTool.prove` exposes the non-interpreter mode — genuine
+range proofs over input intervals — through that engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.analyzers.base import SemanticsBasedTool
 from repro.analyzers.registry import register_tool
 from repro.core.config import CheckerOptions
+
+# The interval domain moved to the symbolic package, where the abstract
+# evaluator uses it for real; this module keeps the historical import path.
+from repro.symbolic.domain import Interval
 
 #: Alarm profile of the value analysis in C-interpreter mode.
 VALUE_ANALYSIS_OPTIONS = CheckerOptions(
@@ -53,130 +59,20 @@ class ValueAnalysisTool(SemanticsBasedTool):
     def __init__(self, options: CheckerOptions = VALUE_ANALYSIS_OPTIONS) -> None:
         super().__init__(options, run_static_checks=False)
 
+    def prove(self, source: str, *,
+              inputs: Optional[dict[str, tuple[int, int]]] = None,
+              filename: str = "<input>"):
+        """The non-interpreter mode: a range proof over ``inputs``.
 
-# ---------------------------------------------------------------------------
-# The interval abstraction used by the value analysis
-# ---------------------------------------------------------------------------
+        Runs the abstract interval engine (:mod:`repro.symbolic`) under this
+        tool's alarm profile and returns its
+        :class:`~repro.symbolic.prove.ProveReport`; classification via
+        :meth:`classify` is unchanged and stays in interpreter mode.
+        """
+        from repro.symbolic.prove import prove_source
 
-@dataclass(frozen=True)
-class Interval:
-    """A (possibly unbounded) integer interval ``[low, high]``.
+        return prove_source(source, inputs=inputs, options=self.options,
+                            filename=filename)
 
-    ``None`` bounds represent minus/plus infinity.  The bottom interval is
-    represented by ``Interval.bottom()`` (low > high convention).
-    """
 
-    low: int | None = None
-    high: int | None = None
-    is_bottom: bool = False
-
-    # -- constructors -------------------------------------------------------
-    @staticmethod
-    def top() -> "Interval":
-        return Interval(None, None)
-
-    @staticmethod
-    def bottom() -> "Interval":
-        return Interval(0, 0, is_bottom=True)
-
-    @staticmethod
-    def constant(value: int) -> "Interval":
-        return Interval(value, value)
-
-    @staticmethod
-    def range(low: int | None, high: int | None) -> "Interval":
-        if low is not None and high is not None and low > high:
-            return Interval.bottom()
-        return Interval(low, high)
-
-    # -- queries ------------------------------------------------------------
-    @property
-    def is_constant(self) -> bool:
-        return not self.is_bottom and self.low is not None and self.low == self.high
-
-    def contains(self, value: int) -> bool:
-        if self.is_bottom:
-            return False
-        if self.low is not None and value < self.low:
-            return False
-        if self.high is not None and value > self.high:
-            return False
-        return True
-
-    def may_be_zero(self) -> bool:
-        return self.contains(0)
-
-    def may_exceed(self, low: int, high: int) -> bool:
-        """Could a value in this interval fall outside ``[low, high]``?"""
-        if self.is_bottom:
-            return False
-        if self.low is None or self.low < low:
-            return True
-        if self.high is None or self.high > high:
-            return True
-        return False
-
-    # -- lattice operations --------------------------------------------------
-    def join(self, other: "Interval") -> "Interval":
-        if self.is_bottom:
-            return other
-        if other.is_bottom:
-            return self
-        low = None if self.low is None or other.low is None else min(self.low, other.low)
-        high = None if self.high is None or other.high is None else max(self.high, other.high)
-        return Interval(low, high)
-
-    def meet(self, other: "Interval") -> "Interval":
-        if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
-        low = self.low if other.low is None else (
-            other.low if self.low is None else max(self.low, other.low))
-        high = self.high if other.high is None else (
-            other.high if self.high is None else min(self.high, other.high))
-        return Interval.range(low, high)
-
-    def widen(self, other: "Interval") -> "Interval":
-        """Standard interval widening: unstable bounds jump to infinity."""
-        if self.is_bottom:
-            return other
-        if other.is_bottom:
-            return self
-        low = self.low if (self.low is not None and other.low is not None
-                           and other.low >= self.low) else None
-        high = self.high if (self.high is not None and other.high is not None
-                             and other.high <= self.high) else None
-        return Interval(low, high)
-
-    # -- arithmetic -----------------------------------------------------------
-    def add(self, other: "Interval") -> "Interval":
-        if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
-        low = None if self.low is None or other.low is None else self.low + other.low
-        high = None if self.high is None or other.high is None else self.high + other.high
-        return Interval(low, high)
-
-    def negate(self) -> "Interval":
-        if self.is_bottom:
-            return self
-        low = None if self.high is None else -self.high
-        high = None if self.low is None else -self.low
-        return Interval(low, high)
-
-    def subtract(self, other: "Interval") -> "Interval":
-        return self.add(other.negate())
-
-    def multiply(self, other: "Interval") -> "Interval":
-        if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
-        if None in (self.low, self.high, other.low, other.high):
-            return Interval.top()
-        products = [self.low * other.low, self.low * other.high,
-                    self.high * other.low, self.high * other.high]
-        return Interval(min(products), max(products))
-
-    def __str__(self) -> str:
-        if self.is_bottom:
-            return "⊥"
-        low = "-inf" if self.low is None else str(self.low)
-        high = "+inf" if self.high is None else str(self.high)
-        return f"[{low}, {high}]"
+__all__ = ["Interval", "VALUE_ANALYSIS_OPTIONS", "ValueAnalysisTool"]

@@ -7,6 +7,9 @@
     kcc-check search prog.c --coverage               # evaluation-order search
     kcc-check search prog.c --strategy bfs --budget paths=256,seconds=5
     kcc-check search prog.c --jobs 4                 # shard the root frontier
+    kcc-check search prog.c --merge-symbolic         # interval path absorption
+    kcc-check prove prog.c                           # abstract range proof
+    kcc-check prove prog.c --inputs x=0:100          # ... over an input range
     kcc-check bench --smoke                          # evaluation tables
     kcc-check bench --tools valgrind,kcc             # a custom tool lineup
     kcc-check tools                                  # registered analyzers
@@ -22,7 +25,9 @@
 Exit codes follow the seed tool: ``0`` all programs defined, ``1`` at least
 one flagged (undefined or static error), ``2`` at least one inconclusive
 (and none flagged); ``64`` (EX_USAGE) for unreadable inputs or bad tool
-names, ``141`` when the consumer closes our pipe.  ``run`` exits with the
+names, ``141`` when the consumer closes our pipe.  ``prove`` maps its
+verdicts onto the same codes: PROVED_DEFINED → 0, PROVED_UNDEFINED → 1,
+INCONCLUSIVE → 2.  ``run`` exits with the
 program's own exit code when it is defined.  The seed's single-file
 invocation (``kcc-check prog.c``) still works: a first argument that is not
 a subcommand is treated as ``check``.
@@ -42,8 +47,8 @@ from repro.core.kcc import CheckReport, KccTool
 from repro.errors import OutcomeKind
 from repro.api.batch import iter_check_many
 
-SUBCOMMANDS = ("check", "run", "search", "bench", "tools", "fuzz", "serve",
-               "campaign")
+SUBCOMMANDS = ("check", "run", "search", "prove", "bench", "tools", "fuzz",
+               "serve", "campaign")
 
 EXIT_DEFINED = 0
 EXIT_FLAGGED = 1
@@ -124,7 +129,24 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "fork", "replay"),
                         help="sibling resumption: fork prefix checkpoints "
                              "(POSIX) or scripted replay from main")
+    search.add_argument("--merge-symbolic", action="store_true",
+                        dest="merge_symbolic",
+                        help="fold paths whose live memories differ in only "
+                             "a few cells into interval families once they "
+                             "show uniform outcomes (replay checkpointing "
+                             "only; verdicts are unchanged)")
     _add_common_options(search)
+
+    prove = subparsers.add_parser(
+        "prove", help="range-prove programs defined/undefined with the "
+                      "abstract interval engine")
+    prove.add_argument("files", nargs="+", help="C source files to prove")
+    prove.add_argument("--inputs", action="append", default=[],
+                       metavar="NAME=LO:HI",
+                       help="treat the 'int NAME = ...;' declaration in main "
+                            "as a symbolic input over [LO, HI] (repeatable); "
+                            "the verdict then quantifies over every value")
+    _add_common_options(prove)
 
     bench = subparsers.add_parser(
         "bench", help="run the evaluation harness and print the paper's tables")
@@ -367,7 +389,8 @@ def _cmd_search(arguments: argparse.Namespace, *, out) -> int:
         strategy=arguments.strategy, budget=budget, seed=arguments.seed,
         jobs=arguments.jobs, dedup_states=not arguments.no_dedup,
         prune_commuting=not arguments.no_prune,
-        checkpoint=arguments.checkpoint)
+        checkpoint=arguments.checkpoint,
+        merge_symbolic=arguments.merge_symbolic)
     try:
         # Surface configuration conflicts (fork + non-DFS frontier, fork on
         # a platform without it) as usage errors, before reading any file.
@@ -392,8 +415,10 @@ def _cmd_search(arguments: argparse.Namespace, *, out) -> int:
         _emit_text(report, multiple=multiple, out=out)
         if arguments.coverage and report.search is not None:
             summary = report.search
+            symbolic = (f"{summary.merged_symbolic} interval-absorbed, "
+                        if summary.merged_symbolic else "")
             print(f"  search: {summary.explored} explored, "
-                  f"{summary.merged_paths} merged, "
+                  f"{summary.merged_paths} merged, {symbolic}"
                   f"{summary.pruned_orders} pruned-equivalent, "
                   f"{summary.resumed_executions} resumed from checkpoints, "
                   f"{summary.runs_from_main} runs from main", file=out)
@@ -402,6 +427,65 @@ def _cmd_search(arguments: argparse.Namespace, *, out) -> int:
     if arguments.format == "json":
         print(json.dumps(json_docs, indent=2), file=out)
     return _batch_exit_code(reports)
+
+
+def _parse_input_ranges(specs: list[str]) -> dict[str, tuple[int, int]]:
+    """``NAME=LO:HI`` → ``{name: (lo, hi)}``; usage errors on bad specs."""
+    inputs: dict[str, tuple[int, int]] = {}
+    for spec in specs:
+        name, sep, rest = spec.partition("=")
+        lo_text, colon, hi_text = rest.partition(":")
+        try:
+            if not sep or not colon or not name.strip():
+                raise ValueError
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise CliInputError(
+                f"bad --inputs value {spec!r}; expected NAME=LO:HI with "
+                "integer bounds") from None
+        if lo > hi:
+            raise CliInputError(
+                f"bad --inputs value {spec!r}: empty range [{lo}, {hi}]")
+        inputs[name.strip()] = (lo, hi)
+    return inputs
+
+
+def _cmd_prove(arguments: argparse.Namespace, *, out) -> int:
+    """Abstract range proofs; verdicts map onto the check exit codes."""
+    from repro.symbolic.prove import (
+        INCONCLUSIVE,
+        PROVED_UNDEFINED,
+        prove_unit,
+    )
+
+    options = _options_for(arguments)
+    inputs = _parse_input_ranges(arguments.inputs)
+    tool = KccTool(options, run_static_checks=not arguments.no_static)
+    reports = []
+    json_docs = []
+    multiple = len(arguments.files) > 1
+    for path in arguments.files:
+        compiled = tool.compile_unit(_read_source(path), filename=path)
+        try:
+            report = prove_unit(compiled, options=options, inputs=inputs)
+        except ValueError as error:
+            raise CliInputError(f"{path}: {error}") from None
+        reports.append(report)
+        if arguments.format == "json":
+            json_docs.append({"filename": path, **report.to_dict()})
+        elif multiple:
+            detail = report.kind.name if report.kind else (report.reason or "")
+            print(f"{path}: {report.verdict}"
+                  f"{' (' + detail + ')' if detail else ''}", file=out)
+        else:
+            print(report.render(), file=out)
+    if arguments.format == "json":
+        print(json.dumps(json_docs, indent=2), file=out)
+    if any(report.verdict == PROVED_UNDEFINED for report in reports):
+        return EXIT_FLAGGED
+    if any(report.verdict == INCONCLUSIVE for report in reports):
+        return EXIT_INCONCLUSIVE
+    return EXIT_DEFINED
 
 
 def _cmd_run(arguments: argparse.Namespace, *, out) -> int:
@@ -694,6 +778,8 @@ def main(argv: Optional[list[str]] = None, *, out=None) -> int:
             return _cmd_check(arguments, search=arguments.search, out=out)
         if arguments.command == "search":
             return _cmd_search(arguments, out=out)
+        if arguments.command == "prove":
+            return _cmd_prove(arguments, out=out)
         if arguments.command == "run":
             return _cmd_run(arguments, out=out)
         if arguments.command == "tools":

@@ -251,7 +251,8 @@ class Checker:
                strategy: str = "dfs", budget: Optional[SearchBudget] = None,
                jobs: int = 1, seed: int = 0, dedup_states: bool = True,
                prune_commuting: bool = True, checkpoint: str = "auto",
-               stop_at_first: bool = True) -> CheckReport:
+               stop_at_first: bool = True,
+               merge_symbolic: bool = False) -> CheckReport:
         """Explore the evaluation orders of one program (§2.5.2).
 
         The search runs on :class:`repro.kframework.engine.SearchEngine`:
@@ -263,6 +264,13 @@ class Checker:
         exploration (default: ``max_paths`` from the checker options), and
         ``jobs > 1`` shards the root frontier across a process pool.  The
         report's ``search`` field carries the stop reason and coverage.
+
+        ``merge_symbolic=True`` adds the interval absorption layer on top
+        of exact-state dedup: paths arriving at the same control point whose
+        live memories differ only in a few cells are folded into one family
+        once the family has shown uniform outcomes (counted in the result's
+        ``merged_symbolic``; see ``docs/architecture.md``, "Symbolic
+        engine").  Verdicts are unchanged — only the path count drops.
         """
         if isinstance(source, CompiledUnit):
             compiled = source
@@ -273,9 +281,36 @@ class Checker:
         search_options = SearchOptions(
             strategy=strategy, budget=budget, seed=seed, jobs=jobs,
             dedup_states=dedup_states, prune_commuting=prune_commuting,
-            checkpoint=checkpoint, stop_at_first=stop_at_first)
+            checkpoint=checkpoint, stop_at_first=stop_at_first,
+            merge_symbolic=merge_symbolic)
         report = self._tool.search_unit(compiled, argv=argv, stdin=stdin,
                                         search=search_options)
+        self.stats.bump("run_count")
+        return report
+
+    # -- symbolic proving -----------------------------------------------------
+    def prove(self, source: str | CompiledUnit, *,
+              inputs: Optional[dict[str, tuple[int, int]]] = None,
+              filename: str = "<input>"):
+        """Range-prove a program with the abstract interval engine (§2.5).
+
+        Compiles (cached) and runs :func:`repro.symbolic.prove_unit` over
+        the lowered unit.  ``inputs`` maps ``int`` variable names declared
+        in ``main`` to closed ``(lo, hi)`` ranges; the proof then quantifies
+        over every concretization.  Returns a
+        :class:`repro.symbolic.ProveReport` whose verdict is one of
+        ``PROVED_DEFINED`` (every run of every input is defined),
+        ``PROVED_UNDEFINED`` (a specific :class:`~repro.errors.UBKind` is
+        reached on every input, with a witness interval), or
+        ``INCONCLUSIVE`` (the abstract domain cannot decide — never a lie).
+        """
+        from repro.symbolic.prove import prove_unit
+
+        if isinstance(source, CompiledUnit):
+            compiled = source
+        else:
+            compiled = self.compile(source, filename=filename)
+        report = prove_unit(compiled, options=self.options, inputs=inputs)
         self.stats.bump("run_count")
         return report
 

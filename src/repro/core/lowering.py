@@ -232,6 +232,114 @@ def _try_fold(expr: c_ast.Expression, L: LoweringContext) -> Optional[IntValue]:
 #: process-wide plan caches.
 _FLAT_INT_TYPES = (ct.IntType, ct.BoolType)
 
+
+class IntTypeFacts:
+    """Pre-derived representation facts of one flat integer type.
+
+    This is the single source of truth for "what can this type hold":
+    the representable range, the bit width, the wrap mask, and the sign
+    threshold.  The concrete plans below capture these numbers in
+    specialized closures; the abstract evaluator (:mod:`repro.symbolic`)
+    consumes the *same* facts objects for its interval containment and
+    emptiness tests, so a concrete overflow check and the symbolic proof
+    of its absence can never disagree about the bounds.
+    """
+
+    __slots__ = ("type", "lo", "hi", "bits", "signed", "mask", "half")
+
+    def __init__(self, result_type: ct.CType, lo: int, hi: int, bits: int,
+                 signed: bool, mask: int, half: int) -> None:
+        self.type = result_type
+        self.lo = lo
+        self.hi = hi
+        self.bits = bits
+        self.signed = signed
+        self.mask = mask
+        self.half = half
+
+    def wrap(self, value: int) -> int:
+        """``conversions._int_to_int`` on the value alone (no IntValue)."""
+        if self.lo <= value <= self.hi:
+            return value
+        wrapped = value & self.mask
+        if self.signed and wrapped >= self.half:
+            wrapped -= 1 << self.bits
+        return wrapped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IntTypeFacts({self.type}, [{self.lo}, {self.hi}], "
+                f"bits={self.bits}, signed={self.signed})")
+
+
+_INT_TYPE_FACTS: dict = {}
+
+
+def int_type_facts(target: ct.CType,
+                   profile: ct.ImplementationProfile) -> Optional[IntTypeFacts]:
+    """The :class:`IntTypeFacts` of a flat integer type (process-wide memo).
+
+    None for anything that is not a plain :class:`ct.IntType` (records,
+    pointers, floats, ``_Bool`` — the latter converts by ``!= 0``, not by
+    wrapping, so it has no wrap facts).
+    """
+    if not isinstance(target, ct.IntType) or isinstance(target, ct.BoolType):
+        return None
+    key = (target, profile)
+    facts = _INT_TYPE_FACTS.get(key)
+    if facts is None and key not in _INT_TYPE_FACTS:
+        lo, hi = ct.integer_range(target, profile)
+        bits = ct.integer_bits(target, profile)
+        signed = ct.is_signed_type(target, profile)
+        facts = IntTypeFacts(target.unqualified(), lo, hi, bits, signed,
+                             (1 << bits) - 1, 1 << (bits - 1))
+        if len(_INT_TYPE_FACTS) < 65536:
+            _INT_TYPE_FACTS[key] = facts
+    return facts
+
+
+class IntBinaryFacts:
+    """Pre-derived facts of one integer binary-operation site.
+
+    ``common`` carries the usual-arithmetic-conversions result type's
+    representation facts; ``check_arithmetic`` whether the site's overflow /
+    shift / division side conditions are armed.  Shared verbatim between the
+    concrete closure plans and the abstract transfer functions.
+    """
+
+    __slots__ = ("op", "common", "check_arithmetic", "line")
+
+    def __init__(self, op: str, common: IntTypeFacts, check_arithmetic: bool,
+                 line: int) -> None:
+        self.op = op
+        self.common = common
+        self.check_arithmetic = check_arithmetic
+        self.line = line
+
+
+def int_binary_facts(op: str, left_type: ct.CType, right_type: ct.CType,
+                     options: CheckerOptions,
+                     line: int = 0) -> Optional[IntBinaryFacts]:
+    """Facts of a binary site over two flat integer operand types, or None.
+
+    None exactly when :func:`_int_binary_plan` would decline the site:
+    non-flat operand types, or a common type that is not a plain integer
+    type — those stay on the generic checked path (concretely) and are
+    INCONCLUSIVE territory (symbolically).
+    """
+    if not isinstance(left_type, _FLAT_INT_TYPES) or \
+            not isinstance(right_type, _FLAT_INT_TYPES):
+        return None
+    profile = options.profile
+    try:
+        common = ct.usual_arithmetic_conversions(left_type, right_type, profile)
+    except (TypeError, AssertionError):
+        return None
+    facts = int_type_facts(common, profile)
+    if facts is None:
+        return None
+    return IntBinaryFacts(op, facts, options.check_arithmetic, line)
+
+
 _INT_CONV_PLANS: dict = {}
 
 
@@ -247,12 +355,11 @@ def _int_conversion_plan(target: ct.CType, profile: ct.ImplementationProfile):
             def plan(value: int) -> IntValue:
                 return IntValue(1 if value != 0 else 0, ct.BOOL)
         else:
-            lo, hi = ct.integer_range(target, profile)
-            bits = ct.integer_bits(target, profile)
-            signed = ct.is_signed_type(target, profile)
-            mask = (1 << bits) - 1
-            half = 1 << (bits - 1)
-            result_type = target.unqualified()
+            facts = int_type_facts(target, profile)
+            lo, hi = facts.lo, facts.hi
+            bits, signed = facts.bits, facts.signed
+            mask, half = facts.mask, facts.half
+            result_type = facts.type
 
             def plan(value: int) -> IntValue:
                 if lo <= value <= hi:
@@ -282,22 +389,15 @@ def _int_binary_plan(op: str, left_type: ct.CType, right_type: ct.CType,
     integer type; everything else (floats, pointers, enums, indeterminate
     operands) stays on the generic checked path.
     """
-    if not isinstance(left_type, _FLAT_INT_TYPES) or \
-            not isinstance(right_type, _FLAT_INT_TYPES):
+    facts = int_binary_facts(op, left_type, right_type, options, line)
+    if facts is None:
         return None
-    profile = options.profile
-    try:
-        common = ct.usual_arithmetic_conversions(left_type, right_type, profile)
-    except (TypeError, AssertionError):
-        return None
-    if not isinstance(common, ct.IntType):
-        return None
-    lo, hi = ct.integer_range(common, profile)
-    bits = ct.integer_bits(common, profile)
-    signed = ct.is_signed_type(common, profile)
-    mask = (1 << bits) - 1
-    half = 1 << (bits - 1)
-    check_arithmetic = options.check_arithmetic
+    common_facts = facts.common
+    common = common_facts.type
+    lo, hi = common_facts.lo, common_facts.hi
+    bits, signed = common_facts.bits, common_facts.signed
+    mask, half = common_facts.mask, common_facts.half
+    check_arithmetic = facts.check_arithmetic
 
     def conv(value: int) -> int:
         # _int_to_int on the way to the common type (value only).

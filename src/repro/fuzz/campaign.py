@@ -291,8 +291,9 @@ def run_campaign(
         # makes placement irrelevant to the bytes, so the simple in-order
         # chunking both preserves record order and streams results early.
         records = run_staged(examine_case, header, indices, jobs=jobs)
-    return finalize_campaign(config, records, options=options,
-                             elapsed_seconds=time.perf_counter() - start)
+    return finalize_campaign(
+        config, records, options=options, elapsed_seconds=time.perf_counter() - start
+    )
 
 
 def run_journaled_campaign(
@@ -334,8 +335,9 @@ def run_journaled_campaign(
         for unit_id in outcome.state.units
         for entry in outcome.state.results[unit_id].get("records", ())
     ]
-    return finalize_campaign(config, records, options=options,
-                             elapsed_seconds=time.perf_counter() - start)
+    return finalize_campaign(
+        config, records, options=options, elapsed_seconds=time.perf_counter() - start
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1087,6 +1087,15 @@ class GeneratorConfig:
     max_depth: int = 3  # expression tree depth
     max_loop_count: int = 6
     max_array_length: int = 6
+    #: When set, ``main`` opens with a declared *symbolic input hole*
+    #: ``int hole = <default>;`` whose initializer may be replaced by any
+    #: value in ``[0, symbolic_hole]`` (clamped to the closed domain).  The
+    #: hole is registered as a readable-but-never-written variable, so the
+    #: bound discipline keeps a clean program well-defined for **every**
+    #: value in that range — which is exactly what the symbolic prover
+    #: (:mod:`repro.symbolic`) is asked to establish and what its oracle
+    #: samples concretely.
+    symbolic_hole: Optional[int] = None
     #: Test/demo hook: deliberately corrupt the ground truth so the oracle
     #: stack *must* report a mismatch.  ``"mislabel"`` plants a defect but
     #: labels the case clean; ``"wrong-stdout"`` corrupts the predicted
@@ -1101,6 +1110,7 @@ class GeneratorConfig:
             "max_depth": self.max_depth,
             "max_loop_count": self.max_loop_count,
             "max_array_length": self.max_array_length,
+            "symbolic_hole": self.symbolic_hole,
             "sabotage": self.sabotage,
         }
 
@@ -1123,8 +1133,13 @@ class FuzzCase:
     family: Optional[str] = None
     expected_kinds: tuple[UBKind, ...] = ()
     #: Ground truth of a clean case: the simulated stdout and exit code.
+    #: (With a symbolic hole these describe the *default* hole value.)
     predicted_stdout: Optional[str] = None
     predicted_exit: Optional[int] = None
+    #: Symbolic input hole metadata (None unless the config declared one).
+    hole_name: Optional[str] = None
+    hole_range: Optional[tuple[int, int]] = None
+    hole_default: Optional[int] = None
 
     @property
     def is_bad(self) -> bool:
@@ -1142,6 +1157,11 @@ class FuzzCase:
             "expected_kinds": [kind.name for kind in self.expected_kinds],
             "predicted_stdout": self.predicted_stdout,
             "predicted_exit": self.predicted_exit,
+            "hole_name": self.hole_name,
+            "hole_range": (
+                list(self.hole_range) if self.hole_range is not None else None
+            ),
+            "hole_default": self.hole_default,
         }
 
     @classmethod
@@ -1158,6 +1178,13 @@ class FuzzCase:
             expected_kinds=kinds,
             predicted_stdout=data.get("predicted_stdout"),
             predicted_exit=data.get("predicted_exit"),
+            hole_name=data.get("hole_name"),
+            hole_range=(
+                tuple(data["hole_range"])
+                if data.get("hole_range") is not None
+                else None
+            ),
+            hole_default=data.get("hole_default"),
         )
 
 
@@ -1489,10 +1516,21 @@ class _Builder:
         self.pop_scope()
         return _Helper(name, body, result)
 
-    def build_main(self) -> tuple[list[_Stmt], _Expr]:
+    def build_main(
+        self, hole: Optional[tuple[str, int]] = None
+    ) -> tuple[list[_Stmt], _Expr]:
         rng = self.rng
         self.push_scope()
         statements: list[_Stmt] = []
+        protected: frozenset[str] = frozenset()
+        if hole is not None:
+            # The symbolic input: declared first so initializer substitution
+            # is unambiguous, readable everywhere, never written (protected
+            # like a loop variable) so the input range actually flows.
+            hole_name, hole_default = hole
+            statements.append(_DeclInt(hole_name, _Lit(hole_default)))
+            self.scopes[-1][0].append(hole_name)
+            protected = frozenset((hole_name,))
         for _ in range(rng.randrange(2, 4)):
             name = self.fresh("v")
             statements.append(_DeclInt(name, _Lit(rng.randrange(DOMAIN // 4))))
@@ -1502,7 +1540,7 @@ class _Builder:
             self.config.max_statements + 1,
         )
         statements.extend(
-            self.statements(budget, depth=0, in_loop=False, protected=frozenset())
+            self.statements(budget, depth=0, in_loop=False, protected=protected)
         )
         statements.append(self.output_statement())
         result = _Bin("%", self.storable(), _Lit(100), 100)
@@ -1551,7 +1589,17 @@ def generate_case(
     builder = _Builder(rng, config)
     for _ in range(rng.randrange(0, config.max_helpers + 1)):
         builder.helpers.append(builder.helper())
-    main_statements, result_expr = builder.build_main()
+    hole: Optional[tuple[str, int]] = None
+    hole_name: Optional[str] = None
+    hole_range: Optional[tuple[int, int]] = None
+    hole_default: Optional[int] = None
+    if config.symbolic_hole is not None:
+        hi = max(0, min(config.symbolic_hole, DOMAIN - 1))
+        hole_name = "sym0"
+        hole_range = (0, hi)
+        hole_default = rng.randrange(hi + 1)
+        hole = (hole_name, hole_default)
+    main_statements, result_expr = builder.build_main(hole)
 
     template: Optional[InjectionTemplate] = None
     mode = inject
@@ -1635,6 +1683,9 @@ def generate_case(
         expected_kinds=tuple(expected),
         predicted_stdout=predicted_stdout,
         predicted_exit=predicted_exit,
+        hole_name=hole_name,
+        hole_range=hole_range,
+        hole_default=hole_default,
     )
 
 

@@ -24,7 +24,13 @@ hard invariant of the system:
   the check-to-family wiring;
 * ``search-agreement`` (optional, off by default in campaigns — it is the
   expensive oracle) — a bounded evaluation-order search must agree with
-  the single-run verdict on flaggedness.
+  the single-run verdict on flaggedness;
+* ``symbolic-differential`` (optional; only meaningful for cases generated
+  with ``GeneratorConfig.symbolic_hole``) — the abstract interval engine
+  proves the case over the hole's declared range, and any PROVED verdict
+  is re-checked against concrete runs at sampled hole values including
+  both endpoints.  A clean case must never be PROVED_UNDEFINED, and a
+  concrete counterexample to either proof is a soundness failure.
 
 ``diagnostic_signature`` collapses a failure to a small stable key used by
 the campaign driver to dedup corpus entries.
@@ -54,6 +60,10 @@ class OracleConfig:
     #: Bounded evaluation-order-search agreement; costs a search per case.
     check_search: bool = False
     search_max_paths: int = 16
+    #: Symbolic range proof over the case's input hole, with PROVED
+    #: verdicts re-checked concretely; no-op for cases without a hole.
+    check_symbolic: bool = False
+    symbolic_samples: int = 5
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -62,6 +72,8 @@ class OracleConfig:
             "check_ablation": self.check_ablation,
             "check_search": self.check_search,
             "search_max_paths": self.search_max_paths,
+            "check_symbolic": self.check_symbolic,
+            "symbolic_samples": self.symbolic_samples,
         }
 
     @classmethod
@@ -224,6 +236,9 @@ def run_oracles(
 
     if oracle_config.check_search:
         _search_oracle(report, lowered_tool, compiled, lowered_report, oracle_config)
+
+    if oracle_config.check_symbolic and case.hole_name is not None:
+        _symbolic_oracle(report, options, oracle_config)
     return report
 
 
@@ -380,6 +395,51 @@ def _search_oracle(
             f"disagrees with the single-run verdict "
             f"{strict.outcome.describe()!r}",
             signature=f"search:{diagnostic_signature(strict)}",
+        )
+
+
+def _symbolic_oracle(
+    report: OracleReport,
+    options: CheckerOptions,
+    oracle_config: OracleConfig,
+) -> None:
+    """Prove the case over its hole range, then spot-check the proof.
+
+    Clean cases are well-defined for *every* hole value by construction,
+    so a PROVED_UNDEFINED verdict on one is an abstract-engine soundness
+    bug even before sampling.  INCONCLUSIVE is always acceptable — the
+    abstract domain is allowed to give up, never to lie.
+    """
+    from repro.symbolic import check_proved_report, prove_source
+    from repro.symbolic.prove import PROVED_UNDEFINED
+
+    case = report.case
+    proved = prove_source(
+        case.source,
+        inputs={case.hole_name: case.hole_range},
+        options=options,
+        filename=case.name,
+    )
+    if not case.is_bad and proved.verdict == PROVED_UNDEFINED:
+        kind = proved.kind.name if proved.kind else "?"
+        report.add(
+            "symbolic-differential",
+            "abstract engine claims a well-defined-by-construction case "
+            f"is undefined ({kind}): {proved.message}",
+            signature=f"symbolic-unsound:{kind}",
+        )
+        return
+    for mismatch in check_proved_report(
+        case.source,
+        proved,
+        options=options,
+        samples=oracle_config.symbolic_samples,
+        filename=case.name,
+    ):
+        report.add(
+            "symbolic-differential",
+            f"range proof refuted concretely: {mismatch.describe()}",
+            signature=f"symbolic-refuted:{proved.verdict}",
         )
 
 

@@ -65,11 +65,18 @@ from repro.kframework.strategy import (
 
 
 class PathMerged(Exception):
-    """Internal: this run's state merged with an explored interleaving."""
+    """Internal: this run's state merged with an explored interleaving.
 
-    def __init__(self, decision_index: int) -> None:
+    ``symbolic`` distinguishes an exact-state merge (the dedup table) from
+    an interval absorption (the symbolic merge layer, see
+    :class:`_MergeFamily`); they are counted separately in the result.
+    """
+
+    def __init__(self, decision_index: int, *, symbolic: bool = False) -> None:
         self.decision_index = decision_index
-        super().__init__(f"state merged at decision {decision_index}")
+        self.symbolic = symbolic
+        kind = "interval-absorbed" if symbolic else "state merged"
+        super().__init__(f"{kind} at decision {decision_index}")
 
 
 def checkpoint_supported() -> bool:
@@ -264,6 +271,159 @@ def state_fingerprint(interp: Any) -> bytes:
     return hashlib.blake2b(repr(tokens).encode("utf-8"), digest_size=16).digest()
 
 
+#: Maximum number of integer memory cells over which two interleaving states
+#: may differ and still be absorbed into one symbolic merge family.
+SYMBOLIC_MERGE_CELLS = 8
+
+
+def _coarse_state(interp: Any) -> tuple[bytes, dict]:
+    """The state split for symbolic merging: (structural digest, int cells).
+
+    The digest covers everything :func:`state_fingerprint` covers *except*
+    the values of concrete bytes in live objects; those are returned
+    separately as ``{(base, offset): value}`` so arrivals whose states
+    differ only in a few integer cells can be compared cell-wise and
+    joined into intervals.  Byte positions themselves stay in the digest
+    (as a shape marker), so two states only share a coarse key when the
+    same cells hold concrete data.
+    """
+    memory = interp.memory
+    cells: dict[tuple[int, int], int] = {}
+    tokens: list[Any] = [
+        interp._steps,
+        memory._next_base,
+        memory.heap_allocations,
+        interp._stdin_pos,
+        interp._rand_state,
+        interp.stdout,
+    ]
+    for base, obj in memory.objects.items():
+        tokens.append(
+            (base, obj.size, obj.kind.value, obj.alive, obj.freed, obj.is_const)
+        )
+        data = obj.data
+        if type(data).__name__ == "SparseBytes":
+            # Sparse (huge) objects are never absorption targets; their
+            # exact token stream keeps them in the structural digest.
+            default_token = _byte_token(data.default)
+            tokens.append(
+                (
+                    "sparse",
+                    data.size,
+                    default_token,
+                    tuple(
+                        sorted(
+                            (offset, token)
+                            for offset, byte in data.overlay.items()
+                            if (token := _byte_token(byte)) != default_token
+                        )
+                    ),
+                )
+            )
+        elif not (obj.alive and not obj.freed):
+            # A dead object's bytes cannot influence the continuation (any
+            # access is flagged from the liveness flags, not the data), but
+            # different interleavings leave different stale values behind.
+            # Keeping them out of both the digest and the cells stops dead
+            # frames from forever splitting otherwise-equal coarse states.
+            tokens.append(("dead", len(data)))
+        else:
+            shape: list[Any] = []
+            for offset, byte in enumerate(data):
+                if type(byte).__name__ == "ConcreteByte":
+                    shape.append("c")
+                    cells[(base, offset)] = byte.value
+                else:
+                    shape.append(_byte_token(byte))
+            tokens.append(tuple(shape))
+        if obj.effective_types:
+            tokens.append(
+                tuple(
+                    sorted(
+                        (offset, str(ctype))
+                        for offset, ctype in obj.effective_types.items()
+                    )
+                )
+            )
+    tokens.append(tuple(sorted(memory.not_writable)))
+    tokens.append(tuple(sorted(memory.locs_written)))
+    for frame in interp.frames:
+        tokens.append((frame.function_name, frame.call_line))
+        for scope in frame.scopes:
+            tokens.append(
+                tuple(sorted((name, b.base) for name, b in scope.bindings.items()))
+            )
+            tokens.append(tuple(scope.owned_bases))
+    tokens.append(
+        tuple(
+            sorted(
+                (key, value.base, value.offset)
+                for key, value in interp.pointer_registry.items()
+            )
+        )
+    )
+    tokens.append(
+        tuple(sorted((key, b.base) for key, b in interp._static_locals.items()))
+    )
+    digest = hashlib.blake2b(repr(tokens).encode("utf-8"), digest_size=16).digest()
+    return digest, cells
+
+
+class _MergeFamily:
+    """Explored arrivals at one coarse state, joined cell-wise to intervals.
+
+    An arriving path may be *absorbed* (cut, counted ``merged_symbolic``)
+    when the family has at least two completed member runs with a uniform
+    verdict, members disagree on at most :data:`SYMBOLIC_MERGE_CELLS`
+    cells, and the arrival's value at every cell lies inside the family's
+    joined interval — i.e. the arrival is covered by the interval
+    generalization of suffixes already explored.  Anything that breaks the
+    premise (differing cell sets, mixed member verdicts, too many
+    differing cells) poisons the family permanently: poisoned families
+    never absorb, so the layer degrades to plain exact dedup.
+    """
+
+    __slots__ = ("cells", "diff", "completed", "outcomes", "poisoned")
+
+    def __init__(self, cells: dict) -> None:
+        self.cells = {cell: (value, value) for cell, value in cells.items()}
+        self.diff: set = set()
+        self.completed = 0
+        self.outcomes: set = set()
+        self.poisoned = False
+
+    def can_absorb(self, cells: dict) -> bool:
+        if self.poisoned or self.completed < 2 or len(self.outcomes) != 1:
+            return False
+        if cells.keys() != self.cells.keys():
+            return False
+        if len(self.diff) > SYMBOLIC_MERGE_CELLS:
+            return False
+        for cell, value in cells.items():
+            lo, hi = self.cells[cell]
+            if not lo <= value <= hi:
+                return False
+        return True
+
+    def join(self, cells: dict) -> None:
+        if cells.keys() != self.cells.keys():
+            self.poisoned = True
+            return
+        for cell, value in cells.items():
+            lo, hi = self.cells[cell]
+            if value < lo or value > hi:
+                self.cells[cell] = (min(lo, value), max(hi, value))
+                self.diff.add(cell)
+        if len(self.diff) > SYMBOLIC_MERGE_CELLS:
+            self.poisoned = True
+
+    def complete(self, undefined: bool) -> None:
+        self.completed += 1
+        self.outcomes.add(undefined)
+        if len(self.outcomes) > 1:
+            self.poisoned = True
+
+
 # ---------------------------------------------------------------------------
 # The engine-driven strategy and the footprint tracker
 # ---------------------------------------------------------------------------
@@ -448,6 +608,9 @@ class SearchEngine:
         self.use_fork = resolve_checkpoint(options)
         self.visited: set = set()
         self._visited_log: list = []
+        # Symbolic merge families (replay mode only; see _MergeFamily).
+        self._families: dict = {}
+        self._sym_arrivals: list = []
         self._paths_count = 0
         self._stop = False
         self._stop_reason: Optional[str] = None
@@ -529,6 +692,7 @@ class SearchEngine:
         self._overflow = []
         self._cut_index = None
         self._resumed_run = False
+        self._sym_arrivals = []
         merged = False
         outcome: Optional[PathOutcome] = None
         crashed = True
@@ -538,14 +702,18 @@ class SearchEngine:
             except PathMerged as cut:
                 merged = True
                 self._cut_index = cut.decision_index
-            if merged:
-                self.result.merged_paths += 1
+                if cut.symbolic:
+                    self.result.merged_symbolic += 1
+                else:
+                    self.result.merged_paths += 1
                 if not self._resumed_run:
                     self.result.partial_replays += 1
-            elif outcome is not None:
+            if not merged and outcome is not None:
                 outcome.script = tuple(strategy.decisions)
                 outcome.resumed = self._resumed_run
                 self._record_path(outcome)
+                for family in self._sym_arrivals:
+                    family.complete(outcome.undefined)
             crashed = False
         finally:
             # This run's path is recorded (or merged); now explore the
@@ -632,6 +800,11 @@ class SearchEngine:
                     # The log exists to ship dedup-table deltas between
                     # forked checkpoints; replay mode never reads it.
                     self._visited_log.append(key)
+            if self.options.merge_symbolic and not self.use_fork:
+                # Exact dedup missed; try the interval absorption layer.
+                # Fork mode is excluded: a cut would have to cancel a live
+                # process tree whose siblings assume their parent ran.
+                self._symbolic_arrival(site, progress, index, strategy.interp)
         if self._stop:
             if self.use_fork:
                 # No checkpoints are forked past a stop, so these siblings
@@ -649,6 +822,21 @@ class SearchEngine:
         group = self._push_group(site, index, choice, tracked=True)
         group.sleepers = sleepers
         return choice
+
+    def _symbolic_arrival(
+        self, site: object, progress: tuple, index: int, interp: Any
+    ) -> None:
+        digest, cells = _coarse_state(interp)
+        key = (id(site), progress, digest)
+        family = self._families.get(key)
+        if family is None:
+            self._families[key] = family = _MergeFamily(cells)
+            self._sym_arrivals.append(family)
+            return
+        if family.can_absorb(cells):
+            raise PathMerged(index, symbolic=True)
+        family.join(cells)
+        self._sym_arrivals.append(family)
 
     def _push_group(
         self, site: object, index: int, choice: int, *, tracked: bool

@@ -107,6 +107,12 @@ class SearchOptions:
     interleavings that reach an identical machine state at the same choice
     site; ``prune_commuting`` skips sibling orders whose operand read/write
     footprints are disjoint (observed through the execution-event stream).
+    ``merge_symbolic`` goes one step further where exact dedup saturates:
+    an arrival whose state matches an explored interleaving family
+    everywhere except a few integer memory cells — with its values at
+    those cells inside the family's joined intervals — is absorbed
+    (replay mode only; counted as ``merged_symbolic`` and pinned
+    verdict-identical against no-merge by the test suite).
     """
 
     strategy: str = "dfs"
@@ -117,6 +123,7 @@ class SearchOptions:
     prune_commuting: bool = True
     checkpoint: str = "auto"
     stop_at_first: bool = True
+    merge_symbolic: bool = False
 
 
 @dataclass
@@ -148,6 +155,7 @@ class SearchResult:
     partial_replays: int = 0
     resumed_executions: int = 0
     merged_paths: int = 0
+    merged_symbolic: int = 0
     pruned_orders: int = 0
     skipped_alternatives: int = 0
     states_seen: int = 0
@@ -193,6 +201,7 @@ class SearchResult:
         self.partial_replays += child.partial_replays
         self.resumed_executions += child.resumed_executions
         self.merged_paths += child.merged_paths
+        self.merged_symbolic += child.merged_symbolic
         self.pruned_orders += child.pruned_orders
         self.skipped_alternatives += child.skipped_alternatives
 
@@ -206,7 +215,12 @@ class SearchResult:
         this is an upper bound under early stops — but it is exactly 1.0
         only when nothing was skipped.
         """
-        covered = len(self.paths) + self.merged_paths + self.pruned_orders
+        covered = (
+            len(self.paths)
+            + self.merged_paths
+            + self.merged_symbolic
+            + self.pruned_orders
+        )
         known = covered + self.skipped_alternatives
         if known <= 0:
             return 1.0
@@ -222,6 +236,7 @@ class SearchResult:
             "partial_replays": self.partial_replays,
             "resumed_executions": self.resumed_executions,
             "merged_paths": self.merged_paths,
+            "merged_symbolic": self.merged_symbolic,
             "pruned_orders": self.pruned_orders,
             "skipped_alternatives": self.skipped_alternatives,
             "states_seen": self.states_seen,

@@ -1,0 +1,197 @@
+"""The soundness leg: proved ranges re-checked on concrete executions.
+
+A range proof quantifies over every concretization of the declared input
+ranges; this module spot-checks that claim with the dynamic engines.  For
+each proved report it samples points from every input range — *always*
+including both endpoints — substitutes them into the input declarations,
+runs the concrete checker, and compares verdicts:
+
+* ``PROVED_DEFINED``  → every sampled run must be ``DEFINED``.
+* ``PROVED_UNDEFINED(kind)`` → every sampled run must be ``UNDEFINED``
+  with the same kind among its reported kinds.
+
+Any disagreement is a soundness bug in the abstract engine, never noise:
+the proofs claim universality, so one concrete counterexample refutes
+them.  The fuzz oracle (``OracleConfig.check_symbolic``) and the CI
+``prove-smoke`` job are both built on :func:`check_proved_report`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_OPTIONS, CheckerOptions
+from repro.core.kcc import KccTool
+from repro.errors import OutcomeKind
+from repro.symbolic.prove import (
+    PROVED_DEFINED,
+    PROVED_UNDEFINED,
+    ProveReport,
+)
+
+#: Default number of concrete samples per proved input range.
+SAMPLES_PER_RANGE = 8
+
+
+def sample_points(lo: int, hi: int, n: int = SAMPLES_PER_RANGE) -> list[int]:
+    """``n`` representative points of ``[lo, hi]``, both endpoints included.
+
+    Deterministic: endpoints first, then near-endpoint values and evenly
+    spaced interior points, deduplicated while preserving order.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    candidates = [lo, hi, lo + 1, hi - 1]
+    if lo <= 0 <= hi:
+        candidates.append(0)
+    span = hi - lo
+    if span > 1 and n > len(candidates):
+        steps = n - len(candidates) + 1
+        for k in range(1, steps):
+            candidates.append(lo + span * k // steps)
+    points: list[int] = []
+    for value in candidates:
+        if lo <= value <= hi and value not in points:
+            points.append(value)
+        if len(points) >= n:
+            break
+    # Grid points may collide with the near-endpoint candidates; fill from
+    # lo upward so a range with >= n values always yields n samples.
+    fill = lo
+    while len(points) < n and fill <= hi:
+        if fill not in points:
+            points.append(fill)
+        fill += 1
+    return points
+
+
+def substitute_input(source: str, name: str, value: int) -> str:
+    """Rewrite the initializer of ``int name = ...;`` to ``value``.
+
+    The input convention of the prove pipeline: inputs are plain ``int``
+    declarations with an initializer.  Raises ValueError when the
+    declaration cannot be found exactly once.
+    """
+    pattern = re.compile(r"(\bint\s+" + re.escape(name) + r"\s*=\s*)[^;,]+([;,])")
+    replaced = pattern.subn(
+        lambda m: f"{m.group(1)}{value}{m.group(2)}", source, count=2
+    )
+    text, count = replaced
+    if count != 1:
+        raise ValueError(f"input declaration 'int {name} = ...;' matched {count} times")
+    return text
+
+
+@dataclass
+class OracleMismatch:
+    """One concrete counterexample to a range proof."""
+
+    point: dict
+    expected: str
+    got: str
+    detail: str
+
+    def describe(self) -> str:
+        at = ", ".join(f"{k}={v}" for k, v in self.point.items())
+        return (
+            f"at {{{at}}}: proof says {self.expected}, concrete run "
+            f"says {self.got} ({self.detail})"
+        )
+
+
+def _sample_grid(inputs: dict, samples: int) -> list[dict]:
+    """Sampled assignments; full cross product is avoided by a diagonal
+    sweep plus per-axis endpoint runs so the count stays linear."""
+    names = list(inputs)
+    if not names:
+        return [{}]
+    per_axis = {
+        name: sample_points(lo, hi, samples) for name, (lo, hi) in inputs.items()
+    }
+    grid: list[dict] = []
+    seen: set = set()
+
+    def push(assignment: dict) -> None:
+        key = tuple(sorted(assignment.items()))
+        if key not in seen:
+            seen.add(key)
+            grid.append(assignment)
+
+    longest = max(len(points) for points in per_axis.values())
+    for index in range(longest):
+        push(
+            {
+                name: points[min(index, len(points) - 1)]
+                for name, points in per_axis.items()
+            }
+        )
+    # Per-axis sweeps with the other inputs pinned to their low endpoint:
+    # exercises each range's endpoints independently of the diagonal.
+    for name in names:
+        for value in per_axis[name]:
+            assignment = {other: inputs[other][0] for other in names}
+            assignment[name] = value
+            push(assignment)
+    return grid
+
+
+def check_proved_report(
+    source: str,
+    report: ProveReport,
+    *,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+    samples: int = SAMPLES_PER_RANGE,
+    filename: str = "<oracle>",
+) -> list[OracleMismatch]:
+    """Concrete counterexamples to ``report`` (empty list = proof holds).
+
+    Only PROVED verdicts make a universal claim; INCONCLUSIVE reports
+    are vacuously fine and return no mismatches.
+    """
+    if report.verdict not in (PROVED_DEFINED, PROVED_UNDEFINED):
+        return []
+    tool = KccTool(options)
+    mismatches: list[OracleMismatch] = []
+    for assignment in _sample_grid(report.inputs, samples):
+        text = source
+        for name, value in assignment.items():
+            text = substitute_input(text, name, value)
+        outcome = tool.check(text, filename=filename).outcome
+        if report.verdict == PROVED_DEFINED:
+            if outcome.kind != OutcomeKind.DEFINED:
+                mismatches.append(
+                    OracleMismatch(
+                        point=assignment,
+                        expected=PROVED_DEFINED,
+                        got=outcome.kind.name,
+                        detail=outcome.describe(),
+                    )
+                )
+        else:
+            # Static violations surface as STATIC_ERROR outcomes; both are
+            # flagged runs, and ub_kinds covers either source.
+            kinds = set(outcome.ub_kinds)
+            flagged = outcome.kind in (OutcomeKind.UNDEFINED, OutcomeKind.STATIC_ERROR)
+            if not flagged or (report.kind is not None and report.kind not in kinds):
+                expected = (
+                    f"{PROVED_UNDEFINED}({report.kind.name if report.kind else '?'})"
+                )
+                mismatches.append(
+                    OracleMismatch(
+                        point=assignment,
+                        expected=expected,
+                        got=outcome.kind.name,
+                        detail=outcome.describe(),
+                    )
+                )
+    return mismatches
+
+
+__all__ = [
+    "OracleMismatch",
+    "SAMPLES_PER_RANGE",
+    "check_proved_report",
+    "sample_points",
+    "substitute_input",
+]

@@ -1,0 +1,231 @@
+"""Verdicts: turning one abstract execution into a range proof.
+
+A proof here is a statement about *every* concrete execution drawn from
+the declared input ranges (the whole singleton family when no inputs are
+declared):
+
+* ``PROVED_DEFINED`` — the abstract execution completed, recorded no
+  possible undefined behavior, and never had to widen a loop.  Every
+  concrete run from the ranges is defined.  (Widening is excluded on
+  purpose: a widened fixpoint cannot establish termination, and the
+  concrete engines report a non-terminating run as INCONCLUSIVE, not
+  DEFINED.)
+* ``PROVED_UNDEFINED`` — a definite path (no approximate fork crossed)
+  reached an operation that is undefined for every concretization.
+  ``kind``/``line`` name the first such operation in evaluation order,
+  so they match what the dynamic engines report.
+* ``INCONCLUSIVE`` — everything else: subset bailouts, widened loops,
+  UBs that are only possible, paths whose reachability is approximate.
+
+The asymmetry is the soundness contract: both PROVED verdicts are
+universally quantified over the input ranges and are cross-checked by
+:mod:`repro.symbolic.oracle` against concrete runs on sampled points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import DEFAULT_OPTIONS, CheckerOptions
+from repro.core.kcc import CompiledUnit, KccTool
+from repro.errors import UBKind
+from repro.symbolic.abseval import analyze
+from repro.symbolic.domain import Interval, PossibleUB
+
+PROVED_DEFINED = "PROVED_DEFINED"
+PROVED_UNDEFINED = "PROVED_UNDEFINED"
+INCONCLUSIVE = "INCONCLUSIVE"
+
+
+@dataclass
+class ProveReport:
+    """The outcome of one range proof attempt."""
+
+    verdict: str
+    kind: Optional[UBKind] = None
+    line: int = 0
+    message: str = ""
+    witness: Optional[Interval] = None
+    reason: str = ""
+    inputs: dict = field(default_factory=dict)
+    covered_inputs: int = 1
+    exit_interval: Optional[Interval] = None
+    possible: list = field(default_factory=list)
+    widened: bool = False
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict in (PROVED_DEFINED, PROVED_UNDEFINED)
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "kind": self.kind.name if self.kind else None,
+            "line": self.line,
+            "message": self.message,
+            "witness": str(self.witness) if self.witness else None,
+            "reason": self.reason,
+            "inputs": {name: list(bounds) for name, bounds in self.inputs.items()},
+            "covered_inputs": self.covered_inputs,
+            "exit_interval": (str(self.exit_interval) if self.exit_interval else None),
+            "possible": [
+                {"kind": ub.kind.name, "line": ub.line, "message": ub.message}
+                for ub in self.possible
+            ],
+            "widened": self.widened,
+        }
+
+    def render(self) -> str:
+        lines = []
+        if self.inputs:
+            ranges = ", ".join(
+                f"{name} in [{lo}, {hi}]" for name, (lo, hi) in self.inputs.items()
+            )
+            lines.append(
+                f"inputs: {ranges}  " f"({self.covered_inputs} concrete programs)"
+            )
+        if self.verdict == PROVED_DEFINED:
+            lines.append(
+                "PROVED_DEFINED: every execution in the input "
+                "ranges is free of undefined behavior"
+            )
+            if self.exit_interval is not None:
+                lines.append(f"  exit status interval: {self.exit_interval}")
+        elif self.verdict == PROVED_UNDEFINED:
+            kind = self.kind.name if self.kind else "?"
+            lines.append(
+                f"PROVED_UNDEFINED({kind}) at line {self.line}: " f"{self.message}"
+            )
+            if self.witness is not None:
+                lines.append(f"  witness interval: {self.witness}")
+        else:
+            lines.append(f"INCONCLUSIVE: {self.reason}")
+            for ub in self.possible:
+                lines.append(
+                    f"  possible {ub.kind.name} at line {ub.line}: " f"{ub.message}"
+                )
+        return "\n".join(lines)
+
+
+def _covered(inputs: dict) -> int:
+    total = 1
+    for lo, hi in inputs.values():
+        total *= hi - lo + 1
+    return total
+
+
+def prove_unit(
+    compiled: CompiledUnit,
+    *,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+    inputs: Optional[dict] = None,
+) -> ProveReport:
+    """Attempt a range proof for one compiled translation unit."""
+    inputs = dict(inputs or {})
+    covered = _covered(inputs)
+    if compiled.parse_error is not None:
+        return ProveReport(
+            verdict=INCONCLUSIVE,
+            reason=f"parse error: {compiled.parse_error}",
+            inputs=inputs,
+            covered_inputs=covered,
+        )
+    if compiled.static_violations:
+        violation = compiled.static_violations[0]
+        # A constraint violation is input-independent: every concrete run
+        # of the unit is flagged before execution starts.
+        return ProveReport(
+            verdict=PROVED_UNDEFINED,
+            kind=violation.kind,
+            line=violation.line,
+            message=violation.message,
+            inputs=inputs,
+            covered_inputs=covered,
+        )
+    result = analyze(compiled.unit, options, inputs)
+    possible = list(result.possible)
+    if result.status == "bail":
+        return ProveReport(
+            verdict=INCONCLUSIVE,
+            reason=result.bail_reason,
+            inputs=inputs,
+            covered_inputs=covered,
+            possible=possible,
+            widened=result.widened,
+        )
+    if result.status == "stuck":
+        certain: Optional[PossibleUB] = result.certain
+        if certain is not None:
+            return ProveReport(
+                verdict=PROVED_UNDEFINED,
+                kind=certain.kind,
+                line=certain.line,
+                message=certain.message,
+                witness=certain.witness,
+                inputs=inputs,
+                covered_inputs=covered,
+                possible=possible,
+                widened=result.widened,
+            )
+        return ProveReport(
+            verdict=INCONCLUSIVE,
+            reason="every abstract path died without a " "definite culprit",
+            inputs=inputs,
+            covered_inputs=covered,
+            possible=possible,
+            widened=result.widened,
+        )
+    # completed
+    if possible:
+        first = possible[0]
+        return ProveReport(
+            verdict=INCONCLUSIVE,
+            reason=f"possible {first.kind.name} at line " f"{first.line}",
+            inputs=inputs,
+            covered_inputs=covered,
+            possible=possible,
+            widened=result.widened,
+        )
+    if result.widened:
+        return ProveReport(
+            verdict=INCONCLUSIVE,
+            reason="a loop required widening; termination " "is not established",
+            inputs=inputs,
+            covered_inputs=covered,
+            widened=True,
+        )
+    exit_interval = (
+        Interval(result.exit_value.lo, result.exit_value.hi)
+        if result.exit_value is not None
+        else None
+    )
+    return ProveReport(
+        verdict=PROVED_DEFINED,
+        inputs=inputs,
+        covered_inputs=covered,
+        exit_interval=exit_interval,
+    )
+
+
+def prove_source(
+    source: str,
+    *,
+    inputs: Optional[dict] = None,
+    options: CheckerOptions = DEFAULT_OPTIONS,
+    filename: str = "<prove>",
+) -> ProveReport:
+    """Parse, statically check, then attempt a range proof on ``source``."""
+    tool = KccTool(options)
+    compiled = tool.compile_unit(source, filename=filename)
+    return prove_unit(compiled, options=options, inputs=inputs)
+
+
+__all__ = [
+    "INCONCLUSIVE",
+    "PROVED_DEFINED",
+    "PROVED_UNDEFINED",
+    "ProveReport",
+    "prove_source",
+    "prove_unit",
+]

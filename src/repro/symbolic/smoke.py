@@ -1,0 +1,128 @@
+"""CI smoke for the prove pipeline: ``python -m repro.symbolic.smoke``.
+
+Runs range proofs over a small fixed corpus — the full ubsuite
+arithmetic slice (bad and good variants) plus a handful of
+symbolic-input programs — and fails (exit 1) unless:
+
+* at least one unit is PROVED_DEFINED,
+* at least one unit is PROVED_UNDEFINED, and
+* the soundness oracle finds zero mismatches across every proof.
+
+This is the cheap always-on version of the exhaustive soundness tests in
+``tests/symbolic/``; it is wired into CI as the ``prove-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.suites.ubsuite import BEHAVIOR_TESTS, GROUP_ARITHMETIC
+from repro.symbolic.oracle import check_proved_report
+from repro.symbolic.prove import (
+    INCONCLUSIVE,
+    PROVED_DEFINED,
+    PROVED_UNDEFINED,
+    prove_source,
+)
+
+#: Symbolic-input programs: (label, source, inputs).
+INPUT_CORPUS = [
+    (
+        "guarded-divide",
+        "int main(void) {\n"
+        "  int x = 7;\n"
+        "  if (x != 0) { int r = 100 / x; return r > 0; }\n"
+        "  return 0;\n"
+        "}\n",
+        {"x": (0, 50)},
+    ),
+    (
+        "range-add-defined",
+        "int main(void) {\n"
+        "  int x = 0;\n"
+        "  int y = x + 1000;\n"
+        "  return y > 0;\n"
+        "}\n",
+        {"x": (0, 1000000)},
+    ),
+    (
+        "range-overflow-certain",
+        "int main(void) {\n"
+        "  int x = 2147483000;\n"
+        "  int y = x + 1000;\n"
+        "  return y > 0;\n"
+        "}\n",
+        {"x": (2147483000, 2147483647)},
+    ),
+    (
+        "loop-accumulate",
+        "int main(void) {\n"
+        "  int x = 3;\n"
+        "  int s = 0;\n"
+        "  int i;\n"
+        "  for (i = 0; i < 10; i = i + 1) { s = s + x; }\n"
+        "  return s >= 0;\n"
+        "}\n",
+        {"x": (0, 100)},
+    ),
+]
+
+
+def run(argv: list[str]) -> int:
+    proved_defined = 0
+    proved_undefined = 0
+    inconclusive = 0
+    mismatches = 0
+    rows = []
+
+    def attempt(label: str, source: str, inputs=None) -> None:
+        nonlocal proved_defined, proved_undefined, inconclusive, mismatches
+        report = prove_source(source, inputs=inputs)
+        bad = check_proved_report(source, report)
+        if report.verdict == PROVED_DEFINED:
+            proved_defined += 1
+        elif report.verdict == PROVED_UNDEFINED:
+            proved_undefined += 1
+        else:
+            inconclusive += 1
+        mismatches += len(bad)
+        detail = (report.kind.name if report.kind else report.reason[:48])
+        rows.append((label, report.verdict, detail, len(bad)))
+        for mismatch in bad:
+            rows.append((label, "SOUNDNESS", mismatch.describe(), 1))
+
+    for behavior in BEHAVIOR_TESTS:
+        if behavior.group != GROUP_ARITHMETIC:
+            continue
+        attempt(f"{behavior.behavior}/bad", behavior.bad)
+        attempt(f"{behavior.behavior}/good", behavior.good)
+    for label, source, inputs in INPUT_CORPUS:
+        attempt(f"input/{label}", source, inputs)
+
+    width = max(len(row[0]) for row in rows)
+    for label, verdict, detail, bad in rows:
+        flag = "  <-- MISMATCH" if bad and verdict != INCONCLUSIVE else ""
+        print(f"{label:{width}s}  {verdict:17s} {detail}{flag}")
+    print(
+        f"\nproved-defined={proved_defined} "
+        f"proved-undefined={proved_undefined} "
+        f"inconclusive={inconclusive} oracle-mismatches={mismatches}"
+    )
+
+    if proved_defined == 0:
+        print("FAIL: no unit was proved defined", file=sys.stderr)
+        return 1
+    if proved_undefined == 0:
+        print("FAIL: no unit was proved undefined", file=sys.stderr)
+        return 1
+    if mismatches:
+        print(
+            "FAIL: the soundness oracle found concrete counterexamples", file=sys.stderr
+        )
+        return 1
+    print("prove-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run(sys.argv[1:]))

@@ -124,3 +124,52 @@ def test_sabotage_wrong_stdout_corrupts_the_prediction():
     report = check_program(case.source)
     assert report.outcome.kind is OutcomeKind.DEFINED
     assert report.outcome.stdout != case.predicted_stdout
+
+
+# ---------------------------------------------------------------------------
+# The symbolic input hole
+# ---------------------------------------------------------------------------
+
+def test_symbolic_hole_declares_a_protected_input():
+    from repro.fuzz.generator import DOMAIN
+
+    config = GeneratorConfig(symbolic_hole=DOMAIN - 1)
+    case = generate_case(SEED, 3, config=config, inject=None)
+    assert case.hole_name == "sym0"
+    assert case.hole_range == (0, DOMAIN - 1)
+    assert 0 <= case.hole_default <= DOMAIN - 1
+    body = case.source.split("int main(void) {", 1)[1]
+    # Declared exactly once, with the default as initializer, never written.
+    assert body.count("int sym0") == 1
+    assert f"int sym0 = {case.hole_default};" in body
+    assert "sym0 =" not in body.replace(f"int sym0 = {case.hole_default};", "")
+
+
+def test_symbolic_hole_round_trips_through_dict():
+    from repro.fuzz.generator import DOMAIN, FuzzCase
+
+    config = GeneratorConfig(symbolic_hole=DOMAIN - 1)
+    case = generate_case(SEED, 4, config=config, inject=None)
+    rebuilt = FuzzCase.from_dict(case.to_dict())
+    assert rebuilt.hole_name == case.hole_name
+    assert rebuilt.hole_range == case.hole_range
+    assert rebuilt.hole_default == case.hole_default
+
+
+def test_hole_cases_stay_defined_at_substituted_values():
+    """The generator's closed-bound discipline: any hole value is safe."""
+    from repro.fuzz.generator import DOMAIN
+    from repro.symbolic.oracle import substitute_input
+
+    config = GeneratorConfig(symbolic_hole=DOMAIN - 1)
+    case = generate_case(SEED, 6, config=config, inject=None)
+    for value in (0, 1, DOMAIN // 2, DOMAIN - 1):
+        text = substitute_input(case.source, case.hole_name, value)
+        outcome = check_program(text).outcome
+        assert outcome.kind is OutcomeKind.DEFINED, (value, outcome.describe())
+
+
+def test_default_config_has_no_hole():
+    case = generate_case(SEED, 3, inject=None)
+    assert case.hole_name is None
+    assert case.hole_range is None

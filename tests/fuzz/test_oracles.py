@@ -77,3 +77,33 @@ def test_oracles_can_be_selectively_disabled():
 def test_oracle_config_round_trips():
     config = OracleConfig(check_search=True, search_max_paths=4)
     assert OracleConfig.from_dict(config.to_dict()) == config
+
+
+# ---------------------------------------------------------------------------
+# The symbolic-differential oracle
+# ---------------------------------------------------------------------------
+
+def test_symbolic_oracle_passes_on_hole_cases():
+    from repro.fuzz.generator import DOMAIN, GeneratorConfig, generate_case
+
+    config = GeneratorConfig(symbolic_hole=DOMAIN - 1)
+    oracle_config = OracleConfig(check_symbolic=True)
+    for index in range(4):
+        case = generate_case(99, index, config=config, inject="mixed")
+        report = run_oracles(case, oracle_config=oracle_config)
+        assert report.ok, [failure.detail for failure in report.failures]
+
+
+def test_symbolic_oracle_skips_cases_without_a_hole():
+    from repro.fuzz.generator import generate_case
+
+    case = generate_case(99, 0, inject=None)
+    report = run_oracles(case, oracle_config=OracleConfig(check_symbolic=True))
+    assert report.ok
+
+
+def test_symbolic_oracle_config_round_trips():
+    config = OracleConfig(check_symbolic=True, symbolic_samples=3)
+    rebuilt = OracleConfig.from_dict(config.to_dict())
+    assert rebuilt.check_symbolic is True
+    assert rebuilt.symbolic_samples == 3

@@ -1,0 +1,94 @@
+"""Symbolic path merging must change path counts, never verdicts.
+
+The interval absorption layer (``SearchOptions.merge_symbolic``) folds
+replayed paths whose live memories differ in a few cells into one family
+once the family has demonstrated uniform outcomes.  Its correctness
+contract is identity of everything observable: over the entire ubsuite
+sequencing slice — the programs evaluation-order search exists for — a
+merged search must report the same verdict, the same UB kinds, and the
+same stop reason as an unmerged one.
+
+The absorbing program below pins the other half: the layer must actually
+fire.  Three calls to ``f`` fold a growing accumulator; the third arrival
+at each post-call point lands inside the interval joined from the first
+two, so two paths are absorbed and the explored count drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.core.kcc import KccTool
+from repro.kframework.search import SearchBudget, SearchOptions
+from repro.suites.ubsuite import BEHAVIOR_TESTS, GROUP_SEQUENCING
+
+#: The order-sensitive program the absorption demonstrably compresses.
+ABSORBING = """\
+int g = 0;
+int f(int v) { g = g * 2 + v; return 0; }
+int h(int v) { return v; }
+int main(void) {
+  int x = f(1) + f(3) + f(2);
+  int y = h(1) + h(2);
+  return 0;
+}
+"""
+
+
+def _search(source: str, *, merge_symbolic: bool):
+    options = SearchOptions(
+        checkpoint="replay",
+        stop_at_first=False,
+        budget=SearchBudget(max_paths=None),
+        merge_symbolic=merge_symbolic,
+    )
+    tool = KccTool(
+        CheckerOptions(), search_evaluation_order=True, search_options=options
+    )
+    return tool.check(source)
+
+
+def _sequencing_cases():
+    cases = []
+    for test in BEHAVIOR_TESTS:
+        if test.group == GROUP_SEQUENCING:
+            cases.append((f"{test.behavior}/bad", test.bad))
+            cases.append((f"{test.behavior}/good", test.good))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "label,source", _sequencing_cases(), ids=[label for label, _ in _sequencing_cases()]
+)
+def test_merge_preserves_verdicts_on_the_sequencing_slice(label, source):
+    plain = _search(source, merge_symbolic=False)
+    merged = _search(source, merge_symbolic=True)
+    assert merged.outcome.kind is plain.outcome.kind
+    assert merged.outcome.ub_kinds == plain.outcome.ub_kinds
+    assert merged.search.stop_reason == plain.search.stop_reason
+    # Absorption only ever removes paths.
+    assert len(merged.search.paths) <= len(plain.search.paths)
+
+
+def test_absorption_fires_and_keeps_the_verdict():
+    plain = _search(ABSORBING, merge_symbolic=False)
+    merged = _search(ABSORBING, merge_symbolic=True)
+    assert plain.outcome.kind is merged.outcome.kind
+    assert plain.search.merged_symbolic == 0
+    assert merged.search.merged_symbolic > 0
+    assert len(merged.search.paths) < len(plain.search.paths)
+    # Absorbed paths still count toward coverage.
+    assert merged.search.coverage() == pytest.approx(plain.search.coverage())
+
+
+def test_merge_off_by_default():
+    assert SearchOptions().merge_symbolic is False
+    report = _search(ABSORBING, merge_symbolic=False)
+    assert report.search.merged_symbolic == 0
+
+
+def test_merged_symbolic_round_trips_to_dict():
+    merged = _search(ABSORBING, merge_symbolic=True)
+    payload = merged.search.to_dict()
+    assert payload["merged_symbolic"] == merged.search.merged_symbolic > 0

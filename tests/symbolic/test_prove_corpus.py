@@ -1,0 +1,236 @@
+"""Pinned verdicts for the prove pipeline, its API facade, and the CLI.
+
+The regression corpus here is deliberately literal: each entry pins the
+verdict (and for undefinedness, the :class:`~repro.errors.UBKind` and line)
+the abstract engine must keep producing.  The full ubsuite arithmetic slice
+is enumerated with exact expectations — ten behaviors prove on both their
+bad and good variants, the float conversion honestly declines — so any
+precision regression in the domain shows up as a named behavior, not a
+count.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.api.cli import main as cli_main
+from repro.api.session import Checker
+from repro.errors import UBKind
+from repro.suites.ubsuite import BEHAVIOR_TESTS, GROUP_ARITHMETIC
+from repro.symbolic import (
+    INCONCLUSIVE,
+    PROVED_DEFINED,
+    PROVED_UNDEFINED,
+    check_proved_report,
+    prove_source,
+)
+
+# ---------------------------------------------------------------------------
+# Pinned single-program verdicts
+# ---------------------------------------------------------------------------
+
+PROVED_DEFINED_UNITS = [
+    ("straight-line", "int main(void) { int x = 4; return x * 3 % 7; }", None),
+    (
+        "guarded-divide",
+        "int main(void) {\n"
+        "  int x = 7;\n"
+        "  if (x != 0) { int r = 100 / x; return r > 0; }\n"
+        "  return 0;\n"
+        "}\n",
+        {"x": (0, 50)},
+    ),
+    (
+        "range-add",
+        "int main(void) { int x = 0; int y = x + 1000; return y > 0; }",
+        {"x": (0, 1_000_000)},
+    ),
+    (
+        "loop-accumulate",
+        "int main(void) {\n"
+        "  int x = 3;\n"
+        "  int s = 0;\n"
+        "  int i;\n"
+        "  for (i = 0; i < 10; i = i + 1) { s = s + x; }\n"
+        "  return s >= 0;\n"
+        "}\n",
+        {"x": (0, 100)},
+    ),
+]
+
+PROVED_UNDEFINED_UNITS = [
+    (
+        "overflow-whole-range",
+        "int main(void) { int x = 2147483000; int y = x + 1000; return y > 0; }",
+        {"x": (2_147_483_000, 2_147_483_647)},
+        UBKind.SIGNED_OVERFLOW,
+    ),
+    (
+        "divide-by-zero-constant",
+        "int main(void) { int x = 0; return 5 / x; }",
+        None,
+        UBKind.DIVISION_BY_ZERO,
+    ),
+    (
+        "shift-too-far-range",
+        "int main(void) { int x = 40; return 1 << x; }",
+        {"x": (35, 60)},
+        UBKind.SHIFT_TOO_FAR,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,source,inputs",
+    PROVED_DEFINED_UNITS,
+    ids=[unit[0] for unit in PROVED_DEFINED_UNITS],
+)
+def test_pinned_proved_defined(label, source, inputs):
+    report = prove_source(source, inputs=inputs)
+    assert report.verdict == PROVED_DEFINED, report.render()
+    assert report.proved
+    assert not check_proved_report(source, report)
+
+
+@pytest.mark.parametrize(
+    "label,source,inputs,kind",
+    PROVED_UNDEFINED_UNITS,
+    ids=[unit[0] for unit in PROVED_UNDEFINED_UNITS],
+)
+def test_pinned_proved_undefined(label, source, inputs, kind):
+    report = prove_source(source, inputs=inputs)
+    assert report.verdict == PROVED_UNDEFINED, report.render()
+    assert report.kind is kind
+    assert report.line > 0
+    assert not check_proved_report(source, report)
+
+
+def test_unguarded_symbolic_divide_is_inconclusive():
+    """A range containing the bad value must not be proved either way."""
+    report = prove_source(
+        "int main(void) { int x = 3; return 100 / x; }", inputs={"x": (-5, 5)}
+    )
+    assert report.verdict == INCONCLUSIVE
+    assert any(ub.kind is UBKind.DIVISION_BY_ZERO for ub in report.possible)
+
+
+def test_parse_error_is_inconclusive_not_a_crash():
+    report = prove_source("int main(void) { return }")
+    assert report.verdict == INCONCLUSIVE
+    assert report.reason
+
+
+def test_witness_interval_is_reported_for_overflow():
+    report = prove_source(
+        "int main(void) { int x = 2147483000; int y = x + 1000; return 0; }",
+        inputs={"x": (2_147_483_000, 2_147_483_647)},
+    )
+    assert report.witness is not None
+    assert report.witness.low is not None and report.witness.low > 2**31 - 1
+
+
+# ---------------------------------------------------------------------------
+# The ubsuite arithmetic slice, behavior by behavior
+# ---------------------------------------------------------------------------
+
+#: behavior → (bad verdict, bad kind, good verdict).  The float conversion
+#: is the one honest refusal: our abstract domain has no float layer.
+ARITH_EXPECTATIONS = {
+    "division-by-zero": (PROVED_UNDEFINED, UBKind.DIVISION_BY_ZERO),
+    "modulo-by-zero": (PROVED_UNDEFINED, UBKind.DIVISION_BY_ZERO),
+    "int-min-divided-by-minus-one": (PROVED_UNDEFINED, UBKind.SIGNED_OVERFLOW),
+    "signed-addition-overflow": (PROVED_UNDEFINED, UBKind.SIGNED_OVERFLOW),
+    "signed-multiplication-overflow": (PROVED_UNDEFINED, UBKind.SIGNED_OVERFLOW),
+    "signed-negation-overflow": (PROVED_UNDEFINED, UBKind.SIGNED_OVERFLOW),
+    "shift-amount-too-large": (PROVED_UNDEFINED, UBKind.SHIFT_TOO_FAR),
+    "shift-negative-amount": (PROVED_UNDEFINED, UBKind.SHIFT_TOO_FAR),
+    "left-shift-of-negative": (PROVED_UNDEFINED, UBKind.SHIFT_NEGATIVE),
+    "left-shift-overflow": (PROVED_UNDEFINED, UBKind.SHIFT_OVERFLOW),
+    "float-to-int-overflow": (INCONCLUSIVE, None),
+}
+
+
+def _arith_behaviors():
+    return [test for test in BEHAVIOR_TESTS if test.group == GROUP_ARITHMETIC]
+
+
+def test_expectation_table_covers_the_whole_slice():
+    assert {test.behavior for test in _arith_behaviors()} == set(ARITH_EXPECTATIONS)
+
+
+@pytest.mark.parametrize("behavior", sorted(ARITH_EXPECTATIONS))
+def test_arith_slice_verdicts(behavior):
+    test = next(t for t in _arith_behaviors() if t.behavior == behavior)
+    expected_bad, expected_kind = ARITH_EXPECTATIONS[behavior]
+    bad = prove_source(test.bad)
+    assert bad.verdict == expected_bad, bad.render()
+    if expected_kind is not None:
+        assert bad.kind is expected_kind
+    good = prove_source(test.good)
+    if expected_bad == INCONCLUSIVE:
+        assert good.verdict == INCONCLUSIVE
+    else:
+        assert good.verdict == PROVED_DEFINED, good.render()
+
+
+# ---------------------------------------------------------------------------
+# The API facade and the CLI
+# ---------------------------------------------------------------------------
+
+def test_checker_prove_uses_the_compile_cache():
+    checker = Checker()
+    source = "int main(void) { int x = 1; return 10 / x; }"
+    first = checker.prove(source, inputs={"x": (1, 5)})
+    second = checker.prove(source, inputs={"x": (1, 5)})
+    assert first.verdict == second.verdict == PROVED_DEFINED
+    assert checker.stats.parse_count == 1
+    assert checker.stats.cache_hits == 1
+
+
+def test_checker_prove_accepts_compiled_units():
+    checker = Checker()
+    unit = checker.compile("int main(void) { return 0; }")
+    assert checker.prove(unit).verdict == PROVED_DEFINED
+
+
+def _run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_cli_prove_exit_codes(tmp_path):
+    defined = tmp_path / "defined.c"
+    defined.write_text(
+        "int main(void) { int x = 1; return 10 / x; }\n", encoding="utf-8"
+    )
+    undefined = tmp_path / "undefined.c"
+    undefined.write_text(
+        "int main(void) { int x = 0; return 10 / x; }\n", encoding="utf-8"
+    )
+    unknown = tmp_path / "unknown.c"
+    unknown.write_text(
+        "int main(void) { int x = 3; return 10 / x; }\n", encoding="utf-8"
+    )
+
+    code, text = _run_cli("prove", str(defined), "--inputs", "x=1:50")
+    assert code == 0 and "PROVED_DEFINED" in text
+    code, text = _run_cli("prove", str(undefined))
+    assert code == 1 and "PROVED_UNDEFINED" in text
+    assert "DIVISION_BY_ZERO" in text
+    code, text = _run_cli("prove", str(unknown), "--inputs", "x=-5:5")
+    assert code == 2 and "INCONCLUSIVE" in text
+
+
+def test_cli_prove_json_and_bad_inputs(tmp_path):
+    path = tmp_path / "p.c"
+    path.write_text("int main(void) { return 0; }\n", encoding="utf-8")
+    code, text = _run_cli("prove", str(path), "--format", "json")
+    assert code == 0
+    assert '"verdict": "PROVED_DEFINED"' in text
+    code, _ = _run_cli("prove", str(path), "--inputs", "x=oops")
+    assert code == 64
+    code, _ = _run_cli("prove", str(path), "--inputs", "x=5:1")
+    assert code == 64

@@ -1,0 +1,101 @@
+"""The soundness gate: every proof survives concrete spot-checking.
+
+Two sweeps, both against the compiled (register-bytecode) engine — the
+default production engine, so a divergence here is a real lie by the
+abstract domain:
+
+* the full ubsuite arithmetic slice, bad and good variants; and
+* a 500-program fixed-seed fuzz corpus generated with a symbolic input
+  hole, each program proved over the hole's declared range.
+
+For every PROVED verdict the oracle samples at least eight points per
+input range — always including both endpoints — substitutes them, runs the
+concrete checker, and demands agreement.  The acceptable outcomes are
+"proved and confirmed at every sample" or "inconclusive"; a single
+disagreement fails the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CheckerOptions
+from repro.fuzz.generator import DOMAIN, GeneratorConfig, generate_case
+from repro.suites.ubsuite import BEHAVIOR_TESTS, GROUP_ARITHMETIC
+from repro.symbolic import check_proved_report, prove_source
+from repro.symbolic.oracle import SAMPLES_PER_RANGE, sample_points
+
+#: The engine the oracle runs: the compiled VM, as in production.
+COMPILED = CheckerOptions(engine="compiled")
+
+CORPUS_SEED = 20260808
+CORPUS_SIZE = 500
+
+
+def test_sample_points_always_include_both_endpoints():
+    for lo, hi in [
+        (0, 0), (0, 1), (-5, 5), (0, DOMAIN - 1), (2_147_483_000, 2_147_483_647)
+    ]:
+        points = sample_points(lo, hi)
+        assert points[0] == lo and hi in points
+        assert len(points) >= min(SAMPLES_PER_RANGE, hi - lo + 1)
+        assert all(lo <= p <= hi for p in points)
+
+
+def test_samples_per_range_meets_the_acceptance_floor():
+    assert SAMPLES_PER_RANGE >= 8
+
+
+def test_ubsuite_arith_slice_has_no_concrete_counterexamples():
+    proved = 0
+    for behavior in BEHAVIOR_TESTS:
+        if behavior.group != GROUP_ARITHMETIC:
+            continue
+        for variant in (behavior.bad, behavior.good):
+            report = prove_source(variant, options=COMPILED)
+            if not report.proved:
+                continue
+            proved += 1
+            mismatches = check_proved_report(variant, report, options=COMPILED)
+            assert not mismatches, (
+                f"{behavior.behavior}: " + "; ".join(m.describe() for m in mismatches)
+            )
+    assert proved >= 20  # 10 behaviors × 2 variants prove; float declines
+
+
+@pytest.mark.parametrize("chunk", range(5))
+def test_fuzz_hole_corpus_has_no_concrete_counterexamples(chunk):
+    """500 generated programs, proved over their symbolic hole's range.
+
+    Chunked so a failure names its index window and pytest can show
+    progress; the seed is fixed, so the corpus is the same every run.
+    """
+    config = GeneratorConfig(symbolic_hole=DOMAIN - 1)
+    per_chunk = CORPUS_SIZE // 5
+    proved = inconclusive = 0
+    for index in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        case = generate_case(CORPUS_SEED, index, config=config, inject=None)
+        assert case.hole_name is not None and case.hole_range is not None
+        report = prove_source(
+            case.source,
+            options=COMPILED,
+            inputs={case.hole_name: case.hole_range},
+            filename=case.name,
+        )
+        if not report.proved:
+            inconclusive += 1
+            continue
+        proved += 1
+        # Clean-by-construction programs must never be proved undefined.
+        assert report.verdict == "PROVED_DEFINED", (f"{case.name}: {report.render()}")
+        mismatches = check_proved_report(
+            case.source, report, options=COMPILED, filename=case.name
+        )
+        assert not mismatches, (
+            f"{case.name}: " + "; ".join(m.describe() for m in mismatches)
+        )
+    # The corpus must exercise the prover, not just its bail paths: a
+    # meaningful share of every chunk has to produce actual proofs.
+    assert proved >= per_chunk // 5, (
+        f"chunk {chunk}: only {proved} proofs out of {per_chunk} cases"
+    )
